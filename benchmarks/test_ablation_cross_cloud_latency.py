@@ -1,0 +1,69 @@
+"""Ablation: when is the Peacock mode worth it? (cross-cloud latency sweep).
+
+Section 5.3 motivates the Peacock mode for deployments where "there is a
+large network distance between the private and the public cloud and the
+latency of having one more phase of communication within the public cloud
+is less than the latency of exchanging messages between the two clouds".
+
+This ablation sweeps the one-way cross-cloud latency while keeping both
+clouds internally fast, and reports the mean request latency of the Lion
+mode (which must cross between the clouds every phase) against the Peacock
+mode (which stays inside the public cloud).  The crossover demonstrates the
+design choice behind the third mode.
+"""
+
+import pytest
+
+from repro.analysis import format_results_table
+from repro.cluster import build_seemore, run_deployment
+from repro.core import Mode
+from repro.workload import microbenchmark
+
+CROSS_CLOUD_LATENCIES = (0.0002, 0.002, 0.01, 0.03)
+
+
+def latency_for(mode: Mode, cross_cloud_latency: float) -> float:
+    deployment = build_seemore(
+        crash_tolerance=1,
+        byzantine_tolerance=1,
+        mode=mode,
+        workload=microbenchmark("0/0"),
+        num_clients=2,
+        seed=70,
+        cross_cloud_latency=cross_cloud_latency,
+        client_timeout=0.5,
+    )
+    result = run_deployment(deployment, duration=0.4, warmup=0.1)
+    return result.latency.mean
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_cross_cloud_latency(benchmark, report):
+    def sweep():
+        rows = []
+        for cross in CROSS_CLOUD_LATENCIES:
+            lion = latency_for(Mode.LION, cross)
+            peacock = latency_for(Mode.PEACOCK, cross)
+            rows.append(
+                {
+                    "cross_cloud_latency_ms": cross * 1000,
+                    "lion_latency_ms": round(lion * 1000, 3),
+                    "peacock_latency_ms": round(peacock * 1000, 3),
+                    "winner": "peacock" if peacock < lion else "lion",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report.section("Ablation: Lion vs Peacock as the cross-cloud latency grows (c=1, m=1)")
+    report.block(format_results_table(rows))
+
+    # Co-located clouds: the Lion mode's two phases win.
+    assert rows[0]["winner"] == "lion"
+    # Distant clouds: the Peacock mode's public-cloud-only agreement wins.
+    assert rows[-1]["winner"] == "peacock"
+    # Lion latency grows with the cross-cloud distance; Peacock stays flat
+    # (its client still pays the client link, but agreement does not cross).
+    assert rows[-1]["lion_latency_ms"] > rows[0]["lion_latency_ms"] * 3
+    assert rows[-1]["peacock_latency_ms"] < rows[-1]["lion_latency_ms"]

@@ -1,0 +1,55 @@
+"""Section 4: public-cloud sizing calculator.
+
+Regenerates the worked example from the paper (S=2, c=1, alpha=0.3 requires
+renting P=10 public nodes) and sweeps the advertised failure ratio and the
+explicit-failure-count model.
+"""
+
+import pytest
+
+from repro.analysis import format_results_table
+from repro.planner import (
+    plan_with_explicit_failures,
+    plan_with_failure_ratio,
+    rental_is_beneficial,
+)
+
+
+@pytest.mark.benchmark(group="cloud-sizing")
+def test_section4_cloud_sizing(benchmark, report):
+    def compute():
+        ratio_rows = []
+        for alpha in (0.05, 0.1, 0.2, 0.25, 0.3):
+            plan = plan_with_failure_ratio(2, 1, alpha)
+            ratio_rows.append(
+                {
+                    "alpha": alpha,
+                    "rent_P": plan.public_nodes,
+                    "network_N": plan.network_size,
+                    "tolerated_m": plan.byzantine_tolerance,
+                }
+            )
+        explicit_rows = []
+        for malicious in (1, 2, 3):
+            plan = plan_with_explicit_failures(2, 1, public_malicious=malicious)
+            explicit_rows.append(
+                {"explicit_M": malicious, "rent_P": plan.public_nodes, "network_N": plan.network_size}
+            )
+        return ratio_rows, explicit_rows
+
+    ratio_rows, explicit_rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    report.section("Section 4: public cloud sizing (S=2 private servers, c=1)")
+    report.line("\nRatio model (Equation 2):")
+    report.block(format_results_table(ratio_rows))
+    report.line("\nExplicit failure-count model:")
+    report.block(format_results_table(explicit_rows))
+    report.line("\nRenting is beneficial only for c < S < 2c+1 "
+                f"(S=2,c=1: {rental_is_beneficial(2, 1)}; S=3,c=1: {rental_is_beneficial(3, 1)})")
+
+    # The paper's worked example: alpha=0.3 -> rent 10 nodes.
+    example = next(row for row in ratio_rows if row["alpha"] == 0.3)
+    assert example["rent_P"] == 10
+    # Fewer faulty nodes advertised -> fewer rented nodes needed.
+    rents = [row["rent_P"] for row in ratio_rows]
+    assert rents == sorted(rents)

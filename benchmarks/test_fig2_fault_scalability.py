@@ -1,0 +1,114 @@
+"""Figure 2: fault-tolerance scalability (throughput/latency vs failures).
+
+Each panel fixes the number of tolerated crash (c) and Byzantine (m)
+failures, sizes every protocol accordingly (CFT and BFT tolerate f = c+m
+failures), sweeps the number of closed-loop clients with the 0/0
+micro-benchmark, and traces one latency-throughput curve per protocol:
+
+* 2(a)  f=2  (c=1, m=1):  N — SeeMoRe/S-UpRight 6, CFT 5, BFT 7
+* 2(b)  f=4  (c=2, m=2):  N — 11 / 9 / 13
+* 2(c)  f=4  (c=1, m=3):  N — 12 / 9 / 13
+* 2(d)  f=4  (c=3, m=1):  N — 10 / 9 / 13
+
+The assertions check the paper's qualitative findings, not absolute numbers:
+the Lion mode tracks CFT, every SeeMoRe mode beats S-UpRight, S-UpRight is
+close to BFT, and when c > m the Dog/Peacock modes overtake the Lion mode.
+"""
+
+import pytest
+
+from repro.analysis import format_results_table
+
+from benchmarks.conftest import CLIENT_SWEEP, curve_rows, peak, run_curves
+
+
+def _report_panel(report, title, curves):
+    report.section(title)
+    report.block(
+        format_results_table(
+            curve_rows(curves),
+            columns=[
+                "protocol",
+                "clients",
+                "throughput_kreqs_per_s",
+                "mean_latency_ms",
+                "p99_latency_ms",
+                "completed",
+            ],
+        )
+    )
+    peaks = [
+        {"protocol": protocol, "peak_kreqs_per_s": round(peak(curve) / 1000, 3)}
+        for protocol, curve in curves.items()
+    ]
+    report.line("\npeak throughput per protocol:")
+    report.block(format_results_table(peaks))
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2a_f2_c1_m1(benchmark, report):
+    curves = benchmark.pedantic(
+        run_curves, args=(1, 1), kwargs={"seed": 21}, rounds=1, iterations=1
+    )
+    _report_panel(report, "Figure 2(a): f=2 (c=1, m=1), 0/0 micro-benchmark", curves)
+
+    # Paper: Lion is close to CFT (8% in the paper); give the simulator slack.
+    assert peak(curves["seemore-lion"]) >= 0.70 * peak(curves["cft"])
+    # Paper: S-UpRight and BFT are close; both clearly below the Lion mode.
+    assert peak(curves["s-upright"]) >= 0.7 * peak(curves["bft"])
+    assert peak(curves["seemore-lion"]) > peak(curves["s-upright"])
+    # Paper: Peacock sits above S-UpRight but below Dog and Lion.
+    assert peak(curves["seemore-peacock"]) > peak(curves["s-upright"])
+    assert peak(curves["seemore-lion"]) >= peak(curves["seemore-peacock"])
+    # Every protocol beats BFT.
+    for protocol in ("seemore-lion", "seemore-dog", "seemore-peacock", "cft", "s-upright"):
+        assert peak(curves[protocol]) >= peak(curves["bft"])
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2b_f4_c2_m2(benchmark, report):
+    curves = benchmark.pedantic(
+        run_curves, args=(2, 2), kwargs={"seed": 22}, rounds=1, iterations=1
+    )
+    _report_panel(report, "Figure 2(b): f=4 (c=2, m=2), 0/0 micro-benchmark", curves)
+
+    # Paper: the Dog mode's smaller quorum (2m+1=5 of 7 proxies) compensates
+    # for its quadratic messages, landing near the Lion mode.
+    assert peak(curves["seemore-dog"]) >= 0.6 * peak(curves["seemore-lion"])
+    # Paper: Peacock clearly better than S-UpRight and BFT in this setting.
+    assert peak(curves["seemore-peacock"]) > peak(curves["s-upright"])
+    assert peak(curves["seemore-peacock"]) > peak(curves["bft"])
+    assert peak(curves["seemore-lion"]) > peak(curves["s-upright"])
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2c_f4_c1_m3(benchmark, report):
+    curves = benchmark.pedantic(
+        run_curves, args=(1, 3), kwargs={"seed": 23}, rounds=1, iterations=1
+    )
+    _report_panel(report, "Figure 2(c): f=4 (c=1, m=3), 0/0 micro-benchmark", curves)
+
+    # Paper: with many Byzantine failures the SeeMoRe network approaches the
+    # BFT size and CFT pulls ahead of the Lion mode.
+    assert peak(curves["cft"]) >= peak(curves["seemore-lion"]) * 0.95
+    # SeeMoRe still dominates the protocols that ignore failure locality.
+    assert peak(curves["seemore-lion"]) > peak(curves["bft"])
+    assert peak(curves["seemore-dog"]) > peak(curves["bft"])
+    assert peak(curves["seemore-peacock"]) >= 0.9 * peak(curves["s-upright"])
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2d_f4_c3_m1(benchmark, report):
+    curves = benchmark.pedantic(
+        run_curves, args=(3, 1), kwargs={"seed": 24}, rounds=1, iterations=1
+    )
+    _report_panel(report, "Figure 2(d): f=4 (c=3, m=1), 0/0 micro-benchmark", curves)
+
+    # Paper: with many crash failures the public-cloud modes (Dog/Peacock,
+    # only 3m+1 = 4 replicas involved) overtake the Lion mode and reach CFT.
+    assert peak(curves["seemore-dog"]) > 1.05 * peak(curves["seemore-lion"])
+    assert peak(curves["seemore-peacock"]) >= 0.85 * peak(curves["seemore-lion"])
+    assert peak(curves["seemore-dog"]) >= 0.9 * peak(curves["cft"])
+    # And everything still beats BFT.
+    for protocol in ("seemore-lion", "seemore-dog", "seemore-peacock", "cft", "s-upright"):
+        assert peak(curves[protocol]) > peak(curves["bft"])

@@ -1,0 +1,78 @@
+"""Figure 3: effect of request/reply payload sizes (c = m = 1).
+
+Repeats the base-case comparison with the 0/4 micro-benchmark (4 KB replies)
+and the 4/0 micro-benchmark (4 KB requests).  The paper's findings:
+
+* the Lion and Dog modes stay close to CFT, the Peacock mode and S-UpRight
+  stay close to BFT;
+* the request payload hurts every protocol more than the reply payload,
+  because requests are retransmitted between replicas while replies travel
+  only once to the client.
+"""
+
+import pytest
+
+from repro.analysis import format_results_table
+from repro.workload import microbenchmark
+
+from benchmarks.conftest import curve_rows, peak, run_curves
+
+
+def _report_panel(report, title, curves):
+    report.section(title)
+    report.block(
+        format_results_table(
+            curve_rows(curves),
+            columns=[
+                "protocol",
+                "clients",
+                "throughput_kreqs_per_s",
+                "mean_latency_ms",
+                "p99_latency_ms",
+            ],
+        )
+    )
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3a_benchmark_0_4(benchmark, report):
+    curves = benchmark.pedantic(
+        run_curves,
+        args=(1, 1),
+        kwargs={"workload": microbenchmark("0/4"), "seed": 31},
+        rounds=1,
+        iterations=1,
+    )
+    _report_panel(report, "Figure 3(a): 0/4 micro-benchmark (4 KB replies), c=1, m=1", curves)
+
+    assert peak(curves["seemore-lion"]) >= 0.7 * peak(curves["cft"])
+    assert peak(curves["seemore-lion"]) > peak(curves["bft"])
+    assert peak(curves["seemore-dog"]) > peak(curves["s-upright"])
+    assert peak(curves["seemore-peacock"]) >= 0.85 * peak(curves["s-upright"])
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3b_benchmark_4_0(benchmark, report):
+    curves_4_0 = benchmark.pedantic(
+        run_curves,
+        args=(1, 1),
+        kwargs={"workload": microbenchmark("4/0"), "seed": 32},
+        rounds=1,
+        iterations=1,
+    )
+    _report_panel(report, "Figure 3(b): 4/0 micro-benchmark (4 KB requests), c=1, m=1", curves_4_0)
+
+    assert peak(curves_4_0["seemore-lion"]) >= 0.7 * peak(curves_4_0["cft"])
+    assert peak(curves_4_0["seemore-lion"]) > peak(curves_4_0["bft"])
+    assert peak(curves_4_0["seemore-dog"]) > peak(curves_4_0["bft"])
+
+    # Cross-panel comparison: request payloads are replicated to every
+    # replica, so 4/0 costs more than 0/4 for the replica-heavy protocols.
+    curves_0_4 = run_curves(1, 1, workload=microbenchmark("0/4"), seed=31, protocols=("bft",))
+    report.line("")
+    report.line(
+        "request-vs-reply payload check (BFT): "
+        f"peak 0/4 = {peak(curves_0_4['bft']) / 1000:.2f} Kreq/s, "
+        f"peak 4/0 = {peak(curves_4_0['bft']) / 1000:.2f} Kreq/s"
+    )
+    assert peak(curves_4_0["bft"]) <= peak(curves_0_4["bft"]) * 1.05

@@ -1,0 +1,52 @@
+"""Table 1: analytic comparison of fault-tolerant protocols.
+
+Regenerates the paper's Table 1 (communication phases, message complexity,
+receiving network size, quorum size) for the base configuration c = m = 1
+and for each of the Figure 2 scenarios, directly from the protocol
+definitions in :mod:`repro.analysis.comparison`.
+"""
+
+import pytest
+
+from repro.analysis import comparison_table, format_results_table, profile_for
+
+
+SCENARIOS = [(1, 1), (2, 2), (1, 3), (3, 1)]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_protocol_comparison(benchmark, report):
+    def build_tables():
+        return {scenario: comparison_table(*scenario) for scenario in SCENARIOS}
+
+    tables = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+
+    report.section("Table 1: comparison of fault-tolerant protocols")
+    for (crash, byz), rows in tables.items():
+        report.line(f"\n-- c={crash}, m={byz} (CFT/BFT sized for f = c+m = {crash + byz}) --")
+        report.block(format_results_table(rows))
+
+    # Structural assertions straight from Table 1 of the paper.
+    lion, dog, peacock = (
+        profile_for("seemore-lion"),
+        profile_for("seemore-dog"),
+        profile_for("seemore-peacock"),
+    )
+    paxos, pbft, upright = profile_for("cft"), profile_for("bft"), profile_for("s-upright")
+
+    assert lion.phases == paxos.phases == dog.phases == upright.phases == 2
+    assert peacock.phases == pbft.phases == 3
+    assert lion.message_complexity == paxos.message_complexity == "O(n)"
+    assert dog.message_complexity == peacock.message_complexity == "O(n^2)"
+    assert lion.receiving_network == upright.receiving_network == "3m+2c+1"
+    assert dog.receiving_network == peacock.receiving_network == "3m+1"
+    assert lion.quorum_size == upright.quorum_size == "2m+c+1"
+    assert dog.quorum_size == peacock.quorum_size == "2m+1"
+
+    # Concrete sizes for the base case c=m=1 must match the paper's Figure 2(a)
+    # caption: SeeMoRe/S-UpRight = 6, CFT = 5, BFT = 7.
+    base = {row["protocol"]: row for row in tables[(1, 1)]}
+    assert base["Lion"]["receiving_network"].endswith("= 6")
+    assert base["UpRight"]["receiving_network"].endswith("= 6")
+    assert base["Paxos"]["receiving_network"].endswith("= 5")
+    assert base["PBFT"]["receiving_network"].endswith("= 7")

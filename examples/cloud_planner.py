@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Sizing a public-cloud rental (Section 4 of the paper).
+
+Answers the question a small enterprise asks before deploying SeeMoRe:
+*how many servers do I need to rent, from which provider, to tolerate the
+failures I care about?*  The example walks through:
+
+* the worked example from the paper (S=2, c=1, alpha=0.3 -> rent 10 nodes);
+* how the requirement changes with the advertised failure ratio;
+* the explicit-failure-count model;
+* choosing the cheapest allocation across several providers;
+* when renting is pointless (private cloud already sufficient, or provider
+  too unreliable).
+
+Run with:  python examples/cloud_planner.py
+"""
+
+from repro.analysis import format_results_table
+from repro.planner import (
+    InfeasiblePlanError,
+    plan_across_clouds,
+    plan_with_explicit_failures,
+    plan_with_failure_ratio,
+    recommend_plan,
+    rental_is_beneficial,
+)
+from repro.planner.multicloud import PublicCloudOffer
+
+
+def main() -> None:
+    print("=== Public cloud sizing (Section 4) ===\n")
+
+    # --- the paper's worked example ------------------------------------------
+    plan = plan_with_failure_ratio(private_size=2, crash_tolerance=1, malicious_ratio=0.3)
+    print("Paper example: S=2 private servers, c=1, provider advertises alpha=0.3")
+    print(f"  -> rent P={plan.public_nodes} nodes "
+          f"(N={plan.network_size}, tolerates m={plan.byzantine_tolerance} Byzantine failures)\n")
+
+    # --- sensitivity to the provider's failure ratio ----------------------------
+    rows = []
+    for alpha in (0.05, 0.1, 0.2, 0.3):
+        p = plan_with_failure_ratio(2, 1, alpha)
+        rows.append({
+            "alpha": alpha,
+            "rent": p.public_nodes,
+            "network": p.network_size,
+            "tolerated_m": p.byzantine_tolerance,
+        })
+    print("Rental size vs the provider's advertised failure ratio (S=2, c=1):")
+    print(format_results_table(rows))
+    print()
+
+    # --- explicit failure counts --------------------------------------------------
+    explicit = plan_with_explicit_failures(private_size=2, crash_tolerance=1, public_malicious=2)
+    print("Provider instead guarantees at most M=2 concurrent malicious failures:")
+    print(f"  -> rent P={explicit.public_nodes} nodes (N={explicit.network_size})\n")
+
+    # --- multiple providers ----------------------------------------------------------
+    offers = [
+        PublicCloudOffer("budget-cloud", malicious_ratio=0.25, price_per_node=1.0, max_nodes=16),
+        PublicCloudOffer("premium-cloud", malicious_ratio=0.10, price_per_node=2.5, max_nodes=16),
+    ]
+    option = plan_across_clouds(private_size=2, crash_tolerance=1, offers=offers)
+    print("Cheapest allocation across two providers:")
+    print(f"  allocation={option.allocation}  cost={option.total_cost:.1f}  "
+          f"tolerates m={option.byzantine_tolerance}\n")
+
+    # --- when renting makes no sense ---------------------------------------------------
+    print("When is renting beneficial at all?")
+    for private, crash in [(1, 1), (2, 1), (3, 1), (4, 2)]:
+        verdict = "beneficial" if rental_is_beneficial(private, crash) else "not needed / not useful"
+        print(f"  S={private}, c={crash}: {verdict}")
+    local = recommend_plan(5, 2, malicious_ratio=0.1)
+    print(f"\nS=5, c=2 -> {local.rationale}")
+    try:
+        plan_with_failure_ratio(2, 1, malicious_ratio=0.4)
+    except InfeasiblePlanError as error:
+        print(f"alpha=0.4 provider -> rejected: {error}")
+
+
+if __name__ == "__main__":
+    main()

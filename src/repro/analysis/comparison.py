@@ -1,0 +1,115 @@
+"""Analytic protocol comparison (Table 1 of the paper).
+
+Table 1 compares the three SeeMoRe modes with Paxos, PBFT, and UpRight on
+four parameters: communication phases, message complexity, receiving
+network size, and quorum size.  The functions here derive those values from
+the protocol parameters ``m``, ``c``, and ``f`` so the benchmark harness can
+print the table for any configuration, and also compute the *exact* number
+of messages per request used by the message-count ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.modes import Mode
+
+
+@dataclass(frozen=True)
+class ProtocolProfile:
+    """One row of Table 1."""
+
+    protocol: str
+    phases: int
+    message_complexity: str
+    receiving_network: str
+    quorum_size: str
+
+    def as_row(self) -> Dict[str, str]:
+        return {
+            "protocol": self.protocol,
+            "phases": str(self.phases),
+            "messages": self.message_complexity,
+            "receiving_network": self.receiving_network,
+            "quorum_size": self.quorum_size,
+        }
+
+
+_PROFILES: Dict[str, ProtocolProfile] = {
+    "seemore-lion": ProtocolProfile("Lion", 2, "O(n)", "3m+2c+1", "2m+c+1"),
+    "seemore-dog": ProtocolProfile("Dog", 2, "O(n^2)", "3m+1", "2m+1"),
+    "seemore-peacock": ProtocolProfile("Peacock", 3, "O(n^2)", "3m+1", "2m+1"),
+    "cft": ProtocolProfile("Paxos", 2, "O(n)", "2f+1", "f+1"),
+    "bft": ProtocolProfile("PBFT", 3, "O(n^2)", "3f+1", "2f+1"),
+    "s-upright": ProtocolProfile("UpRight", 2, "O(n^2)", "3m+2c+1", "2m+c+1"),
+}
+
+
+def profile_for(protocol: str) -> ProtocolProfile:
+    """The Table 1 row for one protocol (symbolic form)."""
+    try:
+        return _PROFILES[protocol]
+    except KeyError:
+        raise KeyError(f"unknown protocol {protocol!r}; choose one of {sorted(_PROFILES)}") from None
+
+
+def comparison_table(crash_tolerance: int, byzantine_tolerance: int) -> List[Dict[str, str]]:
+    """Table 1 with the symbolic sizes evaluated for concrete ``c`` and ``m``.
+
+    The CFT and BFT baselines are sized to tolerate ``f = c + m`` failures,
+    matching the way the paper configures them in Section 6.
+    """
+    c, m = crash_tolerance, byzantine_tolerance
+    f = c + m
+    concrete = {
+        "seemore-lion": (3 * m + 2 * c + 1, 2 * m + c + 1),
+        "seemore-dog": (3 * m + 1, 2 * m + 1),
+        "seemore-peacock": (3 * m + 1, 2 * m + 1),
+        "cft": (2 * f + 1, f + 1),
+        "bft": (3 * f + 1, 2 * f + 1),
+        "s-upright": (3 * m + 2 * c + 1, 2 * m + c + 1),
+    }
+    rows = []
+    for protocol, profile in _PROFILES.items():
+        network, quorum = concrete[protocol]
+        row = profile.as_row()
+        row["receiving_network"] = f"{profile.receiving_network} = {network}"
+        row["quorum_size"] = f"{profile.quorum_size} = {quorum}"
+        rows.append(row)
+    return rows
+
+
+def messages_per_request(protocol: str, crash_tolerance: int, byzantine_tolerance: int) -> int:
+    """Exact number of protocol messages exchanged per request (normal case).
+
+    Derived from Section 5's message counts:
+
+    * Lion: ``3N`` (prepare to all, accepts back, commit to all);
+    * Dog: ``N + (3m+1)^2 + (3m+1) * N`` (prepare to all, accepts among
+      proxies, commits + informs + replies fan-out);
+    * Peacock: ``N + 2 * (3m+1)^2 + (1+S) * (3m+1)``;
+    * Paxos: ``3N'`` with ``N' = 2f+1``;
+    * PBFT: ``N' + 2 * N'^2`` with ``N' = 3f+1`` (pre-prepare + two all-to-all phases);
+    * S-UpRight: ``N' + 2 * N'^2`` with ``N' = 3m+2c+1``.
+    """
+    c, m = crash_tolerance, byzantine_tolerance
+    f = c + m
+    s = 2 * c
+    n_seemore = 3 * m + 2 * c + 1
+    proxies = 3 * m + 1
+    if protocol == "seemore-lion":
+        return 3 * n_seemore
+    if protocol == "seemore-dog":
+        return n_seemore + proxies * proxies + proxies * n_seemore
+    if protocol == "seemore-peacock":
+        return n_seemore + 2 * proxies * proxies + (1 + s) * proxies
+    if protocol == "cft":
+        return 3 * (2 * f + 1)
+    if protocol == "bft":
+        n = 3 * f + 1
+        return n + 2 * n * n
+    if protocol == "s-upright":
+        n = 3 * m + 2 * c + 1
+        return n + 2 * n * n
+    raise KeyError(f"unknown protocol {protocol!r}")

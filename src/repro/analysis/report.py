@@ -1,0 +1,48 @@
+"""Plain-text formatting of benchmark results.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers keep that formatting in one place so every bench produces a
+consistent, diff-able layout in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def format_results_table(rows: Iterable[Dict], columns: Sequence[str] = ()) -> str:
+    """Render dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no results)"
+    if not columns:
+        columns = list(rows[0].keys())
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, points: Sequence[Tuple[float, float]], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render an (x, y) series as the rows of one figure line."""
+    lines = [f"{title}  ({x_label} vs {y_label})"]
+    for x, y in points:
+        lines.append(f"  {x_label}={x:<12.4f} {y_label}={y:.4f}")
+    return "\n".join(lines)
+
+
+def format_timeline(title: str, bins: Sequence[Tuple[float, float]], time_unit: str = "s") -> str:
+    """Render a throughput timeline (Figure 4 style) as text."""
+    lines = [f"{title}  (time [{time_unit}] vs throughput [req/s])"]
+    for bin_start, value in bins:
+        bar = "#" * max(0, int(value / max(1.0, max(v for _, v in bins)) * 40)) if bins else ""
+        lines.append(f"  t={bin_start:<10.4f} {value:>12.1f}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Baseline protocols the paper compares against (Section 6).
+
+* **CFT / Paxos** — a multi-Paxos-style crash fault-tolerant protocol with a
+  stable leader: 2f+1 replicas, quorum f+1, two phases, O(n) messages.
+* **BFT / PBFT** — Practical Byzantine Fault Tolerance: 3f+1 replicas,
+  quorum 2f+1, three phases, O(n²) messages.
+* **S-UpRight** — the simplified UpRight of the paper's evaluation: the
+  UpRight hybrid sizing (3m+2c+1 replicas, quorum 2m+c+1) running a
+  PBFT-like pessimistic agreement, unaware of *where* crash or Byzantine
+  faults may occur.
+
+All three run on the same substrate (network, crypto, SMR) as SeeMoRe, so
+the benchmark comparisons isolate protocol structure rather than
+implementation differences.
+"""
+
+from repro.baselines.config import BaselineConfig, PaxosConfig, PBFTConfig, UpRightConfig
+from repro.baselines.paxos import PaxosReplica
+from repro.baselines.bft import QuorumBFTReplica
+from repro.baselines.client_config import (
+    paxos_client_config,
+    pbft_client_config,
+    upright_client_config,
+)
+
+__all__ = [
+    "BaselineConfig",
+    "PaxosConfig",
+    "PBFTConfig",
+    "UpRightConfig",
+    "PaxosReplica",
+    "QuorumBFTReplica",
+    "paxos_client_config",
+    "pbft_client_config",
+    "upright_client_config",
+]

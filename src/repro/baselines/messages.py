@@ -1,0 +1,281 @@
+"""Protocol messages used by the baseline protocols.
+
+Paxos messages are unsigned (crash model: channel MACs suffice); the
+BFT-style messages (PBFT and S-UpRight) are signed, matching how the
+original protocols are deployed and how the paper's cost comparison counts
+cryptographic work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.smr.messages import (
+    ProtocolMessage,
+    Request,
+    _DIGEST_BYTES,
+    _HEADER_BYTES,
+    _SIGNATURE_BYTES,
+)
+
+
+# -- Paxos (crash fault tolerant) ------------------------------------------------
+
+
+@dataclass
+class AcceptRequest(ProtocolMessage):
+    """Leader -> replicas: order ``request`` at ``sequence`` (phase 2a)."""
+
+    view: int
+    sequence: int
+    digest: str
+    request: Request
+    signed: bool = False
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "PAXOS-ACCEPT-REQUEST",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _DIGEST_BYTES + self.request.wire_size()
+
+
+@dataclass
+class Accepted(ProtocolMessage):
+    """Replica -> leader: acknowledgement of an AcceptRequest (phase 2b)."""
+
+    view: int
+    sequence: int
+    digest: str
+    replica_id: str
+    signed: bool = False
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "PAXOS-ACCEPTED",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+            "replica": self.replica_id,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _DIGEST_BYTES
+
+
+@dataclass
+class Learn(ProtocolMessage):
+    """Leader -> replicas: the value at ``sequence`` is chosen; execute it."""
+
+    view: int
+    sequence: int
+    digest: str
+    request: Request
+    signed: bool = False
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "PAXOS-LEARN",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _DIGEST_BYTES + self.request.wire_size()
+
+
+# -- PBFT / S-UpRight (Byzantine fault tolerant) --------------------------------------
+
+
+@dataclass
+class BftPrePrepare(ProtocolMessage):
+    """Primary -> replicas: proposal of ``request`` at ``sequence``."""
+
+    view: int
+    sequence: int
+    digest: str
+    request: Request
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "BFT-PRE-PREPARE",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.wire_size()
+
+
+@dataclass
+class BftPrepare(ProtocolMessage):
+    """Replica -> replicas: prepare vote for a pre-prepared proposal."""
+
+    view: int
+    sequence: int
+    digest: str
+    replica_id: str
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "BFT-PREPARE",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+            "replica": self.replica_id,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
+
+
+@dataclass
+class BftCommit(ProtocolMessage):
+    """Replica -> replicas: commit vote after gathering a prepare certificate."""
+
+    view: int
+    sequence: int
+    digest: str
+    replica_id: str
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "BFT-COMMIT",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+            "replica": self.replica_id,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
+
+
+# -- shared: checkpoints and view changes ---------------------------------------------
+
+
+@dataclass
+class BaselineCheckpoint(ProtocolMessage):
+    """Periodic checkpoint message (signed for the BFT-style protocols)."""
+
+    sequence: int
+    state_digest: str
+    replica_id: str
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "BASELINE-CHECKPOINT",
+            "sequence": self.sequence,
+            "state_digest": self.state_digest,
+            "replica": self.replica_id,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
+
+
+@dataclass
+class BaselineEntry:
+    """Per-sequence entry carried in view-change / new-view messages."""
+
+    sequence: int
+    view: int
+    digest: str
+    request: Optional[Request] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"sequence": self.sequence, "view": self.view, "digest": self.digest}
+
+    def wire_size(self) -> int:
+        size = 24 + _DIGEST_BYTES
+        if self.request is not None:
+            size += self.request.wire_size()
+        return size
+
+
+@dataclass
+class BaselineViewChange(ProtocolMessage):
+    """Replica -> all: the primary of the current view is suspected."""
+
+    new_view: int
+    replica_id: str
+    checkpoint_sequence: int
+    prepared: List[BaselineEntry] = field(default_factory=list)
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "BASELINE-VIEW-CHANGE",
+            "new_view": self.new_view,
+            "replica": self.replica_id,
+            "checkpoint_sequence": self.checkpoint_sequence,
+            "prepared": [entry.to_wire() for entry in self.prepared],
+        }
+
+    def wire_size(self) -> int:
+        return (
+            _HEADER_BYTES
+            + _SIGNATURE_BYTES
+            + sum(entry.wire_size() for entry in self.prepared)
+        )
+
+
+@dataclass
+class BaselineNewView(ProtocolMessage):
+    """New primary -> all: install the new view and re-propose pending slots."""
+
+    new_view: int
+    replica_id: str
+    checkpoint_sequence: int
+    prepares: List[BaselineEntry] = field(default_factory=list)
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "BASELINE-NEW-VIEW",
+            "new_view": self.new_view,
+            "replica": self.replica_id,
+            "checkpoint_sequence": self.checkpoint_sequence,
+            "prepares": [entry.to_wire() for entry in self.prepares],
+        }
+
+    def wire_size(self) -> int:
+        return (
+            _HEADER_BYTES
+            + _SIGNATURE_BYTES
+            + sum(entry.wire_size() for entry in self.prepares)
+        )
+
+
+__all__ = [
+    "AcceptRequest",
+    "Accepted",
+    "Learn",
+    "BftPrePrepare",
+    "BftPrepare",
+    "BftCommit",
+    "BaselineCheckpoint",
+    "BaselineEntry",
+    "BaselineViewChange",
+    "BaselineNewView",
+]

@@ -1,0 +1,38 @@
+"""Experiment harness: deployment builders and runners.
+
+This package stands up a complete simulated deployment -- network, replica
+group, clients -- for any protocol in the repository, and runs the
+measurement loops used by the benchmarks:
+
+* :func:`~repro.cluster.builders.build_seemore` and the baseline builders
+  create a :class:`~repro.cluster.deployment.Deployment`;
+* :func:`~repro.cluster.runner.run_deployment` drives it for a stretch of
+  simulated time and returns throughput/latency;
+* :func:`~repro.cluster.runner.sweep_clients` repeats that for increasing
+  client counts, producing the latency-throughput curves of Figures 2-3;
+* :func:`~repro.cluster.runner.run_timeline` produces the per-bin
+  throughput timeline of Figure 4.
+"""
+
+from repro.cluster.deployment import Deployment
+from repro.cluster.builders import (
+    build_paxos,
+    build_pbft,
+    build_seemore,
+    build_upright,
+    builder_for,
+)
+from repro.cluster.runner import RunResult, run_deployment, run_timeline, sweep_clients
+
+__all__ = [
+    "Deployment",
+    "build_seemore",
+    "build_paxos",
+    "build_pbft",
+    "build_upright",
+    "builder_for",
+    "RunResult",
+    "run_deployment",
+    "sweep_clients",
+    "run_timeline",
+]

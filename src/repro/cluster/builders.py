@@ -1,0 +1,391 @@
+"""Deployment builders: one per protocol the paper evaluates.
+
+Each builder stands up a complete simulated deployment -- replicas placed
+into private/public clouds, the network with the requested latency profile,
+key material, and a pool of closed-loop clients -- and returns a
+:class:`~repro.cluster.deployment.Deployment` ready to run.
+
+All builders accept the same experiment knobs so the benchmark harness can
+sweep them uniformly:
+
+* ``num_clients`` — closed-loop clients generating load;
+* ``workload`` — one of the x/y micro-benchmarks or a key-value workload;
+* ``seed`` — drives every random choice (latency jitter, workload keys);
+* ``cross_cloud_latency`` — one-way latency between the two clouds
+  (defaults to the intra-cloud latency, the paper's co-located setting).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.baselines import (
+    PaxosConfig,
+    PaxosReplica,
+    PBFTConfig,
+    QuorumBFTReplica,
+    UpRightConfig,
+    paxos_client_config,
+    pbft_client_config,
+    upright_client_config,
+)
+from repro.cluster.deployment import Deployment
+from repro.core import Mode, SeeMoReConfig, SeeMoReReplica, client_config_for_mode
+from repro.crypto.keys import KeyStore
+from repro.net.costs import NodeCostModel
+from repro.net.latency import CloudAwareLatencyModel
+from repro.net.network import Network
+from repro.net.topology import Cloud, Placement
+from repro.sim.simulator import Simulator
+from repro.smr.client import ClientConfig
+from repro.workload.client_pool import ClientPool
+from repro.workload.generator import Workload, microbenchmark
+from repro.workload.metrics import MetricsCollector
+
+DEFAULT_INTRA_CLOUD_LATENCY = 0.0002
+DEFAULT_CLIENT_LATENCY = 0.0003
+
+
+def _build_fabric(
+    placement: Placement,
+    seed: int,
+    cross_cloud_latency: Optional[float],
+    cost_model: Optional[NodeCostModel],
+) -> tuple:
+    simulator = Simulator()
+    latency = CloudAwareLatencyModel(
+        placement=placement,
+        intra_cloud=DEFAULT_INTRA_CLOUD_LATENCY,
+        cross_cloud=(
+            cross_cloud_latency if cross_cloud_latency is not None else DEFAULT_INTRA_CLOUD_LATENCY
+        ),
+        client_link=DEFAULT_CLIENT_LATENCY,
+    )
+    network = Network(
+        simulator,
+        latency_model=latency,
+        cost_model=cost_model or NodeCostModel(),
+        seed=seed,
+    )
+    return simulator, network
+
+
+def _finish_deployment(
+    protocol: str,
+    simulator: Simulator,
+    network: Network,
+    placement: Placement,
+    keystore: KeyStore,
+    replicas: Dict,
+    client_config: ClientConfig,
+    workload: Workload,
+    num_clients: int,
+    extras: Optional[Dict] = None,
+) -> Deployment:
+    metrics = MetricsCollector()
+    pool = ClientPool(
+        simulator=simulator,
+        network=network,
+        keystore=keystore,
+        placement=placement,
+        client_config=client_config,
+        workload=workload,
+        metrics=metrics,
+    )
+    pool.spawn(num_clients)
+    return Deployment(
+        protocol=protocol,
+        simulator=simulator,
+        network=network,
+        placement=placement,
+        keystore=keystore,
+        replicas=replicas,
+        client_pool=pool,
+        metrics=metrics,
+        extras=extras or {},
+    )
+
+
+# -- SeeMoRe ---------------------------------------------------------------------
+
+
+def build_seemore(
+    crash_tolerance: int = 1,
+    byzantine_tolerance: int = 1,
+    mode: Mode = Mode.LION,
+    workload: Optional[Workload] = None,
+    num_clients: int = 1,
+    seed: int = 0,
+    cross_cloud_latency: Optional[float] = None,
+    checkpoint_period: int = 128,
+    request_timeout: float = 0.02,
+    client_timeout: float = 0.2,
+    cost_model: Optional[NodeCostModel] = None,
+) -> Deployment:
+    """Build a SeeMoRe deployment in the given mode.
+
+    Follows the paper's evaluation layout: ``2c`` replicas in the private
+    cloud and ``3m+1`` in the public cloud (N = 3m+2c+1).
+    """
+    workload = workload or microbenchmark("0/0")
+    config = SeeMoReConfig.build(
+        crash_tolerance,
+        byzantine_tolerance,
+        checkpoint_period=checkpoint_period,
+        request_timeout=request_timeout,
+    )
+    placement = Placement()
+    placement.assign_many(config.private_replicas, Cloud.PRIVATE)
+    placement.assign_many(config.public_replicas, Cloud.PUBLIC)
+
+    simulator, network = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
+    keystore = KeyStore(seed=f"seemore-{seed}")
+    for replica_id in config.all_replicas:
+        keystore.register(replica_id)
+    verifier = keystore.verifier()
+
+    state_machine_factory = workload.state_machine_factory()
+    replicas = {}
+    for replica_id in config.all_replicas:
+        replica = SeeMoReReplica(
+            node_id=replica_id,
+            simulator=simulator,
+            config=config,
+            signer=keystore.signer_for(replica_id),
+            verifier=verifier,
+            state_machine=state_machine_factory(),
+            initial_mode=mode,
+            cost_model=cost_model,
+        )
+        network.register(replica)
+        replicas[replica_id] = replica
+
+    client_config = client_config_for_mode(config, mode, request_timeout=client_timeout)
+    return _finish_deployment(
+        protocol=f"seemore-{mode.name.lower()}",
+        simulator=simulator,
+        network=network,
+        placement=placement,
+        keystore=keystore,
+        replicas=replicas,
+        client_config=client_config,
+        workload=workload,
+        num_clients=num_clients,
+        extras={"config": config, "mode": mode},
+    )
+
+
+# -- baselines --------------------------------------------------------------------------
+
+
+def build_paxos(
+    crash_tolerance: int = 1,
+    byzantine_tolerance: int = 0,
+    workload: Optional[Workload] = None,
+    num_clients: int = 1,
+    seed: int = 0,
+    cross_cloud_latency: Optional[float] = None,
+    checkpoint_period: int = 128,
+    request_timeout: float = 0.02,
+    client_timeout: float = 0.2,
+    cost_model: Optional[NodeCostModel] = None,
+) -> Deployment:
+    """Build the CFT baseline sized to tolerate ``f = c + m`` crash failures.
+
+    The paper configures CFT to tolerate the same *total* number of failures
+    as SeeMoRe, so the builder accepts both tolerances and adds them.
+    """
+    workload = workload or microbenchmark("0/0")
+    fault_tolerance = crash_tolerance + byzantine_tolerance
+    config = PaxosConfig.build(
+        fault_tolerance,
+        checkpoint_period=checkpoint_period,
+        request_timeout=request_timeout,
+    )
+    placement = Placement()
+    placement.assign_many(config.replicas, Cloud.PRIVATE)
+
+    simulator, network = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
+    keystore = KeyStore(seed=f"paxos-{seed}")
+    for replica_id in config.replicas:
+        keystore.register(replica_id)
+    verifier = keystore.verifier()
+
+    state_machine_factory = workload.state_machine_factory()
+    replicas = {}
+    for replica_id in config.replicas:
+        replica = PaxosReplica(
+            node_id=replica_id,
+            simulator=simulator,
+            config=config,
+            signer=keystore.signer_for(replica_id),
+            verifier=verifier,
+            state_machine=state_machine_factory(),
+            cost_model=cost_model,
+        )
+        network.register(replica)
+        replicas[replica_id] = replica
+
+    client_config = paxos_client_config(config, request_timeout=client_timeout)
+    return _finish_deployment(
+        protocol="cft",
+        simulator=simulator,
+        network=network,
+        placement=placement,
+        keystore=keystore,
+        replicas=replicas,
+        client_config=client_config,
+        workload=workload,
+        num_clients=num_clients,
+        extras={"config": config},
+    )
+
+
+def build_pbft(
+    crash_tolerance: int = 0,
+    byzantine_tolerance: int = 1,
+    workload: Optional[Workload] = None,
+    num_clients: int = 1,
+    seed: int = 0,
+    cross_cloud_latency: Optional[float] = None,
+    checkpoint_period: int = 128,
+    request_timeout: float = 0.02,
+    client_timeout: float = 0.2,
+    cost_model: Optional[NodeCostModel] = None,
+) -> Deployment:
+    """Build the BFT baseline sized to tolerate ``f = c + m`` Byzantine failures."""
+    workload = workload or microbenchmark("0/0")
+    fault_tolerance = crash_tolerance + byzantine_tolerance
+    config = PBFTConfig.build(
+        fault_tolerance,
+        checkpoint_period=checkpoint_period,
+        request_timeout=request_timeout,
+    )
+    placement = Placement()
+    placement.assign_many(config.replicas, Cloud.PUBLIC)
+
+    simulator, network = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
+    keystore = KeyStore(seed=f"pbft-{seed}")
+    for replica_id in config.replicas:
+        keystore.register(replica_id)
+    verifier = keystore.verifier()
+
+    state_machine_factory = workload.state_machine_factory()
+    replicas = {}
+    for replica_id in config.replicas:
+        replica = QuorumBFTReplica(
+            node_id=replica_id,
+            simulator=simulator,
+            config=config,
+            signer=keystore.signer_for(replica_id),
+            verifier=verifier,
+            state_machine=state_machine_factory(),
+            cost_model=cost_model,
+        )
+        network.register(replica)
+        replicas[replica_id] = replica
+
+    client_config = pbft_client_config(config, request_timeout=client_timeout)
+    return _finish_deployment(
+        protocol="bft",
+        simulator=simulator,
+        network=network,
+        placement=placement,
+        keystore=keystore,
+        replicas=replicas,
+        client_config=client_config,
+        workload=workload,
+        num_clients=num_clients,
+        extras={"config": config},
+    )
+
+
+def build_upright(
+    crash_tolerance: int = 1,
+    byzantine_tolerance: int = 1,
+    workload: Optional[Workload] = None,
+    num_clients: int = 1,
+    seed: int = 0,
+    cross_cloud_latency: Optional[float] = None,
+    checkpoint_period: int = 128,
+    request_timeout: float = 0.02,
+    client_timeout: float = 0.2,
+    cost_model: Optional[NodeCostModel] = None,
+) -> Deployment:
+    """Build the S-UpRight baseline (hybrid sizing, PBFT-like agreement)."""
+    workload = workload or microbenchmark("0/0")
+    config = UpRightConfig.build(
+        crash_tolerance,
+        byzantine_tolerance,
+        checkpoint_period=checkpoint_period,
+        request_timeout=request_timeout,
+    )
+    placement = Placement()
+    # UpRight does not localise fault types; mimic the paper's layout by
+    # putting 2c nodes alongside the private cloud and the rest in public,
+    # which only matters when the cross-cloud latency is raised.
+    private_count = 2 * crash_tolerance
+    placement.assign_many(config.replicas[:private_count], Cloud.PRIVATE)
+    placement.assign_many(config.replicas[private_count:], Cloud.PUBLIC)
+
+    simulator, network = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
+    keystore = KeyStore(seed=f"upright-{seed}")
+    for replica_id in config.replicas:
+        keystore.register(replica_id)
+    verifier = keystore.verifier()
+
+    state_machine_factory = workload.state_machine_factory()
+    replicas = {}
+    for replica_id in config.replicas:
+        replica = QuorumBFTReplica(
+            node_id=replica_id,
+            simulator=simulator,
+            config=config,
+            signer=keystore.signer_for(replica_id),
+            verifier=verifier,
+            state_machine=state_machine_factory(),
+            cost_model=cost_model,
+        )
+        network.register(replica)
+        replicas[replica_id] = replica
+
+    client_config = upright_client_config(config, request_timeout=client_timeout)
+    return _finish_deployment(
+        protocol="s-upright",
+        simulator=simulator,
+        network=network,
+        placement=placement,
+        keystore=keystore,
+        replicas=replicas,
+        client_config=client_config,
+        workload=workload,
+        num_clients=num_clients,
+        extras={"config": config},
+    )
+
+
+# -- registry ---------------------------------------------------------------------------------
+
+
+_BUILDERS: Dict[str, Callable[..., Deployment]] = {
+    "seemore-lion": lambda **kwargs: build_seemore(mode=Mode.LION, **kwargs),
+    "seemore-dog": lambda **kwargs: build_seemore(mode=Mode.DOG, **kwargs),
+    "seemore-peacock": lambda **kwargs: build_seemore(mode=Mode.PEACOCK, **kwargs),
+    "cft": build_paxos,
+    "bft": build_pbft,
+    "s-upright": build_upright,
+}
+
+
+def builder_for(protocol: str) -> Callable[..., Deployment]:
+    """Look up a deployment builder by protocol name.
+
+    Valid names: ``seemore-lion``, ``seemore-dog``, ``seemore-peacock``,
+    ``cft``, ``bft``, ``s-upright``.
+    """
+    try:
+        return _BUILDERS[protocol]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {protocol!r}; choose one of {sorted(_BUILDERS)}"
+        ) from None

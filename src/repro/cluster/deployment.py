@@ -1,0 +1,97 @@
+"""A fully wired simulated deployment of one replication protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.crypto.keys import KeyStore
+from repro.net.network import Network
+from repro.net.topology import Placement
+from repro.sim.simulator import Simulator
+from repro.smr.ledger import CommitLedger, find_safety_violations
+from repro.smr.replica import ReplicaBase
+from repro.workload.client_pool import ClientPool
+from repro.workload.metrics import MetricsCollector
+
+
+@dataclass
+class Deployment:
+    """Everything needed to run one experiment.
+
+    Attributes:
+        protocol: human-readable protocol name (``"seemore-lion"``, ``"pbft"``...).
+        simulator: the discrete-event simulator owning time.
+        network: the message fabric connecting replicas and clients.
+        placement: cloud placement of every node.
+        keystore: key material for all nodes.
+        replicas: replica id -> replica object.
+        client_pool: the closed-loop clients driving load.
+        metrics: shared completion collector.
+        faulty_replicas: ids of replicas an experiment made faulty (crashed or
+            Byzantine); excluded from safety checks.
+        extras: protocol-specific configuration (e.g. the SeeMoRe config).
+    """
+
+    protocol: str
+    simulator: Simulator
+    network: Network
+    placement: Placement
+    keystore: KeyStore
+    replicas: Dict[str, ReplicaBase]
+    client_pool: ClientPool
+    metrics: MetricsCollector
+    faulty_replicas: set = field(default_factory=set)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def clients(self) -> List:
+        return self.client_pool.clients
+
+    def replica(self, replica_id: str) -> ReplicaBase:
+        return self.replicas[replica_id]
+
+    def correct_replicas(self) -> List[ReplicaBase]:
+        """Replicas that are neither crashed nor designated faulty."""
+        return [
+            replica
+            for replica_id, replica in sorted(self.replicas.items())
+            if replica_id not in self.faulty_replicas and not replica.crashed
+        ]
+
+    def correct_ledgers(self) -> List[CommitLedger]:
+        return [replica.ledger for replica in self.correct_replicas()]
+
+    def mark_faulty(self, replica_id: str) -> None:
+        if replica_id not in self.replicas:
+            raise KeyError(f"unknown replica: {replica_id!r}")
+        self.faulty_replicas.add(replica_id)
+
+    # -- invariants --------------------------------------------------------------
+
+    def safety_violations(self) -> List:
+        """Conflicting commits among correct replicas (must always be empty)."""
+        return find_safety_violations(self.correct_ledgers())
+
+    def assert_safe(self) -> None:
+        violations = self.safety_violations()
+        if violations:
+            raise AssertionError(
+                f"{self.protocol}: safety violated in {len(violations)} slot(s); "
+                f"first conflict: {violations[0]}"
+            )
+
+    def total_completed(self) -> int:
+        return self.metrics.completed
+
+    def start_clients(self) -> None:
+        self.client_pool.start_all()
+
+    def stop_clients(self) -> None:
+        self.client_pool.stop_all()
+
+    def run(self, duration: float) -> float:
+        """Advance simulated time by ``duration`` seconds."""
+        return self.simulator.run(until=self.simulator.now + duration)

@@ -1,0 +1,147 @@
+"""Experiment runners.
+
+These functions implement the measurement methodology of Section 6:
+
+* :func:`run_deployment` — start the clients, run for a stretch of
+  simulated time, discard a warm-up window, and report throughput and
+  latency over the measurement window;
+* :func:`sweep_clients` — repeat that for increasing client counts to trace
+  one latency-vs-throughput curve (one line of Figures 2 and 3);
+* :func:`run_timeline` — run with an optional fault schedule and report
+  throughput per time bin (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.deployment import Deployment
+from repro.workload.metrics import LatencySummary
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one measured run of one deployment."""
+
+    protocol: str
+    clients: int
+    duration: float
+    completed: int
+    throughput: float
+    latency: LatencySummary
+    client_timeouts: int
+    safety_violations: int
+
+    @property
+    def throughput_kreqs(self) -> float:
+        """Throughput in thousands of requests per second (the paper's unit)."""
+        return self.throughput / 1000.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean latency in milliseconds (the paper's unit)."""
+        return self.latency.mean * 1000.0
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict used by the benchmark harness to print tables."""
+        return {
+            "protocol": self.protocol,
+            "clients": self.clients,
+            "throughput_kreqs_per_s": round(self.throughput_kreqs, 3),
+            "mean_latency_ms": round(self.mean_latency_ms, 3),
+            "p99_latency_ms": round(self.latency.p99 * 1000.0, 3),
+            "completed": self.completed,
+            "timeouts": self.client_timeouts,
+        }
+
+
+def run_deployment(
+    deployment: Deployment,
+    duration: float = 2.0,
+    warmup: float = 0.2,
+    check_safety: bool = True,
+) -> RunResult:
+    """Run a deployment under client load and measure the steady state.
+
+    Args:
+        deployment: a freshly built deployment (clients not yet started).
+        duration: measured window of simulated seconds (after warm-up).
+        warmup: simulated seconds of load discarded before measuring.
+        check_safety: verify that correct replicas' ledgers agree afterwards.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive: {duration}")
+    simulator = deployment.simulator
+    deployment.start_clients()
+    start = simulator.now
+    simulator.run(until=start + warmup)
+    measure_start = simulator.now
+    simulator.run(until=measure_start + duration)
+    measure_end = simulator.now
+    deployment.stop_clients()
+
+    metrics = deployment.metrics
+    throughput = metrics.throughput(start=measure_start, end=measure_end)
+    latency = metrics.latency(start=measure_start, end=measure_end)
+    violations = deployment.safety_violations() if check_safety else []
+    if check_safety and violations:
+        raise AssertionError(
+            f"{deployment.protocol}: safety violated during the run: {violations[:3]}"
+        )
+    return RunResult(
+        protocol=deployment.protocol,
+        clients=len(deployment.clients),
+        duration=measure_end - measure_start,
+        completed=metrics.completed,
+        throughput=throughput,
+        latency=latency,
+        client_timeouts=deployment.client_pool.total_timeouts,
+        safety_violations=len(violations),
+    )
+
+
+def sweep_clients(
+    builder: Callable[..., Deployment],
+    client_counts: Sequence[int],
+    duration: float = 1.0,
+    warmup: float = 0.2,
+    **builder_kwargs,
+) -> List[RunResult]:
+    """Trace a latency-throughput curve by sweeping the client count."""
+    results = []
+    for count in client_counts:
+        deployment = builder(num_clients=count, **builder_kwargs)
+        results.append(run_deployment(deployment, duration=duration, warmup=warmup))
+    return results
+
+
+def peak_throughput(results: Sequence[RunResult]) -> float:
+    """The highest throughput (requests/second) observed along a curve."""
+    return max((result.throughput for result in results), default=0.0)
+
+
+def run_timeline(
+    deployment: Deployment,
+    duration: float,
+    bin_width: float,
+    fault_schedule: Optional[Sequence[Tuple[float, Callable[[Deployment], None]]]] = None,
+) -> List[Tuple[float, float]]:
+    """Run a deployment and report throughput per time bin (Figure 4).
+
+    Args:
+        deployment: a freshly built deployment.
+        duration: total simulated time to run.
+        bin_width: width of each throughput bin in simulated seconds.
+        fault_schedule: optional list of ``(at_time, action)`` pairs; each
+            action is called with the deployment when simulated time reaches
+            ``at_time`` (e.g. crash the primary).
+    """
+    simulator = deployment.simulator
+    start = simulator.now
+    for at_time, action in fault_schedule or []:
+        simulator.call_at(start + at_time, lambda action=action: action(deployment))
+    deployment.start_clients()
+    simulator.run(until=start + duration)
+    deployment.stop_clients()
+    return deployment.metrics.timeline(bin_width=bin_width, start=start, end=start + duration)

@@ -1,0 +1,30 @@
+"""SeeMoRe: the paper's primary contribution.
+
+This package implements the hybrid crash/Byzantine state machine
+replication protocol of Section 5 in its three modes:
+
+* **Lion** — trusted primary in the private cloud; two communication
+  phases, O(n) messages, network 3m+2c+1, quorum 2m+c+1.
+* **Dog** — trusted primary, but agreement delegated to 3m+1 *proxies* in
+  the public cloud; two phases, O(n²) messages among proxies, quorum 2m+1.
+* **Peacock** — untrusted primary; PBFT-style three-phase agreement among
+  3m+1 public-cloud proxies, with view changes driven by a trusted
+  *transferer* in the private cloud.
+
+plus the checkpointing/state-transfer machinery, per-mode view changes, and
+the dynamic mode-switching technique of Section 5.4.
+"""
+
+from repro.core.modes import Mode
+from repro.core.config import SeeMoReConfig
+from repro.core.replica import SeeMoReReplica
+from repro.core.client_config import client_config_for_mode
+from repro.core import messages
+
+__all__ = [
+    "Mode",
+    "SeeMoReConfig",
+    "SeeMoReReplica",
+    "client_config_for_mode",
+    "messages",
+]

@@ -1,0 +1,76 @@
+"""Client-side configuration for each SeeMoRe mode.
+
+The paper's client behaviour differs per mode:
+
+* **Lion** — send to the trusted primary and accept its single signed
+  reply; after a timeout, broadcast to all replicas and accept either one
+  reply from the private cloud or m+1 matching replies from the public
+  cloud.
+* **Dog** — send to the trusted primary; accept 2m+1 matching replies from
+  the proxies; after a timeout, retransmit to the proxies and accept m+1
+  matching replies.
+* **Peacock** — send to the untrusted primary; accept m+1 matching replies
+  from the proxies (PBFT's rule); retransmission goes to the proxies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.core.config import SeeMoReConfig
+from repro.core.modes import Mode
+from repro.smr.client import ClientConfig
+
+
+def _mode_from_id(mode_id: int, fallback: Mode) -> Mode:
+    try:
+        return Mode(mode_id)
+    except ValueError:
+        return fallback
+
+
+def client_config_for_mode(
+    config: SeeMoReConfig,
+    mode: Mode,
+    request_timeout: float = 0.2,
+) -> ClientConfig:
+    """Build the :class:`~repro.smr.client.ClientConfig` for ``mode``.
+
+    The returned config is *mode aware*: if the deployment later switches
+    modes dynamically, the client follows the mode reported in replies and
+    applies that mode's reply quorum and primary selection.
+    """
+    m = config.byzantine_tolerance
+
+    def request_targets(view: int, mode_id: int) -> List[str]:
+        current = _mode_from_id(mode_id, mode)
+        return [config.primary_of_view(view, current)]
+
+    def retransmit_targets(view: int, mode_id: int) -> List[str]:
+        current = _mode_from_id(mode_id, mode)
+        if current is Mode.LION:
+            return list(config.all_replicas)
+        return config.proxies_of_view(view, current)
+
+    replies_by_mode: Dict[int, int] = {
+        int(Mode.LION): config.client_reply_quorum(Mode.LION),
+        int(Mode.DOG): config.client_reply_quorum(Mode.DOG),
+        int(Mode.PEACOCK): config.client_reply_quorum(Mode.PEACOCK),
+    }
+    trusted_by_mode: Dict[int, FrozenSet[str]] = {
+        int(Mode.LION): frozenset(config.private_replicas),
+        int(Mode.DOG): frozenset(),
+        int(Mode.PEACOCK): frozenset(),
+    }
+
+    return ClientConfig(
+        request_targets=request_targets,
+        replies_needed=config.client_reply_quorum(mode),
+        trusted_replicas=trusted_by_mode[int(mode)],
+        retransmit_targets=retransmit_targets,
+        retransmit_replies_needed=m + 1,
+        request_timeout=request_timeout,
+        initial_mode=int(mode),
+        replies_by_mode=replies_by_mode,
+        trusted_by_mode=trusted_by_mode,
+    )

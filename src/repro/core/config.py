@@ -1,0 +1,240 @@
+"""Deployment configuration for a SeeMoRe replica group.
+
+The configuration captures the hybrid cloud layout (which replicas are in
+the trusted private cloud and which in the untrusted public cloud), the
+fault thresholds ``c`` and ``m``, and the role functions of Section 5:
+
+* ``primary_of_view(v)`` — the primary of view ``v`` in each mode;
+* ``proxies_of_view(v)`` — the 3m+1 public replicas doing agreement in the
+  Dog and Peacock modes;
+* ``transferer_of_view(v)`` — the trusted replica that drives Peacock view
+  changes;
+
+together with the quorum sizes of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.core.modes import Mode
+from repro.planner.sizing import hybrid_network_size, hybrid_quorum_size
+
+
+@dataclass(frozen=True)
+class SeeMoReConfig:
+    """Static configuration shared by every replica and client.
+
+    Attributes:
+        private_replicas: trusted replica ids, in identifier order
+            (paper identifiers ``0 .. S-1``).
+        public_replicas: untrusted replica ids, in identifier order
+            (paper identifiers ``S .. N-1``).
+        crash_tolerance: ``c``, maximum crash failures in the private cloud.
+        byzantine_tolerance: ``m``, maximum Byzantine failures in the public
+            cloud.
+        checkpoint_period: a checkpoint is taken every this many executed
+            requests.
+        request_timeout: view-change timeout ``τ`` (seconds of simulated
+            time a backup waits for a commit after seeing a prepare).
+        view_change_timeout: how long to wait for a new-view before
+            suspecting the *next* primary as well.
+    """
+
+    private_replicas: Tuple[str, ...]
+    public_replicas: Tuple[str, ...]
+    crash_tolerance: int
+    byzantine_tolerance: int
+    checkpoint_period: int = 128
+    request_timeout: float = 0.02
+    view_change_timeout: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.crash_tolerance < 0 or self.byzantine_tolerance < 0:
+            raise ValueError("fault tolerances cannot be negative")
+        if not self.private_replicas:
+            raise ValueError("SeeMoRe requires at least one trusted replica for the primary")
+        if self.crash_tolerance >= len(self.private_replicas) and self.crash_tolerance > 0:
+            raise ValueError(
+                f"private cloud of {len(self.private_replicas)} replicas cannot tolerate "
+                f"c={self.crash_tolerance} crashes"
+            )
+        overlap = set(self.private_replicas) & set(self.public_replicas)
+        if overlap:
+            raise ValueError(f"replicas cannot be in both clouds: {sorted(overlap)}")
+        if self.network_size < self.minimum_network_size:
+            raise ValueError(
+                f"network of {self.network_size} replicas is below the minimum "
+                f"3m+2c+1 = {self.minimum_network_size}"
+            )
+        if len(self.public_replicas) < self.proxy_count and self.byzantine_tolerance > 0:
+            raise ValueError(
+                f"public cloud of {len(self.public_replicas)} replicas cannot host "
+                f"3m+1 = {self.proxy_count} proxies"
+            )
+        if self.checkpoint_period < 1:
+            raise ValueError("checkpoint period must be at least 1")
+
+    # -- factory ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        crash_tolerance: int,
+        byzantine_tolerance: int,
+        private_size: int = 0,
+        public_size: int = 0,
+        **overrides,
+    ) -> "SeeMoReConfig":
+        """Create a config with generated replica names.
+
+        By default uses the paper's evaluation layout: ``2c`` replicas in
+        the private cloud and ``3m+1`` in the public cloud, for a total of
+        exactly ``3m + 2c + 1``.
+        """
+        if private_size <= 0:
+            private_size = max(1, 2 * crash_tolerance)
+        if public_size <= 0:
+            public_size = 3 * byzantine_tolerance + 1
+        private = tuple(f"private-{index}" for index in range(private_size))
+        public = tuple(f"public-{index}" for index in range(public_size))
+        return cls(
+            private_replicas=private,
+            public_replicas=public,
+            crash_tolerance=crash_tolerance,
+            byzantine_tolerance=byzantine_tolerance,
+            **overrides,
+        )
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def private_size(self) -> int:
+        """``S`` in the paper."""
+        return len(self.private_replicas)
+
+    @property
+    def public_size(self) -> int:
+        """``P`` in the paper."""
+        return len(self.public_replicas)
+
+    @property
+    def network_size(self) -> int:
+        """``N = S + P``."""
+        return self.private_size + self.public_size
+
+    @property
+    def minimum_network_size(self) -> int:
+        """``3m + 2c + 1`` (Equation 1)."""
+        return hybrid_network_size(self.byzantine_tolerance, self.crash_tolerance)
+
+    @property
+    def proxy_count(self) -> int:
+        """``3m + 1`` proxies used by the Dog and Peacock modes."""
+        return 3 * self.byzantine_tolerance + 1
+
+    @property
+    def all_replicas(self) -> Tuple[str, ...]:
+        return self.private_replicas + self.public_replicas
+
+    def is_trusted(self, replica_id: str) -> bool:
+        return replica_id in self.private_replicas
+
+    # -- quorums (Table 1) ------------------------------------------------------
+
+    def quorum_size(self, mode: Mode) -> int:
+        """Matching votes needed to commit a request in ``mode``."""
+        if mode is Mode.LION:
+            return hybrid_quorum_size(self.byzantine_tolerance, self.crash_tolerance)
+        return 2 * self.byzantine_tolerance + 1
+
+    def accept_quorum(self, mode: Mode) -> int:
+        """Votes (including the collector's own) needed in the accept phase."""
+        return self.quorum_size(mode)
+
+    def commit_quorum(self, mode: Mode) -> int:
+        """Matching commit votes a Peacock proxy needs to commit."""
+        return 2 * self.byzantine_tolerance + 1
+
+    def inform_quorum(self, mode: Mode) -> int:
+        """Matching inform messages a passive replica waits for before executing."""
+        if mode is Mode.DOG:
+            return 2 * self.byzantine_tolerance + 1
+        return self.byzantine_tolerance + 1
+
+    def view_change_quorum(self, mode: Mode) -> int:
+        """View-change messages (including the collector's own) needed for a new view."""
+        if mode is Mode.LION:
+            return hybrid_quorum_size(self.byzantine_tolerance, self.crash_tolerance)
+        return 2 * self.byzantine_tolerance + 1
+
+    def client_reply_quorum(self, mode: Mode) -> int:
+        """Matching replies a client needs in the normal case."""
+        if mode is Mode.LION:
+            return 1
+        if mode is Mode.DOG:
+            return 2 * self.byzantine_tolerance + 1
+        return self.byzantine_tolerance + 1
+
+    def client_retransmit_reply_quorum(self, mode: Mode) -> int:
+        """Matching replies needed after a client retransmission."""
+        return self.byzantine_tolerance + 1
+
+    # -- roles --------------------------------------------------------------------
+
+    def primary_of_view(self, view: int, mode: Mode) -> str:
+        """The primary of ``view`` under ``mode`` (Section 5 role functions)."""
+        if view < 0:
+            raise ValueError(f"view numbers are non-negative: {view}")
+        if mode.has_trusted_primary:
+            return self.private_replicas[view % self.private_size]
+        if not self.public_replicas:
+            raise ValueError("the Peacock mode requires at least one public-cloud replica")
+        return self.public_replicas[view % self.public_size]
+
+    def transferer_of_view(self, view: int) -> str:
+        """The trusted transferer that installs Peacock view ``view``."""
+        if view < 0:
+            raise ValueError(f"view numbers are non-negative: {view}")
+        return self.private_replicas[view % self.private_size]
+
+    def proxies_of_view(self, view: int, mode: Mode) -> List[str]:
+        """The 3m+1 public-cloud proxies of ``view`` (Dog and Peacock modes).
+
+        A public replica with public-cloud index ``j`` is a proxy when
+        ``(j - (v mod P)) mod P <= 3m``, which rotates the proxy set with
+        the view and always makes the Peacock primary a proxy.
+        """
+        if not mode.uses_proxies or not self.public_replicas:
+            return []
+        offset = view % self.public_size
+        proxies = [
+            replica_id
+            for index, replica_id in enumerate(self.public_replicas)
+            if (index - offset) % self.public_size <= 3 * self.byzantine_tolerance
+        ]
+        return proxies[: self.proxy_count]
+
+    def is_proxy(self, replica_id: str, view: int, mode: Mode) -> bool:
+        return replica_id in self.proxies_of_view(view, mode)
+
+    def participants(self, view: int, mode: Mode) -> List[str]:
+        """Replicas that actively vote in the agreement of ``view``."""
+        if mode is Mode.LION:
+            return list(self.all_replicas)
+        proxies = self.proxies_of_view(view, mode)
+        if mode is Mode.DOG:
+            return [self.primary_of_view(view, mode)] + proxies
+        return proxies
+
+    def passive_replicas(self, view: int, mode: Mode) -> List[str]:
+        """Replicas that only learn results via inform messages in ``view``."""
+        participants = set(self.participants(view, mode))
+        return [replica for replica in self.all_replicas if replica not in participants]
+
+    def receiving_network_size(self, mode: Mode) -> int:
+        """Replicas that receive a client request's ordering messages (Table 1)."""
+        if mode is Mode.LION:
+            return self.minimum_network_size
+        return self.proxy_count

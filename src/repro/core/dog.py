@@ -1,0 +1,199 @@
+"""The Dog mode: trusted primary, untrusted proxies (Section 5.2).
+
+Normal-case flow (Algorithm 2):
+
+1. the client sends its request to the trusted primary;
+2. the primary assigns a sequence number and multicasts a signed
+   ``PREPARE`` (carrying the request) to *all* replicas -- this is its only
+   involvement, which is what off-loads the private cloud;
+3. each of the 3m+1 public-cloud *proxies* multicasts a signed ``ACCEPT``
+   to the other proxies;
+4. a proxy with 2m+1 matching accepts (counting its own) multicasts a
+   ``COMMIT`` to the other proxies, sends a signed ``INFORM`` to every
+   passive replica (private cloud nodes and non-proxy public nodes),
+   executes, and replies to the client;
+5. a proxy that instead first gathers m+1 matching commits also commits;
+6. passive replicas execute once they hold the primary's prepare plus 2m+1
+   matching informs from different proxies.
+
+Sequence numbers still come from the trusted primary, so the Dog mode keeps
+the two-phase structure of the Lion mode while moving the quadratic message
+exchange into the public cloud.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import messages as msgs
+from repro.core.modes import Mode
+from repro.core.strategy_base import ModeStrategy
+from repro.smr.messages import Request
+from repro.smr.replica import request_digest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.replica import SeeMoReReplica
+
+
+class DogStrategy(ModeStrategy):
+    """Agreement logic of the Dog mode."""
+
+    mode = Mode.DOG
+
+    # -- roles ----------------------------------------------------------------
+
+    def replies_to_client(self, replica: "SeeMoReReplica") -> bool:
+        return replica.is_proxy()
+
+    def is_agreement_participant(self, replica: "SeeMoReReplica") -> bool:
+        return replica.is_primary() or replica.is_proxy()
+
+    # -- request handling --------------------------------------------------------
+
+    def on_request(self, replica: "SeeMoReReplica", src: str, request: Request) -> None:
+        if not replica.is_primary():
+            self.handle_retransmission_or_forward(replica, src, request)
+            return
+        if replica.resend_cached_reply(request, mode_id=int(self.mode)):
+            return
+        if not replica.request_is_valid(request):
+            return
+        if replica.already_assigned(request):
+            return
+
+        sequence = replica.allocate_sequence()
+        if sequence is None:
+            return
+        digest = request_digest(request)
+        prepare = msgs.Prepare(
+            view=replica.view,
+            sequence=sequence,
+            digest=digest,
+            request=request,
+            mode=int(self.mode),
+        )
+        prepare.sign(replica.signer)
+        replica.prepare_slot(sequence, digest, request, prepare)
+        replica.mark_assigned(request, sequence)
+        replica.multicast(replica.other_replicas(), prepare)
+
+    # -- prepare / accept / commit / inform ----------------------------------------
+
+    def on_prepare(self, replica: "SeeMoReReplica", src: str, message: msgs.Prepare) -> None:
+        if not replica.accepts_ordering_from(src, message.view, message.mode):
+            return
+        if not message.verify(replica.verifier, expected_signer=src):
+            return
+        if not replica.in_watermark_window(message.sequence):
+            return
+        if message.digest != request_digest(message.request):
+            return
+
+        # Trusted primary: adopt its assignment even over stale slot content.
+        slot = replica.prepare_slot(
+            message.sequence, message.digest, message.request, message, force=True
+        )
+        replica.start_request_timer()
+        if not replica.is_proxy():
+            # Passive replicas only log the request and wait for informs.
+            return
+
+        accept = msgs.Accept(
+            view=message.view,
+            sequence=message.sequence,
+            digest=message.digest,
+            replica_id=replica.node_id,
+            mode=int(self.mode),
+            signed=True,
+        )
+        accept.sign(replica.signer)
+        slot.record_vote("accept", replica.node_id, accept, message.digest)
+        replica.multicast(replica.other_proxies(), accept)
+        self._maybe_commit_from_accepts(replica, slot)
+
+    def on_accept(self, replica: "SeeMoReReplica", src: str, message: msgs.Accept) -> None:
+        if not replica.is_proxy():
+            return
+        if not replica.valid_view(message.view):
+            return
+        if src not in replica.current_proxies():
+            return
+        if not message.verify(replica.verifier, expected_signer=src):
+            return
+
+        slot = replica.slots.slot(message.sequence)
+        slot.record_vote("accept", src, message, message.digest)
+        if slot.digest is None or slot.request is None:
+            # Still waiting for the primary's prepare; the vote is banked.
+            return
+        self._maybe_commit_from_accepts(replica, slot)
+
+    def _maybe_commit_from_accepts(self, replica: "SeeMoReReplica", slot) -> None:
+        if slot.committed or slot.digest is None or slot.request is None:
+            return
+        if slot.vote_count("accept") < replica.config.accept_quorum(self.mode):
+            return
+
+        commit = msgs.Commit(
+            view=replica.view,
+            sequence=slot.sequence,
+            digest=slot.digest,
+            replica_id=replica.node_id,
+            mode=int(self.mode),
+            request=None,
+        )
+        commit.sign(replica.signer)
+        replica.multicast(replica.other_proxies(), commit)
+        self._send_informs(replica, slot)
+        replica.finalize_commit(slot, send_reply=True)
+
+    def on_commit(self, replica: "SeeMoReReplica", src: str, message: msgs.Commit) -> None:
+        if not replica.is_proxy():
+            return
+        if not replica.valid_view(message.view):
+            return
+        if src not in replica.current_proxies():
+            return
+        if not message.verify(replica.verifier, expected_signer=src):
+            return
+
+        slot = replica.slots.slot(message.sequence)
+        count = slot.record_vote("commit", src, message, message.digest)
+        if slot.committed or slot.request is None or slot.digest != message.digest:
+            return
+        # A slow proxy catches up from m+1 matching commits by other proxies.
+        if count >= replica.config.byzantine_tolerance + 1:
+            self._send_informs(replica, slot)
+            replica.finalize_commit(slot, send_reply=True)
+
+    def on_inform(self, replica: "SeeMoReReplica", src: str, message: msgs.Inform) -> None:
+        if replica.is_proxy():
+            return
+        if not replica.valid_view(message.view):
+            return
+        if src not in replica.current_proxies():
+            return
+        if not message.verify(replica.verifier, expected_signer=src):
+            return
+
+        slot = replica.slots.slot(message.sequence)
+        count = slot.record_vote("inform", src, message, message.digest)
+        if slot.committed or slot.request is None:
+            return
+        if slot.digest is not None and slot.digest != message.digest:
+            return
+        if count >= replica.config.inform_quorum(self.mode):
+            replica.finalize_commit(slot, send_reply=False)
+
+    def _send_informs(self, replica: "SeeMoReReplica", slot) -> None:
+        inform = msgs.Inform(
+            view=replica.view,
+            sequence=slot.sequence,
+            digest=slot.digest,
+            replica_id=replica.node_id,
+            mode=int(self.mode),
+        )
+        inform.sign(replica.signer)
+        targets = replica.inform_targets()
+        if targets:
+            replica.multicast(targets, inform)

@@ -1,0 +1,141 @@
+"""The Lion mode: trusted primary, all replicas participate (Section 5.1).
+
+Normal-case flow (Algorithm 1):
+
+1. the client sends its request to the trusted primary;
+2. the primary assigns a sequence number and multicasts a signed
+   ``PREPARE`` (carrying the request) to every replica;
+3. every replica answers the primary with an unsigned ``ACCEPT``;
+4. the primary, upon 2m+c accepts from different replicas (2m+c+1 counting
+   itself), multicasts a signed ``COMMIT`` carrying the request, executes,
+   and replies to the client;
+5. replicas execute on receipt of the primary's ``COMMIT``.
+
+Because the primary is trusted, no replica-to-replica phase is needed to
+detect equivocation: two phases and a linear number of messages suffice.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import messages as msgs
+from repro.core.modes import Mode
+from repro.core.strategy_base import ModeStrategy
+from repro.smr.messages import Request
+from repro.smr.replica import request_digest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.replica import SeeMoReReplica
+
+
+class LionStrategy(ModeStrategy):
+    """Agreement logic of the Lion mode."""
+
+    mode = Mode.LION
+
+    # -- roles ----------------------------------------------------------------
+
+    def replies_to_client(self, replica: "SeeMoReReplica") -> bool:
+        return replica.is_primary()
+
+    def is_agreement_participant(self, replica: "SeeMoReReplica") -> bool:
+        return True
+
+    # -- request handling --------------------------------------------------------
+
+    def on_request(self, replica: "SeeMoReReplica", src: str, request: Request) -> None:
+        if not replica.is_primary():
+            self.handle_retransmission_or_forward(replica, src, request)
+            return
+        if replica.resend_cached_reply(request, mode_id=int(self.mode)):
+            return
+        if not replica.request_is_valid(request):
+            return
+        if replica.already_assigned(request):
+            return
+
+        sequence = replica.allocate_sequence()
+        if sequence is None:
+            return
+        digest = request_digest(request)
+        prepare = msgs.Prepare(
+            view=replica.view,
+            sequence=sequence,
+            digest=digest,
+            request=request,
+            mode=int(self.mode),
+        )
+        prepare.sign(replica.signer)
+        slot = replica.prepare_slot(sequence, digest, request, prepare)
+        # The primary's own accept counts toward the quorum of 2m+c+1.
+        slot.record_vote("accept", replica.node_id, None, digest)
+        replica.mark_assigned(request, sequence)
+        replica.multicast(replica.other_replicas(), prepare)
+
+    # -- prepare / accept / commit --------------------------------------------------
+
+    def on_prepare(self, replica: "SeeMoReReplica", src: str, message: msgs.Prepare) -> None:
+        if not replica.accepts_ordering_from(src, message.view, message.mode):
+            return
+        if not message.verify(replica.verifier, expected_signer=src):
+            return
+        if not replica.in_watermark_window(message.sequence):
+            return
+        if message.digest != request_digest(message.request):
+            return
+
+        # The primary is trusted, so its assignment supersedes any stale
+        # uncommitted content this slot may hold from an earlier view/mode.
+        replica.prepare_slot(message.sequence, message.digest, message.request, message, force=True)
+        accept = msgs.Accept(
+            view=message.view,
+            sequence=message.sequence,
+            digest=message.digest,
+            replica_id=replica.node_id,
+            mode=int(self.mode),
+            signed=False,
+        )
+        replica.send(src, accept)
+        replica.start_request_timer()
+
+    def on_accept(self, replica: "SeeMoReReplica", src: str, message: msgs.Accept) -> None:
+        if not replica.is_primary():
+            return
+        if not replica.valid_view(message.view):
+            return
+        slot = replica.slots.existing_slot(message.sequence)
+        if slot is None or slot.digest != message.digest or slot.committed:
+            return
+
+        count = slot.record_vote("accept", src, message, message.digest)
+        if count < replica.config.accept_quorum(self.mode):
+            return
+
+        commit = msgs.Commit(
+            view=replica.view,
+            sequence=message.sequence,
+            digest=slot.digest,
+            replica_id=replica.node_id,
+            mode=int(self.mode),
+            request=slot.request,
+        )
+        commit.sign(replica.signer)
+        replica.multicast(replica.other_replicas(), commit)
+        replica.finalize_commit(slot, send_reply=True)
+
+    def on_commit(self, replica: "SeeMoReReplica", src: str, message: msgs.Commit) -> None:
+        if not replica.accepts_ordering_from(src, message.view, message.mode):
+            return
+        if not message.verify(replica.verifier, expected_signer=src):
+            return
+        if message.request is None:
+            return
+        # Even a replica that never saw the prepare can execute: the commit
+        # comes from the trusted primary and carries the request.
+        slot = replica.prepare_slot(
+            message.sequence, message.digest, message.request, ordering_message=None, force=True
+        )
+        if slot.committed:
+            return
+        replica.finalize_commit(slot, send_reply=False)

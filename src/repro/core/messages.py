@@ -1,0 +1,381 @@
+"""SeeMoRe protocol messages (Section 5, Algorithms 1 and 2).
+
+Message flavours and who signs what follow the paper:
+
+* ``PREPARE`` / ``COMMIT`` in the Lion and Dog modes are signed by the
+  trusted primary (they may later serve as proofs during view changes) and
+  carry the client request so lagging replicas can still execute.
+* ``ACCEPT`` is unsigned in the Lion mode (it only flows back to the
+  trusted primary) but signed in the Dog mode (proxies use it as evidence).
+* the Peacock mode reuses PBFT's ``PRE-PREPARE`` / ``PREPARE`` / ``COMMIT``
+  phases among proxies, all signed.
+* ``INFORM`` messages notify passive replicas of committed requests.
+* ``CHECKPOINT``, ``VIEW-CHANGE``, ``NEW-VIEW``, and ``MODE-CHANGE`` drive
+  state transfer, liveness, and dynamic mode switching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.smr.messages import (
+    ProtocolMessage,
+    Request,
+    _DIGEST_BYTES,
+    _HEADER_BYTES,
+    _SIGNATURE_BYTES,
+)
+
+
+@dataclass
+class Prepare(ProtocolMessage):
+    """``<<PREPARE, v, n, d>_p, µ>`` from the trusted primary (Lion/Dog)."""
+
+    view: int
+    sequence: int
+    digest: str
+    request: Request
+    mode: int
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "PREPARE",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+            "mode": self.mode,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.wire_size()
+
+
+@dataclass
+class Accept(ProtocolMessage):
+    """``<ACCEPT, v, n, d, r>`` — unsigned to a trusted primary, signed among proxies."""
+
+    view: int
+    sequence: int
+    digest: str
+    replica_id: str
+    mode: int
+    signed: bool = False
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "ACCEPT",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+            "replica": self.replica_id,
+            "mode": self.mode,
+        }
+
+    def wire_size(self) -> int:
+        size = _HEADER_BYTES + _DIGEST_BYTES
+        return size + (_SIGNATURE_BYTES if self.signed else 0)
+
+
+@dataclass
+class Commit(ProtocolMessage):
+    """``<<COMMIT, v, n, d>, µ>`` — primary's commit (Lion) or proxy commit (Dog)."""
+
+    view: int
+    sequence: int
+    digest: str
+    replica_id: str
+    mode: int
+    request: Optional[Request] = None
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "COMMIT",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+            "replica": self.replica_id,
+            "mode": self.mode,
+        }
+
+    def wire_size(self) -> int:
+        size = _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
+        if self.request is not None:
+            size += self.request.wire_size()
+        return size
+
+
+@dataclass
+class PrePrepare(ProtocolMessage):
+    """``<<PRE-PREPARE, v, n, d>_p, µ>`` from the untrusted Peacock primary."""
+
+    view: int
+    sequence: int
+    digest: str
+    request: Request
+    mode: int
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "PRE-PREPARE",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+            "mode": self.mode,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.wire_size()
+
+
+@dataclass
+class ProxyPrepare(ProtocolMessage):
+    """PBFT-style ``PREPARE`` vote exchanged among Peacock proxies."""
+
+    view: int
+    sequence: int
+    digest: str
+    replica_id: str
+    mode: int
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "PROXY-PREPARE",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+            "replica": self.replica_id,
+            "mode": self.mode,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
+
+
+@dataclass
+class Inform(ProtocolMessage):
+    """``<INFORM, v, n, d, r>_r`` — proxies notify passive replicas of a commit."""
+
+    view: int
+    sequence: int
+    digest: str
+    replica_id: str
+    mode: int
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "INFORM",
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.digest,
+            "replica": self.replica_id,
+            "mode": self.mode,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
+
+
+@dataclass
+class Checkpoint(ProtocolMessage):
+    """``<CHECKPOINT, n, d>_r`` — periodic state digest for garbage collection."""
+
+    sequence: int
+    state_digest: str
+    replica_id: str
+    mode: int
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "CHECKPOINT",
+            "sequence": self.sequence,
+            "state_digest": self.state_digest,
+            "replica": self.replica_id,
+            "mode": self.mode,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
+
+
+@dataclass
+class PreparedEntry:
+    """A per-sequence entry carried inside view-change and new-view messages."""
+
+    sequence: int
+    view: int
+    digest: str
+    request: Optional[Request] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"sequence": self.sequence, "view": self.view, "digest": self.digest}
+
+    def wire_size(self) -> int:
+        size = 24 + _DIGEST_BYTES
+        if self.request is not None:
+            size += self.request.wire_size()
+        return size
+
+
+@dataclass
+class ViewChange(ProtocolMessage):
+    """``<VIEW-CHANGE, v+1, n, ξ, P, C>`` sent when the primary is suspected."""
+
+    new_view: int
+    mode: int
+    replica_id: str
+    checkpoint_sequence: int
+    checkpoint_digest: str
+    prepared: List[PreparedEntry] = field(default_factory=list)
+    committed: List[PreparedEntry] = field(default_factory=list)
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "VIEW-CHANGE",
+            "new_view": self.new_view,
+            "mode": self.mode,
+            "replica": self.replica_id,
+            "checkpoint_sequence": self.checkpoint_sequence,
+            "checkpoint_digest": self.checkpoint_digest,
+            "prepared": [entry.to_wire() for entry in self.prepared],
+            "committed": [entry.to_wire() for entry in self.committed],
+        }
+
+    def wire_size(self) -> int:
+        entries = self.prepared + self.committed
+        return (
+            _HEADER_BYTES
+            + _SIGNATURE_BYTES
+            + _DIGEST_BYTES
+            + sum(entry.wire_size() for entry in entries)
+        )
+
+
+@dataclass
+class NewView(ProtocolMessage):
+    """``<NEW-VIEW, v+1, P', C'>`` from the new primary (or the transferer)."""
+
+    new_view: int
+    mode: int
+    replica_id: str
+    checkpoint_sequence: int
+    prepares: List[PreparedEntry] = field(default_factory=list)
+    commits: List[PreparedEntry] = field(default_factory=list)
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "NEW-VIEW",
+            "new_view": self.new_view,
+            "mode": self.mode,
+            "replica": self.replica_id,
+            "checkpoint_sequence": self.checkpoint_sequence,
+            "prepares": [entry.to_wire() for entry in self.prepares],
+            "commits": [entry.to_wire() for entry in self.commits],
+        }
+
+    def wire_size(self) -> int:
+        entries = self.prepares + self.commits
+        return (
+            _HEADER_BYTES
+            + _SIGNATURE_BYTES
+            + sum(entry.wire_size() for entry in entries)
+        )
+
+
+@dataclass
+class ModeChange(ProtocolMessage):
+    """``<MODE-CHANGE, v+1, pi'>_s`` from a trusted replica (Section 5.4)."""
+
+    new_view: int
+    new_mode: int
+    replica_id: str
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "MODE-CHANGE",
+            "new_view": self.new_view,
+            "new_mode": self.new_mode,
+            "replica": self.replica_id,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES
+
+
+@dataclass
+class StateTransferRequest(ProtocolMessage):
+    """A lagging replica asks a peer for the state at its stable checkpoint."""
+
+    replica_id: str
+    known_sequence: int
+    signed: bool = False
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "STATE-TRANSFER-REQUEST",
+            "replica": self.replica_id,
+            "known_sequence": self.known_sequence,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class StateTransferResponse(ProtocolMessage):
+    """Checkpointed application state shipped to a lagging replica."""
+
+    replica_id: str
+    checkpoint_sequence: int
+    state_digest: str
+    snapshot: Dict[str, Any] = field(default_factory=dict)
+    signed: bool = True
+    signature: Optional[Any] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "STATE-TRANSFER-RESPONSE",
+            "replica": self.replica_id,
+            "checkpoint_sequence": self.checkpoint_sequence,
+            "state_digest": self.state_digest,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + 1024
+
+
+__all__ = [
+    "Prepare",
+    "Accept",
+    "Commit",
+    "PrePrepare",
+    "ProxyPrepare",
+    "Inform",
+    "Checkpoint",
+    "PreparedEntry",
+    "ViewChange",
+    "NewView",
+    "ModeChange",
+    "StateTransferRequest",
+    "StateTransferResponse",
+]

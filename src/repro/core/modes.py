@@ -1,0 +1,47 @@
+"""The three operating modes of SeeMoRe (Section 5).
+
+The paper names the modes after the three animals composing the mythical
+Seemorq: the *Lion* (trusted primary, all replicas participate), the *Dog*
+(trusted primary, untrusted proxies do the work), and the *Peacock*
+(untrusted primary, agreement entirely in the public cloud).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(enum.IntEnum):
+    """Operating mode of the protocol (``pi`` in the paper's notation)."""
+
+    LION = 1
+    DOG = 2
+    PEACOCK = 3
+
+    @property
+    def has_trusted_primary(self) -> bool:
+        """Whether the primary is a trusted (private cloud) replica."""
+        return self in (Mode.LION, Mode.DOG)
+
+    @property
+    def uses_proxies(self) -> bool:
+        """Whether agreement is delegated to 3m+1 public-cloud proxies."""
+        return self in (Mode.DOG, Mode.PEACOCK)
+
+    @property
+    def communication_phases(self) -> int:
+        """Number of agreement phases in the normal case (Table 1)."""
+        return 3 if self is Mode.PEACOCK else 2
+
+    @property
+    def message_complexity(self) -> str:
+        """Asymptotic message complexity in the normal case (Table 1)."""
+        return "O(n)" if self is Mode.LION else "O(n^2)"
+
+    def describe(self) -> str:
+        descriptions = {
+            Mode.LION: "trusted primary, all replicas participate (2 phases, O(n) messages)",
+            Mode.DOG: "trusted primary, public-cloud proxies agree (2 phases, O(n^2) messages)",
+            Mode.PEACOCK: "untrusted primary, PBFT among public-cloud proxies (3 phases)",
+        }
+        return descriptions[self]

@@ -1,0 +1,205 @@
+"""The Peacock mode: untrusted primary, agreement in the public cloud (Section 5.3).
+
+The agreement routine is PBFT among the 3m+1 public-cloud proxies, with the
+two changes the paper describes:
+
+* the primary multicasts its signed ``PRE-PREPARE`` (with the request) to
+  *all* replicas, not only to the proxies, so every replica can execute once
+  it learns the outcome;
+* when a proxy commits, it sends a signed ``INFORM`` to every passive
+  replica (private cloud nodes and non-proxy public nodes); passive replicas
+  execute after m+1 matching informs.
+
+The private cloud does not participate in the agreement at all, which is
+exactly what makes the mode attractive when the private cloud is loaded or
+far away; its trusted nodes return as *transferers* during view changes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import messages as msgs
+from repro.core.modes import Mode
+from repro.core.strategy_base import ModeStrategy
+from repro.smr.messages import Request
+from repro.smr.replica import request_digest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.replica import SeeMoReReplica
+
+
+class PeacockStrategy(ModeStrategy):
+    """Agreement logic of the Peacock mode."""
+
+    mode = Mode.PEACOCK
+
+    # -- roles ----------------------------------------------------------------
+
+    def replies_to_client(self, replica: "SeeMoReReplica") -> bool:
+        return replica.is_proxy()
+
+    def is_agreement_participant(self, replica: "SeeMoReReplica") -> bool:
+        return replica.is_proxy()
+
+    # -- request handling --------------------------------------------------------
+
+    def on_request(self, replica: "SeeMoReReplica", src: str, request: Request) -> None:
+        if not replica.is_primary():
+            self.handle_retransmission_or_forward(replica, src, request)
+            return
+        if replica.resend_cached_reply(request, mode_id=int(self.mode)):
+            return
+        if not replica.request_is_valid(request):
+            return
+        if replica.already_assigned(request):
+            return
+
+        sequence = replica.allocate_sequence()
+        if sequence is None:
+            return
+        digest = request_digest(request)
+        preprepare = msgs.PrePrepare(
+            view=replica.view,
+            sequence=sequence,
+            digest=digest,
+            request=request,
+            mode=int(self.mode),
+        )
+        preprepare.sign(replica.signer)
+        slot = replica.prepare_slot(sequence, digest, request, preprepare)
+        slot.record_vote("prepare", replica.node_id, None, digest)
+        replica.mark_assigned(request, sequence)
+        replica.multicast(replica.other_replicas(), preprepare)
+
+    # -- pre-prepare / prepare / commit / inform --------------------------------------
+
+    def on_preprepare(self, replica: "SeeMoReReplica", src: str, message: msgs.PrePrepare) -> None:
+        if not replica.accepts_ordering_from(src, message.view, message.mode):
+            return
+        if not message.verify(replica.verifier, expected_signer=src):
+            return
+        if not replica.in_watermark_window(message.sequence):
+            return
+        if message.digest != request_digest(message.request):
+            return
+
+        existing = replica.slots.existing_slot(message.sequence)
+        if existing is not None and existing.digest is not None and existing.digest != message.digest:
+            # The untrusted primary equivocated; refuse the second assignment
+            # and let the timer trigger a view change.
+            return
+
+        slot = replica.prepare_slot(message.sequence, message.digest, message.request, message)
+        # As in PBFT, the primary's pre-prepare counts as its prepare vote:
+        # the prepared certificate is the pre-prepare plus 2m matching
+        # prepares from other proxies.
+        slot.record_vote("prepare", src, message, message.digest)
+        replica.start_request_timer()
+        if not replica.is_proxy():
+            return
+
+        prepare = msgs.ProxyPrepare(
+            view=message.view,
+            sequence=message.sequence,
+            digest=message.digest,
+            replica_id=replica.node_id,
+            mode=int(self.mode),
+        )
+        prepare.sign(replica.signer)
+        slot.record_vote("prepare", replica.node_id, prepare, message.digest)
+        replica.multicast(replica.other_proxies(), prepare)
+        self._maybe_send_commit(replica, slot)
+
+    def on_proxy_prepare(
+        self, replica: "SeeMoReReplica", src: str, message: msgs.ProxyPrepare
+    ) -> None:
+        if not replica.is_proxy():
+            return
+        if not replica.valid_view(message.view):
+            return
+        if src not in replica.current_proxies():
+            return
+        if not message.verify(replica.verifier, expected_signer=src):
+            return
+
+        slot = replica.slots.slot(message.sequence)
+        slot.record_vote("prepare", src, message, message.digest)
+        self._maybe_send_commit(replica, slot)
+
+    def _maybe_send_commit(self, replica: "SeeMoReReplica", slot) -> None:
+        if slot.digest is None or slot.request is None:
+            return
+        if slot.has_vote_from("commit", replica.node_id):
+            return
+        # Prepared: the pre-prepare plus 2m matching prepares from distinct
+        # proxies (the proxy's own prepare counts).
+        if slot.vote_count("prepare") < 2 * replica.config.byzantine_tolerance + 1:
+            return
+
+        commit = msgs.Commit(
+            view=replica.view,
+            sequence=slot.sequence,
+            digest=slot.digest,
+            replica_id=replica.node_id,
+            mode=int(self.mode),
+            request=None,
+        )
+        commit.sign(replica.signer)
+        slot.record_vote("commit", replica.node_id, commit, slot.digest)
+        replica.multicast(replica.other_proxies(), commit)
+        self._maybe_commit(replica, slot)
+
+    def on_commit(self, replica: "SeeMoReReplica", src: str, message: msgs.Commit) -> None:
+        if not replica.is_proxy():
+            return
+        if not replica.valid_view(message.view):
+            return
+        if src not in replica.current_proxies():
+            return
+        if not message.verify(replica.verifier, expected_signer=src):
+            return
+
+        slot = replica.slots.slot(message.sequence)
+        slot.record_vote("commit", src, message, message.digest)
+        self._maybe_commit(replica, slot)
+
+    def _maybe_commit(self, replica: "SeeMoReReplica", slot) -> None:
+        if slot.committed or slot.digest is None or slot.request is None:
+            return
+        if slot.vote_count("commit") < replica.config.commit_quorum(self.mode):
+            return
+        self._send_informs(replica, slot)
+        replica.finalize_commit(slot, send_reply=True)
+
+    def on_inform(self, replica: "SeeMoReReplica", src: str, message: msgs.Inform) -> None:
+        if replica.is_proxy():
+            return
+        if not replica.valid_view(message.view):
+            return
+        if src not in replica.current_proxies():
+            return
+        if not message.verify(replica.verifier, expected_signer=src):
+            return
+
+        slot = replica.slots.slot(message.sequence)
+        count = slot.record_vote("inform", src, message, message.digest)
+        if slot.committed or slot.request is None:
+            return
+        if slot.digest is not None and slot.digest != message.digest:
+            return
+        if count >= replica.config.inform_quorum(self.mode):
+            replica.finalize_commit(slot, send_reply=False)
+
+    def _send_informs(self, replica: "SeeMoReReplica", slot) -> None:
+        inform = msgs.Inform(
+            view=replica.view,
+            sequence=slot.sequence,
+            digest=slot.digest,
+            replica_id=replica.node_id,
+            mode=int(self.mode),
+        )
+        inform.sign(replica.signer)
+        targets = replica.inform_targets()
+        if targets:
+            replica.multicast(targets, inform)

@@ -1,0 +1,493 @@
+"""The SeeMoRe replica engine.
+
+A :class:`SeeMoReReplica` glues together:
+
+* the shared SMR machinery (:class:`repro.smr.replica.ReplicaBase`):
+  ordered execution, ledger, slots, client replies;
+* the per-mode agreement strategies (Lion / Dog / Peacock);
+* checkpointing and garbage collection;
+* the view-change / mode-switch manager.
+
+The replica itself is sans-IO with respect to time: all waiting is expressed
+through the simulator's timers, and all communication goes through the
+network node interface, so the same code runs under any latency/fault
+scenario the experiment harness sets up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core import messages as msgs
+from repro.core.checkpointing import CheckpointManager
+from repro.core.config import SeeMoReConfig
+from repro.core.dog import DogStrategy
+from repro.core.lion import LionStrategy
+from repro.core.modes import Mode
+from repro.core.peacock import PeacockStrategy
+from repro.core.strategy_base import ModeStrategy
+from repro.core.view_change import NOOP_CLIENT, ViewChangeManager
+from repro.crypto.digest import digest
+from repro.crypto.signatures import Signer, Verifier
+from repro.net.costs import NodeCostModel
+from repro.sim.simulator import Simulator
+from repro.smr.executor import ExecutionResult
+from repro.smr.messages import Request
+from repro.smr.replica import ReplicaBase
+from repro.smr.slots import Slot
+from repro.smr.state_machine import StateMachine
+
+_STRATEGIES: Dict[Mode, ModeStrategy] = {
+    Mode.LION: LionStrategy(),
+    Mode.DOG: DogStrategy(),
+    Mode.PEACOCK: PeacockStrategy(),
+}
+
+
+class SeeMoReReplica(ReplicaBase):
+    """One replica of a SeeMoRe replica group."""
+
+    def __init__(
+        self,
+        node_id: str,
+        simulator: Simulator,
+        config: SeeMoReConfig,
+        signer: Signer,
+        verifier: Verifier,
+        state_machine: StateMachine,
+        initial_mode: Mode = Mode.LION,
+        cost_model: Optional[NodeCostModel] = None,
+    ) -> None:
+        if node_id not in config.all_replicas:
+            raise ValueError(f"replica {node_id!r} is not part of the configuration")
+        super().__init__(node_id, simulator, signer, verifier, state_machine, cost_model)
+        self.config = config
+        self.mode = initial_mode
+        self.strategy = _STRATEGIES[initial_mode]
+        self.in_view_change = False
+        self.next_sequence = 1
+        self.watermark_window = 4 * config.checkpoint_period
+
+        self.checkpoints = CheckpointManager(config.checkpoint_period)
+        self.view_changes = ViewChangeManager(self)
+        self._assigned_sequences: Dict[tuple, int] = {}
+        self._request_timer = self.create_timer(self._on_request_timeout, "request-timeout")
+
+        # Catch-up (state transfer) bookkeeping: a replica that falls far
+        # behind the commit frontier fetches a checkpointed snapshot from its
+        # peers instead of waiting for messages it will never receive again.
+        self._catchup_target = 0
+        self._catchup_requested_at = -1.0
+        self._catchup_votes: Dict[tuple, set] = {}
+        self.state_transfers_completed = 0
+
+        self._register_handlers()
+
+    def _register_handlers(self) -> None:
+        self.register_handler(Request, lambda src, m: self.strategy.on_request(self, src, m))
+        self.register_handler(msgs.Prepare, lambda src, m: self.strategy.on_prepare(self, src, m))
+        self.register_handler(msgs.Accept, lambda src, m: self.strategy.on_accept(self, src, m))
+        self.register_handler(msgs.Commit, lambda src, m: self.strategy.on_commit(self, src, m))
+        self.register_handler(
+            msgs.PrePrepare, lambda src, m: self.strategy.on_preprepare(self, src, m)
+        )
+        self.register_handler(
+            msgs.ProxyPrepare, lambda src, m: self.strategy.on_proxy_prepare(self, src, m)
+        )
+        self.register_handler(msgs.Inform, lambda src, m: self.strategy.on_inform(self, src, m))
+        self.register_handler(msgs.Checkpoint, self._on_checkpoint)
+        self.register_handler(msgs.ViewChange, self.view_changes.on_view_change)
+        self.register_handler(msgs.NewView, self.view_changes.on_new_view)
+        self.register_handler(msgs.ModeChange, self.view_changes.on_mode_change)
+        self.register_handler(msgs.StateTransferRequest, self._on_state_transfer_request)
+        self.register_handler(msgs.StateTransferResponse, self._on_state_transfer_response)
+
+    # -- roles ------------------------------------------------------------------
+
+    def current_primary(self) -> str:
+        return self.config.primary_of_view(self.view, self.mode)
+
+    def is_primary(self) -> bool:
+        return not self.in_view_change and self.current_primary() == self.node_id
+
+    def current_proxies(self) -> List[str]:
+        return self.config.proxies_of_view(self.view, self.mode)
+
+    def is_proxy(self) -> bool:
+        if self.mode is Mode.LION:
+            return False
+        return self.node_id in self.current_proxies()
+
+    def other_replicas(self) -> List[str]:
+        return [replica for replica in self.config.all_replicas if replica != self.node_id]
+
+    def other_proxies(self) -> List[str]:
+        return [proxy for proxy in self.current_proxies() if proxy != self.node_id]
+
+    def passive_replicas(self) -> List[str]:
+        passive = self.config.passive_replicas(self.view, self.mode)
+        return [replica for replica in passive if replica != self.node_id]
+
+    def inform_targets(self) -> List[str]:
+        """Recipients of inform messages: the private cloud plus non-proxy
+        public replicas (Section 5.2/5.3), excluding the sender itself."""
+        proxies = set(self.current_proxies())
+        targets = [
+            replica
+            for replica in self.config.all_replicas
+            if replica not in proxies and replica != self.node_id
+        ]
+        return targets
+
+    def set_mode(self, mode: Mode) -> None:
+        """Adopt ``mode`` (called when a new view is installed)."""
+        self.mode = mode
+        self.strategy = _STRATEGIES[mode]
+
+    # -- validation helpers ------------------------------------------------------
+
+    def valid_view(self, view: int) -> bool:
+        return view == self.view and not self.in_view_change
+
+    def accepts_ordering_from(self, src: str, view: int, mode: int) -> bool:
+        """Whether an ordering message (prepare / pre-prepare / primary commit)
+        from ``src`` for ``view`` should be processed right now."""
+        if not self.valid_view(view):
+            return False
+        if mode != int(self.mode):
+            return False
+        return src == self.config.primary_of_view(view, self.mode)
+
+    def in_watermark_window(self, sequence: int) -> bool:
+        low = self.slots.low_watermark
+        return low < sequence <= low + self.watermark_window
+
+    # -- sequence assignment (primary only) -----------------------------------------
+
+    def allocate_sequence(self) -> Optional[int]:
+        if self.in_view_change:
+            return None
+        candidate = self.next_sequence
+        if candidate > self.slots.low_watermark + self.watermark_window:
+            return None
+        self.next_sequence += 1
+        return candidate
+
+    def bump_sequence_counter(self, value: int) -> None:
+        self.next_sequence = max(self.next_sequence, value, self.last_executed + 1)
+
+    def already_assigned(self, request: Request) -> bool:
+        return (request.client_id, request.timestamp) in self._assigned_sequences
+
+    def mark_assigned(self, request: Request, sequence: int) -> None:
+        self._assigned_sequences[(request.client_id, request.timestamp)] = sequence
+
+    def clear_assignments(self) -> None:
+        self._assigned_sequences.clear()
+
+    # -- slots and commits -------------------------------------------------------------
+
+    def prepare_slot(
+        self,
+        sequence: int,
+        digest_value: str,
+        request: Request,
+        ordering_message: Any,
+        force: bool = False,
+    ) -> Slot:
+        """Fill in a slot's request/digest and remember the request.
+
+        With ``force=True`` an *uncommitted* slot is overwritten even if it
+        already holds a different request -- used when installing a new view,
+        whose certified entries supersede whatever this replica tentatively
+        accepted from a (possibly equivocating) primary in the old view.
+        """
+        slot = self.slots.slot(sequence)
+        stale = slot.digest is not None and slot.digest != digest_value
+        if force and not slot.committed and stale:
+            slot.digest = None
+            slot.request = None
+            slot.ordering_message = None
+            slot.votes.clear()
+        if slot.digest is None:
+            slot.digest = digest_value
+        if slot.request is None:
+            slot.request = request
+        if ordering_message is not None and slot.ordering_message is None:
+            slot.ordering_message = ordering_message
+        slot.view = self.view
+        self.remember_request(request)
+        return slot
+
+    def finalize_commit(self, slot: Slot, send_reply: bool) -> List[ExecutionResult]:
+        """Commit a slot, execute what became ready, checkpoint, manage timers."""
+        if slot.request is None or slot.committed:
+            return []
+        reply = send_reply and slot.request.client_id != NOOP_CLIENT
+        executions = self.commit_slot(
+            slot.sequence, slot.request, self.view, send_reply=reply, mode_id=int(self.mode)
+        )
+        self._after_executions(executions)
+        self._update_request_timer()
+        self._maybe_request_catchup(slot.sequence)
+        return executions
+
+    # -- checkpointing -------------------------------------------------------------------
+
+    def _state_digest(self) -> str:
+        return digest(
+            {
+                "next_sequence": self.executor.next_sequence,
+                "state": self.executor.state_machine.snapshot(),
+            }
+        )
+
+    def _after_executions(self, executions: List[ExecutionResult]) -> None:
+        for execution in executions:
+            if not self.checkpoints.is_checkpoint_sequence(execution.sequence):
+                continue
+            state_digest = self._state_digest()
+            self.checkpoints.record_local_checkpoint(
+                execution.sequence, state_digest, self.executor.snapshot()
+            )
+            checkpoint = msgs.Checkpoint(
+                sequence=execution.sequence,
+                state_digest=state_digest,
+                replica_id=self.node_id,
+                mode=int(self.mode),
+            )
+            checkpoint.sign(self.signer)
+            if self.mode.has_trusted_primary:
+                # The trusted primary's signed checkpoint alone is a certificate.
+                if self.is_primary():
+                    self.multicast(self.other_replicas(), checkpoint)
+                    self._stabilise_checkpoint(execution.sequence, state_digest)
+            else:
+                # Peacock: PBFT-style quorum of proxy checkpoints.
+                if self.is_proxy():
+                    self.checkpoints.record_vote(execution.sequence, state_digest, self.node_id)
+                    self.multicast(self.other_replicas(), checkpoint)
+                    self._maybe_stabilise_by_votes(execution.sequence, state_digest)
+
+    def _on_checkpoint(self, src: str, message: msgs.Checkpoint) -> None:
+        if not message.verify(self.verifier, expected_signer=src):
+            return
+        if message.replica_id != src:
+            return
+        if self.mode.has_trusted_primary or Mode(message.mode).has_trusted_primary:
+            if self.config.is_trusted(src):
+                self._stabilise_checkpoint(message.sequence, message.state_digest)
+            return
+        if src in self.config.public_replicas:
+            self.checkpoints.record_vote(message.sequence, message.state_digest, src)
+            self._maybe_stabilise_by_votes(message.sequence, message.state_digest)
+
+    def _maybe_stabilise_by_votes(self, sequence: int, state_digest: str) -> None:
+        votes = self.checkpoints.vote_count(sequence, state_digest)
+        if votes >= 2 * self.config.byzantine_tolerance + 1:
+            self._stabilise_checkpoint(sequence, state_digest)
+
+    def _stabilise_checkpoint(self, sequence: int, state_digest: str) -> None:
+        if not self.checkpoints.mark_stable(sequence, state_digest):
+            return
+        self.slots.collect_below(sequence)
+        self.executor.discard_below(sequence)
+
+    # -- request timer and view changes ------------------------------------------------------
+
+    def start_request_timer(self) -> None:
+        if not self._request_timer.active:
+            self._request_timer.start(self.config.request_timeout)
+
+    def stop_request_timer(self) -> None:
+        self._request_timer.stop()
+
+    def _update_request_timer(self) -> None:
+        """Stop the timer when nothing is in flight, else re-arm it."""
+        waiting = any(
+            slot.request is not None and not slot.committed
+            for slot in self.slots.uncommitted_slots()
+            if slot.ordering_message is not None
+        )
+        if waiting:
+            self._request_timer.restart(self.config.request_timeout)
+        else:
+            self._request_timer.stop()
+
+    def _on_request_timeout(self) -> None:
+        if self.crashed or self.in_view_change:
+            return
+        self.view_changes.start()
+
+    def on_view_installed(self) -> None:
+        """Hook invoked after a new view is installed (no-op by default)."""
+
+    # -- view-change helpers used by the manager -------------------------------------------------
+
+    def reprocess_prepare_entry(self, entry: msgs.PreparedEntry) -> None:
+        """Re-run agreement for a prepared-but-uncommitted slot in the new view."""
+        slot = self.prepare_slot(entry.sequence, entry.digest, entry.request, entry, force=True)
+        if slot.committed:
+            return
+        if self.mode is Mode.LION:
+            if self.is_primary():
+                slot.record_vote("accept", self.node_id, None, entry.digest)
+            else:
+                accept = msgs.Accept(
+                    view=self.view,
+                    sequence=entry.sequence,
+                    digest=entry.digest,
+                    replica_id=self.node_id,
+                    mode=int(self.mode),
+                    signed=False,
+                )
+                self.send(self.current_primary(), accept)
+        elif self.mode is Mode.DOG:
+            if self.is_proxy():
+                accept = msgs.Accept(
+                    view=self.view,
+                    sequence=entry.sequence,
+                    digest=entry.digest,
+                    replica_id=self.node_id,
+                    mode=int(self.mode),
+                    signed=True,
+                )
+                accept.sign(self.signer)
+                slot.record_vote("accept", self.node_id, accept, entry.digest)
+                self.multicast(self.other_proxies(), accept)
+        else:  # Peacock
+            if self.is_proxy():
+                prepare = msgs.ProxyPrepare(
+                    view=self.view,
+                    sequence=entry.sequence,
+                    digest=entry.digest,
+                    replica_id=self.node_id,
+                    mode=int(self.mode),
+                )
+                prepare.sign(self.signer)
+                slot.record_vote("prepare", self.node_id, prepare, entry.digest)
+                self.multicast(self.other_proxies(), prepare)
+        self.start_request_timer()
+
+    # -- mode switching (public API) ----------------------------------------------------------------
+
+    def request_mode_switch(self, new_mode: Mode) -> None:
+        """Initiate a dynamic mode switch (Section 5.4).
+
+        Only trusted replicas may initiate a switch; the paper has the
+        primary (or transferer) of the next view send ``MODE-CHANGE``.
+        """
+        if not self.config.is_trusted(self.node_id):
+            raise PermissionError(
+                f"replica {self.node_id!r} is untrusted and may not initiate a mode switch"
+            )
+        if not isinstance(new_mode, Mode):
+            new_mode = Mode(new_mode)
+        mode_change = msgs.ModeChange(
+            new_view=self.view + 1, new_mode=int(new_mode), replica_id=self.node_id
+        )
+        mode_change.sign(self.signer)
+        self.multicast(self.other_replicas(), mode_change)
+        self.view_changes.on_mode_change(self.node_id, mode_change)
+
+    # -- state transfer (catch-up for lagging replicas) -----------------------------------------------
+
+    def _maybe_request_catchup(self, committed_sequence: int) -> None:
+        """Fetch a snapshot from peers when the commit frontier runs far ahead.
+
+        A replica that missed informs/commits around a view or mode change
+        keeps committing new sequence numbers while its executor is stuck at
+        a gap; once that backlog exceeds a checkpoint period, waiting longer
+        will not help (the missing messages are gone), so it asks its peers
+        for a checkpointed snapshot.
+        """
+        backlog = committed_sequence - self.last_executed
+        if backlog <= self.config.checkpoint_period:
+            return
+        recently_asked = (
+            self._catchup_requested_at >= 0
+            and self.now - self._catchup_requested_at < 10 * self.config.request_timeout
+            and self.last_executed < self._catchup_target
+        )
+        if recently_asked:
+            return
+        self._catchup_target = committed_sequence
+        self._catchup_requested_at = self.now
+        self._catchup_votes.clear()
+        self.request_state_transfer(None, committed_sequence)
+
+    def request_state_transfer(self, target: Optional[str], up_to_sequence: int) -> None:
+        """Ask ``target`` (or every other replica) for a checkpointed snapshot."""
+        request = msgs.StateTransferRequest(
+            replica_id=self.node_id, known_sequence=self.last_executed
+        )
+        if target is None:
+            self.multicast(self.other_replicas(), request)
+        else:
+            self.send(target, request)
+
+    def _on_state_transfer_request(self, src: str, message: msgs.StateTransferRequest) -> None:
+        if message.known_sequence >= self.last_executed:
+            return
+        # Prefer the latest local checkpoint snapshot: it sits on a period
+        # boundary, so caught-up replicas produce byte-identical snapshots
+        # and the requester can cross-check untrusted responses.
+        checkpoint_sequence, snapshot = self.checkpoints.latest_snapshot()
+        if snapshot is None or checkpoint_sequence <= message.known_sequence:
+            checkpoint_sequence, snapshot = self.last_executed, self.executor.snapshot()
+        state_digest = digest(
+            {"next_sequence": snapshot["next_sequence"], "state": snapshot["state"]}
+        )
+        response = msgs.StateTransferResponse(
+            replica_id=self.node_id,
+            checkpoint_sequence=checkpoint_sequence,
+            state_digest=state_digest,
+            snapshot=snapshot,
+        )
+        response.sign(self.signer)
+        self.send(src, response)
+
+    def _on_state_transfer_response(self, src: str, message: msgs.StateTransferResponse) -> None:
+        if not message.verify(self.verifier, expected_signer=src):
+            return
+        snapshot = message.snapshot
+        if not snapshot or snapshot.get("next_sequence", 0) - 1 <= self.last_executed:
+            return
+        trusted = self.config.is_trusted(src)
+        matches_stable = (
+            message.state_digest
+            and message.checkpoint_sequence == self.checkpoints.stable_sequence
+            and message.state_digest == self.checkpoints.stable_digest
+        )
+        if not (trusted or matches_stable):
+            # Untrusted responses are only adopted once m+1 of them agree on
+            # the same checkpointed state.
+            key = (message.checkpoint_sequence, message.state_digest)
+            voters = self._catchup_votes.setdefault(key, set())
+            voters.add(src)
+            if len(voters) < self.config.byzantine_tolerance + 1:
+                return
+        self._adopt_snapshot(snapshot)
+
+    def _adopt_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        self.executor.restore(snapshot)
+        self.slots.collect_below(self.executor.last_executed)
+        self.bump_sequence_counter(self.executor.next_sequence)
+        self._catchup_votes.clear()
+        self.state_transfers_completed += 1
+        self._update_request_timer()
+
+    # -- introspection -----------------------------------------------------------------------------------
+
+    def state_summary(self) -> Dict[str, Any]:
+        summary = super().state_summary()
+        summary.update(
+            {
+                "mode": self.mode.name,
+                "is_primary": self.is_primary() if not self.crashed else False,
+                "is_proxy": self.is_proxy() if not self.crashed else False,
+                "stable_checkpoint": self.checkpoints.stable_sequence,
+                "view_changes": self.view_changes.view_changes_completed,
+            }
+        )
+        return summary

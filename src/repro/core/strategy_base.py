@@ -1,0 +1,86 @@
+"""Interface implemented by each SeeMoRe operating mode.
+
+A strategy encodes the *agreement* flow of one mode: who orders requests,
+who votes, what the quorums are, and who replies to the client.  The
+replica (:class:`repro.core.replica.SeeMoReReplica`) owns all state and
+delegates message handling to its current strategy; switching modes swaps
+the strategy during a view change.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.modes import Mode
+from repro.core import messages as msgs
+from repro.smr.messages import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.replica import SeeMoReReplica
+
+
+class ModeStrategy:
+    """Agreement-phase behaviour of one SeeMoRe mode."""
+
+    mode: Mode
+
+    # -- normal case ---------------------------------------------------------
+
+    def on_request(self, replica: "SeeMoReReplica", src: str, request: Request) -> None:
+        """Handle a client request (either direct or a retransmission)."""
+        raise NotImplementedError
+
+    def on_prepare(self, replica: "SeeMoReReplica", src: str, message: msgs.Prepare) -> None:
+        """Handle the trusted primary's prepare (Lion and Dog modes)."""
+
+    def on_accept(self, replica: "SeeMoReReplica", src: str, message: msgs.Accept) -> None:
+        """Handle an accept vote."""
+
+    def on_commit(self, replica: "SeeMoReReplica", src: str, message: msgs.Commit) -> None:
+        """Handle a commit message."""
+
+    def on_preprepare(self, replica: "SeeMoReReplica", src: str, message: msgs.PrePrepare) -> None:
+        """Handle the untrusted primary's pre-prepare (Peacock mode only)."""
+
+    def on_proxy_prepare(
+        self, replica: "SeeMoReReplica", src: str, message: msgs.ProxyPrepare
+    ) -> None:
+        """Handle a PBFT-style prepare vote among proxies (Peacock mode only)."""
+
+    def on_inform(self, replica: "SeeMoReReplica", src: str, message: msgs.Inform) -> None:
+        """Handle an inform message addressed to passive replicas."""
+
+    # -- roles ----------------------------------------------------------------
+
+    def replies_to_client(self, replica: "SeeMoReReplica") -> bool:
+        """Whether this replica sends replies to clients when it executes."""
+        raise NotImplementedError
+
+    def is_agreement_participant(self, replica: "SeeMoReReplica") -> bool:
+        """Whether this replica votes in the agreement phase of the current view."""
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def handle_retransmission_or_forward(
+        self, replica: "SeeMoReReplica", src: str, request: Request
+    ) -> bool:
+        """Common handling for requests arriving at a non-primary replica.
+
+        A replica that already executed the request re-sends the cached
+        reply; otherwise it forwards the request to the primary it believes
+        is current and starts its view-change timer so a dead primary is
+        eventually suspected (Section 5.1, client behaviour on timeout).
+
+        Returns ``True`` if the request was fully dealt with here.
+        """
+        if replica.resend_cached_reply(request, mode_id=int(replica.mode)):
+            return True
+        if not replica.request_is_valid(request):
+            return True
+        replica.remember_request(request)
+        primary = replica.current_primary()
+        if primary != replica.node_id:
+            replica.send(primary, request)
+        replica.start_request_timer()
+        return True

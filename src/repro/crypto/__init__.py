@@ -1,0 +1,36 @@
+"""Cryptographic substrate for the replication protocols.
+
+SeeMoRe (like PBFT) relies on two primitives:
+
+* **message digests** — collision-resistant hashes that protect message
+  integrity (Section 3.1 of the paper);
+* **public-key style signatures** — a Byzantine replica cannot produce a
+  valid signature of a correct replica.
+
+This package implements both with standard-library primitives (SHA-256 and
+HMAC over per-node secrets held by a trusted :class:`KeyStore`), plus a
+*cost model* that charges simulated CPU time for each operation so that the
+performance impact of authentication is visible in the benchmarks, exactly
+as it is on the paper's EC2 testbed.
+"""
+
+from repro.crypto.digest import digest, digest_bytes
+from repro.crypto.keys import KeyStore
+from repro.crypto.signatures import (
+    InvalidSignatureError,
+    Signature,
+    Signer,
+    Verifier,
+)
+from repro.crypto.costs import CryptoCostModel
+
+__all__ = [
+    "digest",
+    "digest_bytes",
+    "KeyStore",
+    "Signature",
+    "Signer",
+    "Verifier",
+    "InvalidSignatureError",
+    "CryptoCostModel",
+]

@@ -1,0 +1,47 @@
+"""Collision-resistant message digests.
+
+The protocols never compare full request payloads; they compare digests
+(``D(µ)`` in the paper's notation).  We use SHA-256 over a canonical
+serialization of the message content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def _canonical_bytes(value: Any) -> bytes:
+    """Serialize ``value`` to canonical bytes for hashing.
+
+    Uses JSON with sorted keys so that logically equal dicts hash equally
+    regardless of insertion order.  Raw ``bytes`` are hashed as-is.
+    """
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    return json.dumps(value, sort_keys=True, default=_fallback_encoder).encode("utf-8")
+
+
+def _fallback_encoder(value: Any) -> Any:
+    """Encode non-JSON-native objects by their stable repr hook."""
+    to_wire = getattr(value, "to_wire", None)
+    if callable(to_wire):
+        return to_wire()
+    return repr(value)
+
+
+def digest_bytes(data: bytes) -> str:
+    """Return the hex SHA-256 digest of raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest(value: Any) -> str:
+    """Return the hex SHA-256 digest of an arbitrary message value.
+
+    >>> digest({"op": "put", "key": "a"}) == digest({"key": "a", "op": "put"})
+    True
+    """
+    return digest_bytes(_canonical_bytes(value))

@@ -1,0 +1,57 @@
+"""Key management for the simulated deployment.
+
+In a real deployment every machine holds a private key and knows every other
+machine's public key (Section 3.1).  In the simulation the :class:`KeyStore`
+plays the role of that PKI: it generates a per-node secret and hands each
+node a :class:`~repro.crypto.signatures.Signer` that can only sign with that
+node's own secret, and a :class:`~repro.crypto.signatures.Verifier` that can
+check everyone's signatures.
+
+A Byzantine node holds only its own signer; it cannot obtain another node's
+secret, so it cannot forge signatures -- matching the paper's standard
+cryptographic assumptions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+from repro.crypto.signatures import Signer, Verifier
+
+
+class KeyStore:
+    """Deterministic per-node key material and signer/verifier factory."""
+
+    def __init__(self, seed: str = "seemore-keystore") -> None:
+        self._seed = seed
+        self._secrets: Dict[str, bytes] = {}
+
+    def register(self, node_id: str) -> None:
+        """Create key material for ``node_id`` (idempotent)."""
+        if node_id in self._secrets:
+            return
+        material = hashlib.sha256(f"{self._seed}:{node_id}".encode("utf-8")).digest()
+        self._secrets[node_id] = material
+
+    def knows(self, node_id: str) -> bool:
+        return node_id in self._secrets
+
+    @property
+    def node_ids(self) -> list:
+        return sorted(self._secrets)
+
+    def signer_for(self, node_id: str) -> Signer:
+        """Return the signer holding ``node_id``'s private key."""
+        if node_id not in self._secrets:
+            raise KeyError(f"unknown node: {node_id!r}; call register() first")
+        return Signer(node_id, self._secrets[node_id])
+
+    def verifier(self) -> Verifier:
+        """Return a verifier that knows every registered node's public key.
+
+        The verifier shares the keystore's key table, so nodes registered
+        later (e.g. clients spawned after the replicas) are verifiable too --
+        mirroring a PKI where every machine can look up any public key.
+        """
+        return Verifier(self._secrets)

@@ -1,0 +1,106 @@
+"""Simulated public-key signatures.
+
+Signatures are HMAC-SHA256 tags computed with a per-node secret that only
+the :class:`~repro.crypto.keys.KeyStore` and the owning node's
+:class:`Signer` hold.  Verification recomputes the tag from the claimed
+signer's secret, so a node that does not hold another node's secret cannot
+produce a tag that verifies -- the forgery-resistance property the paper
+assumes.
+
+The indirection through :class:`Signature` (rather than bare strings) lets
+Byzantine attack strategies construct deliberately *invalid* signatures and
+lets correct replicas detect and discard them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.crypto.digest import digest
+
+
+class InvalidSignatureError(Exception):
+    """Raised when strict verification is requested and the tag is wrong."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature tag over a message digest, claiming a particular signer."""
+
+    signer_id: str
+    payload_digest: str
+    tag: str
+
+    def to_wire(self) -> Dict[str, str]:
+        """Stable representation used when a signature is itself hashed."""
+        return {
+            "signer_id": self.signer_id,
+            "payload_digest": self.payload_digest,
+            "tag": self.tag,
+        }
+
+
+def _compute_tag(secret: bytes, payload_digest: str) -> str:
+    return hmac.new(secret, payload_digest.encode("utf-8"), hashlib.sha256).hexdigest()
+
+
+class Signer:
+    """Holds one node's private key and produces signatures with it."""
+
+    def __init__(self, node_id: str, secret: bytes) -> None:
+        self._node_id = node_id
+        self._secret = secret
+
+    @property
+    def node_id(self) -> str:
+        return self._node_id
+
+    def sign(self, message: Any) -> Signature:
+        """Sign an arbitrary message value (hashed canonically first)."""
+        payload_digest = digest(message)
+        return Signature(
+            signer_id=self._node_id,
+            payload_digest=payload_digest,
+            tag=_compute_tag(self._secret, payload_digest),
+        )
+
+    def forge(self, message: Any, claimed_signer: str) -> Signature:
+        """Produce a *bogus* signature claiming to be from ``claimed_signer``.
+
+        Used only by Byzantine attack strategies.  The tag is computed with
+        this node's own secret, so any correct verifier rejects it.
+        """
+        payload_digest = digest(message)
+        return Signature(
+            signer_id=claimed_signer,
+            payload_digest=payload_digest,
+            tag=_compute_tag(self._secret, "forged:" + payload_digest),
+        )
+
+
+class Verifier:
+    """Verifies signatures from any registered node."""
+
+    def __init__(self, secrets: Dict[str, bytes]) -> None:
+        self._secrets = secrets
+
+    def verify(self, message: Any, signature: Signature) -> bool:
+        """Return ``True`` iff ``signature`` is a valid tag by its claimed signer."""
+        secret = self._secrets.get(signature.signer_id)
+        if secret is None:
+            return False
+        payload_digest = digest(message)
+        if payload_digest != signature.payload_digest:
+            return False
+        expected = _compute_tag(secret, payload_digest)
+        return hmac.compare_digest(expected, signature.tag)
+
+    def require_valid(self, message: Any, signature: Signature) -> None:
+        """Raise :class:`InvalidSignatureError` unless the signature verifies."""
+        if not self.verify(message, signature):
+            raise InvalidSignatureError(
+                f"invalid signature claimed by {signature.signer_id!r}"
+            )

@@ -1,0 +1,39 @@
+"""Fault injection: crash failures, Byzantine behaviours, and fault plans.
+
+The paper's failure model (Section 3.1) admits two fault classes:
+
+* **crash** faults in the private cloud — replicas fail by stopping and may
+  later restart; they never lie;
+* **Byzantine** faults in the public cloud — replicas may behave
+  arbitrarily (equivocate, stay silent, send corrupt signatures, lie to
+  clients), but cannot forge other replicas' signatures.
+
+This package injects both into a running deployment, either immediately or
+on a schedule (a :class:`~repro.faults.adversary.FaultPlan`), so the tests
+and benchmarks can observe how each protocol behaves under attack -- most
+prominently the view-change experiment of Figure 4.
+"""
+
+from repro.faults.crash import crash_primary, crash_replica, recover_replica
+from repro.faults.byzantine import (
+    BYZANTINE_STRATEGIES,
+    make_byzantine,
+    make_corrupt_signatures,
+    make_equivocating,
+    make_lying,
+    make_silent,
+)
+from repro.faults.adversary import FaultPlan
+
+__all__ = [
+    "crash_replica",
+    "crash_primary",
+    "recover_replica",
+    "make_byzantine",
+    "make_silent",
+    "make_equivocating",
+    "make_lying",
+    "make_corrupt_signatures",
+    "BYZANTINE_STRATEGIES",
+    "FaultPlan",
+]

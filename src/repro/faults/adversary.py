@@ -1,0 +1,72 @@
+"""Fault plans: scheduled fault injection for timeline experiments.
+
+A :class:`FaultPlan` is an ordered list of ``(time, action)`` pairs in the
+shape expected by :func:`repro.cluster.runner.run_timeline`.  It gives the
+benchmarks a declarative way to describe scenarios such as "crash the
+primary 30 ms into the run" (Figure 4) or "partition the public cloud for
+50 ms, then heal".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.deployment import Deployment
+from repro.faults.byzantine import make_byzantine
+from repro.faults.crash import crash_primary, crash_replica, recover_replica
+
+FaultAction = Callable[[Deployment], None]
+
+
+class FaultPlan:
+    """A schedule of fault-injection actions against one deployment."""
+
+    def __init__(self) -> None:
+        self._schedule: List[Tuple[float, FaultAction]] = []
+
+    # -- building the plan -----------------------------------------------------
+
+    def at(self, time: float, action: FaultAction) -> "FaultPlan":
+        """Add an arbitrary action at ``time`` (seconds from run start)."""
+        if time < 0:
+            raise ValueError(f"fault times are relative to run start and must be >= 0: {time}")
+        self._schedule.append((time, action))
+        return self
+
+    def crash_primary_at(self, time: float) -> "FaultPlan":
+        """Crash whichever replica is primary when ``time`` arrives."""
+        return self.at(time, lambda deployment: crash_primary(deployment))
+
+    def crash_at(self, time: float, replica_id: str) -> "FaultPlan":
+        return self.at(time, lambda deployment: crash_replica(deployment, replica_id))
+
+    def recover_at(self, time: float, replica_id: str) -> "FaultPlan":
+        return self.at(time, lambda deployment: recover_replica(deployment, replica_id))
+
+    def byzantine_at(self, time: float, replica_id: str, strategy: str = "silent") -> "FaultPlan":
+        return self.at(
+            time, lambda deployment: make_byzantine(deployment, replica_id, strategy)
+        )
+
+    def partition_at(self, time: float, *groups: Set[str]) -> "FaultPlan":
+        frozen_groups = [set(group) for group in groups]
+        return self.at(
+            time,
+            lambda deployment: deployment.network.conditions.partition(*frozen_groups),
+        )
+
+    def heal_partition_at(self, time: float) -> "FaultPlan":
+        return self.at(time, lambda deployment: deployment.network.conditions.heal_partition())
+
+    # -- consuming the plan --------------------------------------------------------
+
+    @property
+    def schedule(self) -> Sequence[Tuple[float, FaultAction]]:
+        """The (time, action) pairs sorted by time."""
+        return sorted(self._schedule, key=lambda item: item[0])
+
+    def __len__(self) -> int:
+        return len(self._schedule)
+
+    def __iter__(self):
+        return iter(self.schedule)

@@ -1,0 +1,156 @@
+"""Byzantine behaviour injection.
+
+A Byzantine replica in the public cloud may do anything except forge other
+replicas' signatures.  Rather than flagging replicas as "bad" and special-
+casing them, these helpers rewire a live replica's *outgoing* behaviour so
+it actually misbehaves on the wire; correct replicas and clients must then
+survive through quorum intersection and signature verification, which is
+what the fault-tolerance tests assert.
+
+Available strategies:
+
+* ``silent``   — the replica stops sending anything (Byzantine-crash);
+* ``equivocate`` — a Byzantine primary proposes *different* requests to
+  different subsets of replicas for the same sequence number;
+* ``lie`` — the replica sends clients replies with a fabricated result;
+* ``corrupt`` — the replica's signatures are garbage, so every correct
+  receiver discards its messages.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, Iterable, List
+
+from repro.cluster.deployment import Deployment
+from repro.core import messages as core_msgs
+from repro.crypto.signatures import Signature
+from repro.smr.messages import Reply
+from repro.smr.replica import ReplicaBase, request_digest
+from repro.smr.state_machine import Operation
+
+
+def make_silent(replica: ReplicaBase) -> None:
+    """The replica stops sending protocol messages entirely."""
+
+    def send_nothing(dst, payload):
+        return None
+
+    def multicast_nothing(destinations, payload):
+        return None
+
+    replica.send = send_nothing  # type: ignore[assignment]
+    replica.multicast = multicast_nothing  # type: ignore[assignment]
+
+
+def make_equivocating(replica: ReplicaBase) -> None:
+    """A Byzantine primary sends conflicting proposals to different replicas.
+
+    Only ordering messages that carry a request (SeeMoRe's ``Prepare`` and
+    ``PrePrepare``) are attacked; everything else is forwarded unchanged.
+    Correct replicas detect the conflict by digest mismatch and refuse the
+    second assignment, so the slot stalls and a view change removes the
+    equivocator.
+    """
+    original_multicast = replica.multicast
+
+    def conflicting_copy(payload):
+        twisted = copy.copy(payload)
+        twisted_request = copy.copy(payload.request)
+        twisted_operation = Operation(
+            kind="put",
+            args=("byzantine", "tampered"),
+            payload=getattr(payload.request.operation, "payload", ""),
+        )
+        twisted_request.operation = twisted_operation
+        twisted.request = twisted_request
+        twisted.digest = request_digest(twisted_request)
+        twisted.sign(replica.signer)
+        return twisted
+
+    def equivocating_multicast(destinations, payload):
+        if isinstance(payload, (core_msgs.Prepare, core_msgs.PrePrepare)) and getattr(
+            payload, "request", None
+        ) is not None:
+            targets = [d for d in destinations if d != replica.node_id]
+            half = len(targets) // 2
+            original_multicast(targets[:half], payload)
+            if targets[half:]:
+                original_multicast(targets[half:], conflicting_copy(payload))
+            return
+        original_multicast(destinations, payload)
+
+    replica.multicast = equivocating_multicast  # type: ignore[assignment]
+
+
+def make_lying(replica: ReplicaBase) -> None:
+    """The replica replies to clients with a fabricated result.
+
+    The signature on the lie is the Byzantine replica's own (it cannot forge
+    anyone else's), so clients relying on f+1 / 2m+1 matching replies are
+    never fooled as long as the fault bound holds.
+    """
+    original_send = replica.send
+
+    def lying_send(dst, payload):
+        if isinstance(payload, Reply):
+            lie = copy.copy(payload)
+            lie.result = {"ok": False, "value": "forged-by-" + replica.node_id}
+            lie.sign(replica.signer)
+            original_send(dst, lie)
+            return
+        original_send(dst, payload)
+
+    replica.send = lying_send  # type: ignore[assignment]
+
+
+def make_corrupt_signatures(replica: ReplicaBase) -> None:
+    """Every signed message the replica sends carries an invalid signature."""
+    original_send = replica.send
+    original_multicast = replica.multicast
+
+    def corrupt(payload):
+        if getattr(payload, "signed", False) and getattr(payload, "signature", None) is not None:
+            twisted = copy.copy(payload)
+            twisted.signature = Signature(
+                signer_id=payload.signature.signer_id,
+                payload_digest=payload.signature.payload_digest,
+                tag="0" * 64,
+            )
+            return twisted
+        return payload
+
+    replica.send = lambda dst, payload: original_send(dst, corrupt(payload))  # type: ignore[assignment]
+    replica.multicast = lambda dsts, payload: original_multicast(dsts, corrupt(payload))  # type: ignore[assignment]
+
+
+BYZANTINE_STRATEGIES: Dict[str, Callable[[ReplicaBase], None]] = {
+    "silent": make_silent,
+    "equivocate": make_equivocating,
+    "lie": make_lying,
+    "corrupt": make_corrupt_signatures,
+}
+
+
+def make_byzantine(deployment: Deployment, replica_id: str, strategy: str = "silent") -> None:
+    """Turn one replica Byzantine using a named strategy.
+
+    Raises:
+        ValueError: for unknown strategies or when the target replica is in
+            the private cloud of a SeeMoRe deployment (the paper's model
+            does not allow Byzantine behaviour there).
+    """
+    if strategy not in BYZANTINE_STRATEGIES:
+        raise ValueError(
+            f"unknown Byzantine strategy {strategy!r}; choose one of {sorted(BYZANTINE_STRATEGIES)}"
+        )
+    config = deployment.extras.get("config")
+    private = getattr(config, "private_replicas", ())
+    if replica_id in private:
+        raise ValueError(
+            f"replica {replica_id!r} is in the trusted private cloud; "
+            "the hybrid model only admits Byzantine faults in the public cloud"
+        )
+    replica = deployment.replica(replica_id)
+    BYZANTINE_STRATEGIES[strategy](replica)
+    deployment.mark_faulty(replica_id)

@@ -1,0 +1,55 @@
+"""Crash (fail-stop) fault injection.
+
+Crash faults are the only faults the paper allows in the private cloud: a
+crashed replica stops processing and sending, drops whatever was queued on
+its CPU, and may later recover.  These helpers operate on a
+:class:`~repro.cluster.deployment.Deployment` so tests and benchmarks can
+crash replicas by name or by role.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.deployment import Deployment
+
+
+def crash_replica(deployment: Deployment, replica_id: str) -> None:
+    """Fail-stop one replica and record it as faulty for safety accounting."""
+    replica = deployment.replica(replica_id)
+    replica.crash()
+    deployment.mark_faulty(replica_id)
+
+
+def recover_replica(deployment: Deployment, replica_id: str) -> None:
+    """Bring a crashed replica back online.
+
+    The replica resumes with the state it had when it crashed; it catches up
+    through the protocol's normal state-transfer / checkpoint machinery.  It
+    stays in the deployment's faulty set for conservative safety accounting.
+    """
+    deployment.replica(replica_id).recover()
+
+
+def current_primary_id(deployment: Deployment) -> str:
+    """The id of the primary/leader of the deployment's current view.
+
+    Works for every protocol in the repository: the protocol configuration
+    is stored in ``deployment.extras['config']`` and replicas expose their
+    view; the primary of the *lowest* correct view is reported, which is the
+    one clients are still talking to.
+    """
+    config = deployment.extras["config"]
+    views = [replica.view for replica in deployment.correct_replicas()]
+    view = min(views) if views else 0
+    mode = deployment.extras.get("mode")
+    if mode is not None:
+        return config.primary_of_view(view, mode)
+    return config.primary_of_view(view)
+
+
+def crash_primary(deployment: Deployment, replica_id: Optional[str] = None) -> str:
+    """Crash the current primary (or ``replica_id`` if given); returns its id."""
+    target = replica_id or current_primary_id(deployment)
+    crash_replica(deployment, target)
+    return target

@@ -1,0 +1,39 @@
+"""Network substrate: clouds, links, latency, and node processing.
+
+This package models the deployment environment of the paper: a *private
+cloud* of trusted servers and a *public cloud* of rented servers, connected
+by authenticated point-to-point channels.  Key pieces:
+
+* :class:`~repro.net.topology.Placement` — which node lives in which cloud.
+* :class:`~repro.net.latency.CloudAwareLatencyModel` — one-way latency
+  that distinguishes intra-cloud from cross-cloud links.
+* :class:`~repro.net.network.Network` — delivers messages between nodes,
+  applying latency, bandwidth, drops, partitions, and adversarial delays.
+* :class:`~repro.net.node.Node` — a single-CPU server that charges
+  processing and crypto cost for every message it sends or handles.
+"""
+
+from repro.net.topology import Cloud, Placement
+from repro.net.latency import (
+    CloudAwareLatencyModel,
+    LatencyModel,
+    UniformLatencyModel,
+)
+from repro.net.message import Envelope
+from repro.net.conditions import NetworkConditions
+from repro.net.costs import NodeCostModel
+from repro.net.network import Network
+from repro.net.node import Node
+
+__all__ = [
+    "Cloud",
+    "Placement",
+    "LatencyModel",
+    "UniformLatencyModel",
+    "CloudAwareLatencyModel",
+    "Envelope",
+    "NetworkConditions",
+    "NodeCostModel",
+    "Network",
+    "Node",
+]

@@ -1,0 +1,95 @@
+"""Adverse network conditions: drops, partitions, and extra delays.
+
+Section 3.1 of the paper assumes an asynchronous network that may "drop,
+delay, corrupt, duplicate, or reorder messages" while safety must still
+hold.  :class:`NetworkConditions` is the knob the tests and the adversary
+use to create those conditions deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+
+class NetworkConditions:
+    """Mutable description of current network pathologies.
+
+    All controls are keyed by (src, dst) *directed* pairs except partitions,
+    which are symmetric groups of nodes that can only talk within the group.
+    """
+
+    def __init__(self) -> None:
+        self._drop_probability: Dict[Tuple[str, str], float] = {}
+        self._default_drop_probability = 0.0
+        self._extra_delay: Dict[Tuple[str, str], float] = {}
+        self._partitions: list[FrozenSet[str]] = []
+        self._duplicated_links: Set[Tuple[str, str]] = set()
+
+    def set_default_drop_probability(self, probability: float) -> None:
+        self._validate_probability(probability)
+        self._default_drop_probability = probability
+
+    def set_drop_probability(self, src: str, dst: str, probability: float) -> None:
+        self._validate_probability(probability)
+        self._drop_probability[(src, dst)] = probability
+
+    def set_extra_delay(self, src: str, dst: str, delay: float) -> None:
+        """Add a fixed extra delay on a directed link (adversarial slowness)."""
+        if delay < 0:
+            raise ValueError(f"extra delay cannot be negative: {delay}")
+        self._extra_delay[(src, dst)] = delay
+
+    def clear_extra_delays(self) -> None:
+        self._extra_delay.clear()
+
+    def duplicate_link(self, src: str, dst: str) -> None:
+        """Deliver every message on this link twice (duplication pathology)."""
+        self._duplicated_links.add((src, dst))
+
+    def partition(self, *groups: Set[str]) -> None:
+        """Partition the network into the given groups.
+
+        A message crosses the partition only if its source and destination
+        are in the same group.  Nodes not named in any group can talk to
+        everyone (useful for partial partitions).
+        """
+        self._partitions = [frozenset(group) for group in groups]
+
+    def heal_partition(self) -> None:
+        self._partitions = []
+
+    def should_drop(self, src: str, dst: str, rng: random.Random) -> bool:
+        """Decide whether a message on ``src -> dst`` is lost."""
+        if self._is_partitioned(src, dst):
+            return True
+        probability = self._drop_probability.get((src, dst), self._default_drop_probability)
+        if probability <= 0.0:
+            return False
+        return rng.random() < probability
+
+    def extra_delay(self, src: str, dst: str) -> float:
+        return self._extra_delay.get((src, dst), 0.0)
+
+    def is_duplicated(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._duplicated_links
+
+    def _is_partitioned(self, src: str, dst: str) -> bool:
+        if not self._partitions:
+            return False
+        src_group = self._group_of(src)
+        dst_group = self._group_of(dst)
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
+    def _group_of(self, node_id: str) -> Optional[int]:
+        for index, group in enumerate(self._partitions):
+            if node_id in group:
+                return index
+        return None
+
+    @staticmethod
+    def _validate_probability(probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1]: {probability}")

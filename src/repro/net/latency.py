@@ -1,0 +1,99 @@
+"""One-way network latency models.
+
+Latency is sampled per message from a distribution determined by the pair of
+endpoints.  The default :class:`CloudAwareLatencyModel` distinguishes three
+link classes, matching the paper's deployment knobs:
+
+* intra-cloud links (both endpoints in the same cloud / data centre),
+* cross-cloud links (private ↔ public),
+* client links (client ↔ any replica).
+
+The paper's main experiments co-locate both clouds in one AWS region, so the
+defaults keep cross-cloud latency equal to intra-cloud latency; the Peacock
+mode experiments and the ablations raise it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.topology import Cloud, Placement
+
+
+class LatencyModel:
+    """Interface: sample a one-way latency in seconds for a link."""
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class UniformLatencyModel(LatencyModel):
+    """Same latency distribution for every link.
+
+    Latency is ``base`` plus uniform jitter in ``[0, jitter]``.
+    """
+
+    base: float = 0.0002
+    jitter: float = 0.00005
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        return self.base + rng.uniform(0.0, self.jitter)
+
+
+@dataclass
+class CloudAwareLatencyModel(LatencyModel):
+    """Latency distinguishing intra-cloud, cross-cloud, and client links.
+
+    Attributes:
+        placement: cloud placement used to classify each link.
+        intra_cloud: base one-way latency between nodes in the same cloud.
+        cross_cloud: base one-way latency between the private and public cloud.
+        client_link: base one-way latency between a client and any replica.
+        jitter_fraction: uniform jitter as a fraction of the base latency.
+    """
+
+    placement: Placement
+    intra_cloud: float = 0.0002
+    cross_cloud: float = 0.0002
+    client_link: float = 0.0003
+    jitter_fraction: float = 0.1
+
+    def classify(self, src: str, dst: str) -> str:
+        """Return the link class: ``intra``, ``cross`` or ``client``."""
+        src_cloud = self.placement.cloud_of(src)
+        dst_cloud = self.placement.cloud_of(dst)
+        if Cloud.CLIENT in (src_cloud, dst_cloud):
+            return "client"
+        if src_cloud is dst_cloud:
+            return "intra"
+        return "cross"
+
+    def base_for(self, src: str, dst: str) -> float:
+        link_class = self.classify(src, dst)
+        if link_class == "client":
+            return self.client_link
+        if link_class == "intra":
+            return self.intra_cloud
+        return self.cross_cloud
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        base = self.base_for(src, dst)
+        return base * (1.0 + rng.uniform(0.0, self.jitter_fraction))
+
+
+def lan_latency(placement: Placement, cross_cloud: Optional[float] = None) -> CloudAwareLatencyModel:
+    """Convenience constructor for the paper's co-located deployment.
+
+    Both clouds sit in the same AWS region (US-West in the paper), so
+    cross-cloud latency defaults to the intra-cloud value unless overridden.
+    """
+    intra = 0.0002
+    return CloudAwareLatencyModel(
+        placement=placement,
+        intra_cloud=intra,
+        cross_cloud=cross_cloud if cross_cloud is not None else intra,
+        client_link=0.0003,
+    )

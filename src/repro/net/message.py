@@ -1,0 +1,29 @@
+"""Wire envelope wrapping protocol messages in transit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class Envelope:
+    """A message in flight between two nodes.
+
+    Attributes:
+        src: sender node id.
+        dst: receiver node id.
+        payload: the protocol message object.
+        size_bytes: serialized size used for bandwidth and hashing costs.
+        sent_at: simulated time the sender handed it to the network.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+    sent_at: float
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = type(self.payload).__name__
+        return f"Envelope({self.src}->{self.dst}, {kind}, {self.size_bytes}B, t={self.sent_at:.6f})"

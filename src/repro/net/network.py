@@ -1,0 +1,134 @@
+"""Message delivery between nodes.
+
+The :class:`Network` owns the registered nodes, the latency model, the
+adverse-condition controls, and delivery statistics.  It models the paper's
+pairwise authenticated, asynchronous channels: messages may be dropped,
+delayed, or duplicated (per :class:`~repro.net.conditions.NetworkConditions`),
+but a message delivered as coming from replica *j* really was sent by *j* --
+spoofing is impossible because senders are identified by the object doing
+the sending, not by a field inside the message.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Any, Dict, Optional
+
+from repro.net.conditions import NetworkConditions
+from repro.net.costs import NodeCostModel
+from repro.net.latency import LatencyModel, UniformLatencyModel
+from repro.net.message import Envelope
+from repro.net.node import Node
+from repro.sim.simulator import Simulator
+
+
+class Network:
+    """Simulated datagram network with per-link latency and pathologies."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency_model: Optional[LatencyModel] = None,
+        conditions: Optional[NetworkConditions] = None,
+        cost_model: Optional[NodeCostModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.simulator = simulator
+        self.latency_model = latency_model or UniformLatencyModel()
+        self.conditions = conditions or NetworkConditions()
+        self.cost_model = cost_model or NodeCostModel()
+        self._rng = random.Random(seed)
+        self._nodes: Dict[str, Node] = {}
+
+        self.messages_offered = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_delivered = 0
+        self.message_type_counts: Counter = Counter()
+
+    # -- membership -------------------------------------------------------
+
+    def register(self, node: Node) -> None:
+        """Attach ``node`` to the network (id must be unique)."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id: {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        node.attach(self)
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"unknown node: {node_id!r}") from None
+
+    def knows(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def node_ids(self) -> list:
+        return sorted(self._nodes)
+
+    # -- delivery ---------------------------------------------------------
+
+    def deliver(self, src: str, dst: str, payload: Any, size_bytes: int) -> None:
+        """Route one message from ``src`` to ``dst``.
+
+        Applies drop/partition rules, latency, transmission delay, and
+        duplication, then schedules arrival at the destination node.
+        Messages to unknown destinations are dropped (the node may have been
+        removed by an experiment).
+        """
+        self.messages_offered += 1
+        self.message_type_counts[type(payload).__name__] += 1
+
+        destination = self._nodes.get(dst)
+        if destination is None:
+            self.messages_dropped += 1
+            return
+        if self.conditions.should_drop(src, dst, self._rng):
+            self.messages_dropped += 1
+            return
+
+        envelope = Envelope(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.simulator.now,
+        )
+        delay = self._total_delay(src, dst, size_bytes)
+        self.simulator.call_later(delay, lambda: self._arrive(envelope), label=f"net:{src}->{dst}")
+
+        if self.conditions.is_duplicated(src, dst):
+            duplicate_delay = self._total_delay(src, dst, size_bytes)
+            self.simulator.call_later(
+                duplicate_delay, lambda: self._arrive(envelope), label=f"net-dup:{src}->{dst}"
+            )
+
+    def _total_delay(self, src: str, dst: str, size_bytes: int) -> float:
+        latency = self.latency_model.sample(src, dst, self._rng)
+        transmission = self.cost_model.transmission_delay(size_bytes)
+        extra = self.conditions.extra_delay(src, dst)
+        return latency + transmission + extra
+
+    def _arrive(self, envelope: Envelope) -> None:
+        destination = self._nodes.get(envelope.dst)
+        if destination is None:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        self.bytes_delivered += envelope.size_bytes
+        destination.deliver(envelope.src, envelope.payload, envelope.size_bytes)
+
+    # -- statistics -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot of delivery counters (useful in benches and tests)."""
+        return {
+            "messages_offered": self.messages_offered,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_delivered": self.bytes_delivered,
+            "by_type": dict(self.message_type_counts),
+        }

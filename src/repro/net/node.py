@@ -1,0 +1,163 @@
+"""Base class for every server and client in the simulation.
+
+A :class:`Node` couples a single-threaded CPU (:class:`repro.sim.Process`)
+with a network attachment.  Protocol replicas and clients subclass it and
+implement :meth:`Node.handle_message`.
+
+Message accounting follows the paper's deployment:
+
+* every *handled* message charges deserialization + digest + signature/MAC
+  verification CPU on the receiver;
+* every *sent* message charges serialization + signature/MAC CPU on the
+  sender; a multicast signs the content once and then pays only the
+  per-destination serialization cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, TYPE_CHECKING
+
+from repro.net.costs import NodeCostModel
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator, Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from repro.net.network import Network
+
+
+def wire_size_of(payload: Any) -> int:
+    """Serialized size in bytes of a protocol message.
+
+    Messages may expose ``wire_size()``; otherwise we approximate with the
+    length of the repr, which is stable enough for cost purposes.
+    """
+    size_fn = getattr(payload, "wire_size", None)
+    if callable(size_fn):
+        return int(size_fn())
+    return len(repr(payload))
+
+
+def is_signed(payload: Any) -> bool:
+    """Whether the message carries a public-key signature to verify."""
+    return bool(getattr(payload, "signed", False))
+
+
+def signature_count_of(payload: Any) -> int:
+    """How many signatures a receiver must verify for this message."""
+    count = getattr(payload, "signature_count", None)
+    if count is None:
+        return 1 if is_signed(payload) else 0
+    return int(count)
+
+
+class Node:
+    """A simulated machine: one CPU, one network interface, many timers."""
+
+    def __init__(
+        self,
+        node_id: str,
+        simulator: Simulator,
+        cost_model: Optional[NodeCostModel] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.simulator = simulator
+        self.cost_model = cost_model or NodeCostModel()
+        self.process = Process(simulator, name=node_id)
+        self._network: Optional["Network"] = None
+        self.messages_handled = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, network: "Network") -> None:
+        """Called by the network when the node is registered."""
+        self._network = network
+
+    @property
+    def network(self) -> "Network":
+        if self._network is None:
+            raise RuntimeError(f"node {self.node_id!r} is not attached to a network")
+        return self._network
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    @property
+    def crashed(self) -> bool:
+        return self.process.crashed
+
+    def crash(self) -> None:
+        """Fail-stop this node: it stops processing and sending."""
+        self.process.crash()
+
+    def recover(self) -> None:
+        self.process.recover()
+
+    def create_timer(self, callback, label: str = "") -> Timer:
+        """Create an unarmed timer owned by this node."""
+        return self.simulator.timer(callback, label=f"{self.node_id}:{label}")
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, dst: str, payload: Any) -> None:
+        """Send one message to one destination, charging send-side CPU."""
+        if self.crashed:
+            return
+        size = wire_size_of(payload)
+        cost = self.cost_model.send_cost(size, is_signed(payload))
+        self.process.submit(cost, lambda: self._transmit(dst, payload, size))
+
+    def multicast(self, destinations: Iterable[str], payload: Any) -> None:
+        """Send the same message to many destinations.
+
+        The content is signed once; each destination then costs only the
+        per-message serialization and channel MAC.
+        """
+        if self.crashed:
+            return
+        targets = [dst for dst in destinations if dst != self.node_id]
+        if not targets:
+            return
+        size = wire_size_of(payload)
+        signed = is_signed(payload)
+        first_cost = self.cost_model.send_cost(size, signed)
+        rest_cost = self.cost_model.send_cost(size, False)
+
+        def transmit_all() -> None:
+            for dst in targets:
+                self._transmit(dst, payload, size)
+
+        total_cost = first_cost + rest_cost * (len(targets) - 1)
+        self.process.submit(total_cost, transmit_all)
+
+    def _transmit(self, dst: str, payload: Any, size: int) -> None:
+        if self.crashed:
+            return
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.network.deliver(self.node_id, dst, payload, size)
+
+    # -- receiving --------------------------------------------------------
+
+    def deliver(self, src: str, payload: Any, size: int) -> None:
+        """Called by the network when a message arrives at this node.
+
+        The message waits in the CPU queue and is handled once the CPU has
+        paid its receive cost.  Crashed nodes drop everything.
+        """
+        if self.crashed:
+            return
+        cost = self.cost_model.receive_cost(size, is_signed(payload), signature_count_of(payload))
+        self.process.submit(cost, lambda: self._handle(src, payload))
+
+    def _handle(self, src: str, payload: Any) -> None:
+        if self.crashed:
+            return
+        self.messages_handled += 1
+        self.handle_message(src, payload)
+
+    def handle_message(self, src: str, payload: Any) -> None:
+        """Protocol logic entry point; subclasses must implement."""
+        raise NotImplementedError

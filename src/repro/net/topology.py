@@ -1,0 +1,69 @@
+"""Cloud placement of nodes.
+
+The hybrid model (Section 3.2) distinguishes *trusted* replicas in the
+private cloud (identifiers ``0 .. S-1`` in the paper) from *untrusted*
+replicas in the public cloud (identifiers ``S .. N-1``).  Clients live
+outside both clouds.  :class:`Placement` records that assignment and is
+consulted by the latency model and by the protocol configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List
+
+
+class Cloud(enum.Enum):
+    """Where a node physically runs."""
+
+    PRIVATE = "private"
+    PUBLIC = "public"
+    CLIENT = "client"
+
+
+class Placement:
+    """Mapping from node identifier to the cloud hosting it."""
+
+    def __init__(self) -> None:
+        self._clouds: Dict[str, Cloud] = {}
+
+    def assign(self, node_id: str, cloud: Cloud) -> None:
+        """Place ``node_id`` in ``cloud`` (re-assignment is an error)."""
+        existing = self._clouds.get(node_id)
+        if existing is not None and existing is not cloud:
+            raise ValueError(
+                f"node {node_id!r} already placed in {existing.value}, cannot move to {cloud.value}"
+            )
+        self._clouds[node_id] = cloud
+
+    def assign_many(self, node_ids: Iterable[str], cloud: Cloud) -> None:
+        for node_id in node_ids:
+            self.assign(node_id, cloud)
+
+    def cloud_of(self, node_id: str) -> Cloud:
+        """Return the cloud of ``node_id``.
+
+        Raises:
+            KeyError: for nodes that were never placed.
+        """
+        try:
+            return self._clouds[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id!r} has no cloud placement") from None
+
+    def knows(self, node_id: str) -> bool:
+        return node_id in self._clouds
+
+    def nodes_in(self, cloud: Cloud) -> List[str]:
+        """All node ids placed in ``cloud``, sorted for determinism."""
+        return sorted(node_id for node_id, c in self._clouds.items() if c is cloud)
+
+    def is_trusted(self, node_id: str) -> bool:
+        """Trusted means hosted in the private cloud (never malicious)."""
+        return self.cloud_of(node_id) is Cloud.PRIVATE
+
+    def __len__(self) -> int:
+        return len(self._clouds)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._clouds

@@ -1,0 +1,42 @@
+"""Public cloud sizing (Section 4 of the paper).
+
+An enterprise that owns ``S`` trusted servers, of which up to ``c`` may
+crash, must rent enough untrusted servers from a public cloud to satisfy
+SeeMoRe's minimum network size ``N = 3m + 2c + 1``.  This package computes
+how many, under the two information models the paper describes:
+
+* a *ratio* model, where the public cloud advertises the fraction of faulty
+  nodes (``α`` malicious, optionally ``β`` crash) -- Equations (2) and (3);
+* an *explicit* model, where the cloud states the maximum number of
+  concurrent failures in a rented cluster (``M`` malicious, optionally
+  ``C`` crash).
+
+It also answers the feasibility questions from the same section: when does
+renting help at all (``c < S < 2c+1``), and which providers are even usable
+(``α < 1/3``).
+"""
+
+from repro.planner.sizing import (
+    CloudPlan,
+    InfeasiblePlanError,
+    hybrid_network_size,
+    hybrid_quorum_size,
+    plan_with_explicit_failures,
+    plan_with_failure_ratio,
+    recommend_plan,
+    rental_is_beneficial,
+)
+from repro.planner.multicloud import MultiCloudOption, plan_across_clouds
+
+__all__ = [
+    "CloudPlan",
+    "InfeasiblePlanError",
+    "hybrid_network_size",
+    "hybrid_quorum_size",
+    "plan_with_failure_ratio",
+    "plan_with_explicit_failures",
+    "recommend_plan",
+    "rental_is_beneficial",
+    "MultiCloudOption",
+    "plan_across_clouds",
+]

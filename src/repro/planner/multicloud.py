@@ -1,0 +1,100 @@
+"""Generalisation of the sizing method to multiple public clouds.
+
+Section 4 notes that both sizing methods "can be generalized to multiple
+public clouds" and that, because providers differ in failure ratios, the
+equation may have multiple solutions.  This module enumerates feasible
+splits across providers and picks the cheapest one under a simple per-node
+price model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence
+
+from repro.planner.sizing import InfeasiblePlanError, _validate_private_cloud
+
+
+@dataclass(frozen=True)
+class MultiCloudOption:
+    """One candidate allocation across several public clouds.
+
+    Attributes:
+        allocation: provider name -> number of nodes rented there.
+        byzantine_tolerance: total malicious failures tolerated (sum of
+            per-provider worst cases).
+        total_cost: total per-period price of the rented nodes.
+    """
+
+    allocation: Dict[str, int]
+    byzantine_tolerance: int
+    total_cost: float
+
+    @property
+    def total_public_nodes(self) -> int:
+        return sum(self.allocation.values())
+
+
+@dataclass(frozen=True)
+class PublicCloudOffer:
+    """A provider's advertised characteristics."""
+
+    name: str
+    malicious_ratio: float
+    price_per_node: float = 1.0
+    max_nodes: int = 64
+
+
+def plan_across_clouds(
+    private_size: int,
+    crash_tolerance: int,
+    offers: Sequence[PublicCloudOffer],
+    max_nodes_per_cloud: Optional[int] = None,
+) -> MultiCloudOption:
+    """Find the cheapest feasible allocation across multiple providers.
+
+    The search enumerates per-provider node counts up to each provider's
+    ``max_nodes`` (or the override) and keeps allocations whose total size
+    satisfies ``S + sum(P_i) >= 3 * sum(m_i) + 2c + 1`` where
+    ``m_i = floor(alpha_i * P_i)``.
+
+    Raises:
+        InfeasiblePlanError: when no allocation satisfies the constraint.
+    """
+    _validate_private_cloud(private_size, crash_tolerance)
+    if not offers:
+        raise ValueError("at least one public cloud offer is required")
+
+    limits = [
+        min(offer.max_nodes, max_nodes_per_cloud) if max_nodes_per_cloud else offer.max_nodes
+        for offer in offers
+    ]
+    best: Optional[MultiCloudOption] = None
+    for counts in product(*(range(0, limit + 1) for limit in limits)):
+        total_public = sum(counts)
+        if total_public == 0:
+            continue
+        malicious = sum(
+            math.floor(offer.malicious_ratio * count) for offer, count in zip(offers, counts)
+        )
+        required = 3 * malicious + 2 * crash_tolerance + 1
+        if private_size + total_public < required:
+            continue
+        cost = sum(offer.price_per_node * count for offer, count in zip(offers, counts))
+        candidate = MultiCloudOption(
+            allocation={offer.name: count for offer, count in zip(offers, counts) if count},
+            byzantine_tolerance=malicious,
+            total_cost=cost,
+        )
+        if best is None or (candidate.total_cost, candidate.total_public_nodes) < (
+            best.total_cost,
+            best.total_public_nodes,
+        ):
+            best = candidate
+    if best is None:
+        raise InfeasiblePlanError(
+            "no allocation across the offered public clouds satisfies the network size constraint"
+        )
+    return best

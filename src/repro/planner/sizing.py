@@ -1,0 +1,230 @@
+"""Sizing equations for renting public-cloud servers (Section 4).
+
+The key quantities, in the paper's notation:
+
+* ``S``  — servers owned in the trusted private cloud,
+* ``c``  — maximum concurrent crash failures in the private cloud,
+* ``P``  — servers rented from the untrusted public cloud,
+* ``m``  — maximum concurrent Byzantine failures among the rented servers,
+* ``N = S + P`` — total network size, which must satisfy ``N ≥ 3m + 2c + 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+class InfeasiblePlanError(ValueError):
+    """Raised when no rental plan can satisfy the protocol constraints."""
+
+
+def hybrid_network_size(malicious: int, crash: int) -> int:
+    """Minimum network size ``3m + 2c + 1`` for the hybrid failure model (Eq. 1)."""
+    _validate_fault_counts(malicious, crash)
+    return 3 * malicious + 2 * crash + 1
+
+
+def hybrid_quorum_size(malicious: int, crash: int) -> int:
+    """Minimum quorum size ``2m + c + 1`` for the hybrid failure model."""
+    _validate_fault_counts(malicious, crash)
+    return 2 * malicious + crash + 1
+
+
+@dataclass(frozen=True)
+class CloudPlan:
+    """A concrete rental recommendation.
+
+    Attributes:
+        private_nodes: servers used from the private cloud (``S``).
+        public_nodes: servers to rent from the public cloud (``P``).
+        crash_tolerance: crash failures tolerated in the private cloud (``c``).
+        byzantine_tolerance: Byzantine failures tolerated in the public cloud (``m``).
+        rationale: short human-readable explanation of the recommendation.
+    """
+
+    private_nodes: int
+    public_nodes: int
+    crash_tolerance: int
+    byzantine_tolerance: int
+    rationale: str = ""
+
+    @property
+    def network_size(self) -> int:
+        return self.private_nodes + self.public_nodes
+
+    @property
+    def quorum_size(self) -> int:
+        return hybrid_quorum_size(self.byzantine_tolerance, self.crash_tolerance)
+
+    @property
+    def satisfies_constraints(self) -> bool:
+        """Whether ``N ≥ 3m + 2c + 1`` holds for this plan."""
+        return self.network_size >= hybrid_network_size(
+            self.byzantine_tolerance, self.crash_tolerance
+        )
+
+
+def rental_is_beneficial(private_size: int, crash_tolerance: int) -> bool:
+    """Whether renting public nodes helps at all.
+
+    Per Section 4: if ``S ≥ 2c + 1`` the private cloud can run Paxos alone;
+    if ``S ≤ c`` the private cloud is useless and everything should go to
+    the public cloud.  Renting is beneficial only when ``c < S < 2c + 1``.
+    """
+    _validate_private_cloud(private_size, crash_tolerance)
+    return crash_tolerance < private_size < 2 * crash_tolerance + 1
+
+
+def plan_with_failure_ratio(
+    private_size: int,
+    crash_tolerance: int,
+    malicious_ratio: float,
+    crash_ratio: float = 0.0,
+) -> CloudPlan:
+    """Equations (2) and (3): size the rental from advertised failure ratios.
+
+    Args:
+        private_size: ``S``, servers owned in the private cloud.
+        crash_tolerance: ``c``, concurrent crash failures to tolerate there.
+        malicious_ratio: ``α = m / P``, fraction of rented nodes that may be
+            malicious (uniformly distributed).
+        crash_ratio: ``β = c_pub / P``, fraction of rented nodes that may
+            merely crash, when the provider distinguishes failure types
+            (Equation 3).  Defaults to 0, which recovers Equation (2).
+
+    Returns:
+        A :class:`CloudPlan` with the minimal number of public nodes to rent.
+
+    Raises:
+        InfeasiblePlanError: if the private cloud already suffices, is
+            useless, or the provider's failure ratio makes the constraint
+            unsatisfiable (``3α + 2β ≥ 1``).
+
+    Example (from the paper): ``S=2, c=1, α=0.3`` requires renting 10 nodes.
+
+    >>> plan_with_failure_ratio(2, 1, 0.3).public_nodes
+    10
+    """
+    _validate_private_cloud(private_size, crash_tolerance)
+    _validate_ratio("malicious_ratio", malicious_ratio)
+    _validate_ratio("crash_ratio", crash_ratio)
+
+    if private_size >= 2 * crash_tolerance + 1:
+        raise InfeasiblePlanError(
+            f"private cloud of {private_size} nodes already tolerates c={crash_tolerance} "
+            "crashes on its own (S >= 2c+1); run a crash fault-tolerant protocol instead"
+        )
+    if private_size <= crash_tolerance:
+        raise InfeasiblePlanError(
+            f"private cloud of {private_size} nodes with c={crash_tolerance} possible crashes "
+            "offers no benefit (S <= c); rent everything and run a Byzantine protocol"
+        )
+
+    denominator = 3.0 * malicious_ratio + 2.0 * crash_ratio - 1.0
+    numerator = float(private_size - (2 * crash_tolerance + 1))
+    # Both numerator and denominator are negative in the beneficial regime;
+    # a non-negative denominator means alpha/beta are too high to ever satisfy
+    # the network size constraint.
+    if denominator >= 0:
+        raise InfeasiblePlanError(
+            f"public cloud with malicious ratio {malicious_ratio} and crash ratio {crash_ratio} "
+            "cannot satisfy the network size constraint (3*alpha + 2*beta >= 1)"
+        )
+    public_nodes = math.ceil(numerator / denominator)
+    byzantine = math.floor(malicious_ratio * public_nodes)
+    rationale = (
+        f"Equation ({'3' if crash_ratio else '2'}): S={private_size}, c={crash_tolerance}, "
+        f"alpha={malicious_ratio}" + (f", beta={crash_ratio}" if crash_ratio else "")
+    )
+    return CloudPlan(
+        private_nodes=private_size,
+        public_nodes=public_nodes,
+        crash_tolerance=crash_tolerance,
+        byzantine_tolerance=byzantine,
+        rationale=rationale,
+    )
+
+
+def plan_with_explicit_failures(
+    private_size: int,
+    crash_tolerance: int,
+    public_malicious: int,
+    public_crash: int = 0,
+) -> CloudPlan:
+    """Size the rental when the provider states explicit failure counts.
+
+    ``P = (3M + 2C + 2c + 1) - S`` where ``M`` (and optionally ``C``) are the
+    maximum concurrent malicious (and crash) failures in the rented cluster.
+    """
+    _validate_private_cloud(private_size, crash_tolerance)
+    if public_malicious < 0 or public_crash < 0:
+        raise ValueError("public cloud failure counts cannot be negative")
+
+    required_total = 3 * public_malicious + 2 * public_crash + 2 * crash_tolerance + 1
+    public_nodes = max(0, required_total - private_size)
+    rationale = (
+        f"explicit failures: M={public_malicious}, C={public_crash}, "
+        f"S={private_size}, c={crash_tolerance}"
+    )
+    return CloudPlan(
+        private_nodes=private_size,
+        public_nodes=public_nodes,
+        crash_tolerance=crash_tolerance,
+        byzantine_tolerance=public_malicious,
+        rationale=rationale,
+    )
+
+
+def recommend_plan(
+    private_size: int,
+    crash_tolerance: int,
+    malicious_ratio: Optional[float] = None,
+    public_malicious: Optional[int] = None,
+    public_crash: int = 0,
+    crash_ratio: float = 0.0,
+) -> CloudPlan:
+    """One-stop recommendation combining both sizing methods.
+
+    Provide either ``malicious_ratio`` (ratio model) or ``public_malicious``
+    (explicit model).  If the private cloud alone suffices, the returned plan
+    rents nothing and recommends a crash fault-tolerant protocol.
+    """
+    _validate_private_cloud(private_size, crash_tolerance)
+    if private_size >= 2 * crash_tolerance + 1:
+        return CloudPlan(
+            private_nodes=private_size,
+            public_nodes=0,
+            crash_tolerance=crash_tolerance,
+            byzantine_tolerance=0,
+            rationale="private cloud satisfies S >= 2c+1; run Paxos locally",
+        )
+    if public_malicious is not None:
+        return plan_with_explicit_failures(
+            private_size, crash_tolerance, public_malicious, public_crash
+        )
+    if malicious_ratio is not None:
+        return plan_with_failure_ratio(
+            private_size, crash_tolerance, malicious_ratio, crash_ratio
+        )
+    raise ValueError("provide either malicious_ratio or public_malicious")
+
+
+def _validate_fault_counts(malicious: int, crash: int) -> None:
+    if malicious < 0:
+        raise ValueError(f"malicious failure count cannot be negative: {malicious}")
+    if crash < 0:
+        raise ValueError(f"crash failure count cannot be negative: {crash}")
+
+
+def _validate_private_cloud(private_size: int, crash_tolerance: int) -> None:
+    if private_size < 0:
+        raise ValueError(f"private cloud size cannot be negative: {private_size}")
+    if crash_tolerance < 0:
+        raise ValueError(f"crash tolerance cannot be negative: {crash_tolerance}")
+
+
+def _validate_ratio(name: str, value: float) -> None:
+    if not 0.0 <= value < 1.0:
+        raise ValueError(f"{name} must be in [0, 1): {value}")

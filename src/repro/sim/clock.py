@@ -1,0 +1,46 @@
+"""Simulated clock.
+
+Time in the simulation is a floating point number of *seconds*.  The clock
+only moves forward and is advanced exclusively by the simulator's event
+loop; user code reads it through :attr:`Clock.now`.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonically increasing simulated clock.
+
+    The clock starts at ``0.0`` unless an explicit ``start`` is given.  It is
+    deliberately not tied to wall-clock time: benchmarks that report
+    "seconds" or "milliseconds" report *simulated* time, which makes runs
+    reproducible and independent of the host machine.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises:
+            ValueError: if ``timestamp`` is in the past.  The simulator never
+                rewinds time; a violation indicates a scheduling bug.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, target={timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.6f})"

@@ -1,0 +1,87 @@
+"""Event objects and the priority queue that orders them.
+
+Events are ordered by ``(time, sequence)`` where ``sequence`` is a strictly
+increasing insertion counter.  Ties on time therefore resolve in FIFO order,
+which keeps the simulation deterministic regardless of dict/set iteration
+order in higher layers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: absolute simulated time at which the event fires.
+        seq: insertion sequence number, used as a tiebreaker.
+        action: zero-argument callable invoked when the event fires.
+        cancelled: cancelled events stay in the heap but are skipped when
+            popped; this makes cancellation O(1).
+        label: optional human-readable tag used in traces and debugging.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects keyed by (time, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Insert a new event and return it (so callers may cancel it)."""
+        event = Event(time=time, seq=self._counter, action=action, label=label)
+        self._counter += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def discard_cancelled(self) -> None:
+        """Compact the heap by dropping cancelled entries (occasional GC)."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+
+    def note_cancelled(self) -> None:
+        """Record that one live event was cancelled externally."""
+        self._live -= 1

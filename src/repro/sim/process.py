@@ -1,0 +1,124 @@
+"""Single-threaded server processes with a CPU cost model.
+
+The paper's replicas are real servers: each message costs CPU time to
+deserialize, verify, and handle, and a server can only do one thing at a
+time.  Saturation of that serial resource is what bends the
+latency-throughput curves in Figures 2 and 3.
+
+:class:`Process` models exactly that: a FIFO work queue drained one item at
+a time, where each item carries a service-time cost in simulated seconds.
+Higher layers (the network, the replica engine) submit work via
+:meth:`Process.submit`; the process charges the cost and invokes the handler
+when the "CPU" gets to it.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.sim.simulator import Simulator
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated server process."""
+
+    RUNNING = "running"
+    CRASHED = "crashed"
+
+
+class Process:
+    """A serial execution resource (one CPU core) in the simulation.
+
+    Work items are ``(cost_seconds, handler)`` pairs.  The process is
+    non-preemptive: once a handler's cost has been charged the handler runs
+    to completion at that instant.  Crashed processes silently drop all
+    submitted and queued work, which is exactly the fail-stop behaviour the
+    paper assumes for the private cloud.
+    """
+
+    def __init__(self, simulator: Simulator, name: str = "process") -> None:
+        self._simulator = simulator
+        self._name = name
+        self._queue: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self._busy = False
+        self._state = ProcessState.RUNNING
+        self._busy_time = 0.0
+        self._items_processed = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def state(self) -> ProcessState:
+        return self._state
+
+    @property
+    def crashed(self) -> bool:
+        return self._state is ProcessState.CRASHED
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of work items waiting for the CPU (excludes the running one)."""
+        return len(self._queue)
+
+    @property
+    def busy_time(self) -> float:
+        """Total simulated seconds spent executing work (utilisation numerator)."""
+        return self._busy_time
+
+    @property
+    def items_processed(self) -> int:
+        return self._items_processed
+
+    def submit(self, cost: float, handler: Callable[[], None]) -> None:
+        """Enqueue a work item costing ``cost`` simulated seconds of CPU.
+
+        Work submitted to a crashed process is dropped silently: a crashed
+        server neither processes nor acknowledges anything.
+        """
+        if cost < 0:
+            raise ValueError(f"work cost cannot be negative: {cost}")
+        if self._state is ProcessState.CRASHED:
+            return
+        self._queue.append((cost, handler))
+        if not self._busy:
+            self._start_next()
+
+    def crash(self) -> None:
+        """Fail-stop the process: drop queued work and refuse new work."""
+        self._state = ProcessState.CRASHED
+        self._queue.clear()
+
+    def recover(self) -> None:
+        """Bring a crashed process back (used by crash-recover experiments)."""
+        self._state = ProcessState.RUNNING
+
+    def _start_next(self) -> None:
+        if self._state is ProcessState.CRASHED or not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        cost, handler = self._queue.popleft()
+        self._busy_time += cost
+        self._simulator.call_later(cost, lambda: self._finish(handler), label=f"{self._name}:work")
+
+    def _finish(self, handler: Callable[[], None]) -> None:
+        if self._state is not ProcessState.CRASHED:
+            self._items_processed += 1
+            handler()
+        self._busy = False
+        self._start_next()
+
+    def utilisation(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time the CPU has been busy.
+
+        Args:
+            elapsed: window length; defaults to the current simulated time.
+        """
+        window = elapsed if elapsed is not None else self._simulator.now
+        if window <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / window)

@@ -1,0 +1,155 @@
+"""The discrete-event simulator that drives every experiment.
+
+A :class:`Simulator` owns the clock and the event queue.  Components
+schedule callbacks either after a relative delay (:meth:`Simulator.call_later`)
+or at an absolute time (:meth:`Simulator.call_at`), and the experiment
+harness runs the loop with :meth:`Simulator.run`.
+
+Timers (used heavily by the consensus protocols for view-change timeouts)
+are thin wrappers over events that support cancellation and restart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+
+
+class Timer:
+    """A cancellable, restartable timer bound to a simulator.
+
+    Protocol replicas use timers for request timeouts: start it when a
+    request enters the pipeline, stop it when the commit arrives, and let
+    its expiry trigger a view change.
+    """
+
+    def __init__(self, simulator: "Simulator", callback: Callable[[], None], label: str = "") -> None:
+        self._simulator = simulator
+        self._callback = callback
+        self._label = label
+        self._event: Optional[Event] = None
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    @property
+    def active(self) -> bool:
+        """Whether the timer is currently armed."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        self.stop()
+        self._event = self._simulator.call_later(delay, self._fire, label=self._label)
+
+    def restart(self, delay: float) -> None:
+        """Alias for :meth:`start`; reads better at call sites that re-arm."""
+        self.start(delay)
+
+    def stop(self) -> None:
+        """Disarm the timer if it is active."""
+        if self._event is not None and not self._event.cancelled:
+            self._simulator.cancel(self._event)
+        self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Events scheduled for the same instant fire in the order they were
+    scheduled.  The simulator makes no use of wall-clock time or global
+    randomness, so a run is a pure function of its inputs.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._clock = Clock(start_time)
+        self._queue = EventQueue()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far (for diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (not-yet-fired, not-cancelled) events."""
+        return len(self._queue)
+
+    def call_later(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past: delay={delay}")
+        return self._queue.push(self._clock.now + delay, action, label=label)
+
+    def call_at(self, timestamp: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run at absolute simulated time ``timestamp``."""
+        if timestamp < self._clock.now:
+            raise ValueError(
+                f"cannot schedule an event in the past: now={self._clock.now}, at={timestamp}"
+            )
+        return self._queue.push(timestamp, action, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def timer(self, callback: Callable[[], None], label: str = "") -> Timer:
+        """Create an unarmed :class:`Timer` bound to this simulator."""
+        return Timer(self, callback, label=label)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Args:
+            until: stop once the clock would pass this simulated time.  Events
+                scheduled exactly at ``until`` are executed.
+            max_events: safety valve for runaway simulations; stop after this
+                many events have been processed in this call.
+
+        Returns:
+            The simulated time at which the loop stopped.
+        """
+        self._running = True
+        processed_this_call = 0
+        try:
+            while self._running:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._clock.advance_to(until)
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._clock.advance_to(event.time)
+                event.action()
+                self._events_processed += 1
+                processed_this_call += 1
+                if max_events is not None and processed_this_call >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._clock.now < until and self._queue.peek_time() is None:
+            self._clock.advance_to(until)
+        return self._clock.now
+
+    def stop(self) -> None:
+        """Request the event loop to stop after the current event."""
+        self._running = False

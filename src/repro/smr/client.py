@@ -1,0 +1,255 @@
+"""Closed-loop replicated-service client.
+
+The client behaviour follows Section 5 of the paper:
+
+* it sends each request to the node(s) it believes can order it (the
+  primary in the Lion/Dog modes and in Paxos; the primary proxy in the
+  Peacock mode and PBFT);
+* it accepts a result once it has *matching* replies from enough distinct
+  replicas -- one signed reply from a trusted replica, or a quorum of
+  matching replies from untrusted ones, depending on the protocol/mode;
+* if no acceptable reply arrives within a timeout it retransmits the same
+  request to a wider set of replicas, which is also what eventually exposes
+  a faulty primary and triggers a view change.
+
+The client is *closed loop*: it keeps exactly one request outstanding and
+issues the next one as soon as the previous one completes, which is the
+load model used in the paper's experiments (each client "waits for the
+reply before sending a subsequent request").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.crypto.digest import digest
+from repro.crypto.signatures import Signer, Verifier
+from repro.net.costs import NodeCostModel
+from repro.net.node import Node
+from repro.sim.simulator import Simulator
+from repro.smr.messages import Reply, Request
+from repro.smr.state_machine import Operation
+
+TargetSelector = Callable[[int, int], List[str]]
+OperationFactory = Callable[[int], Operation]
+
+
+@dataclass
+class ClientConfig:
+    """How a client talks to a particular protocol deployment.
+
+    Attributes:
+        request_targets: ``(view, mode) -> node ids`` to send new requests to.
+        replies_needed: matching replies required to accept a result.
+        trusted_replicas: replicas whose single signed reply is sufficient
+            (the private cloud in SeeMoRe's Lion mode, the leader in Paxos).
+        retransmit_targets: ``(view, mode) -> node ids`` for retransmissions
+            after a timeout; defaults to the request targets.
+        retransmit_replies_needed: matching replies required after a
+            retransmission (e.g. m+1 in the Lion and Dog modes); defaults to
+            ``replies_needed``.
+        request_timeout: seconds to wait before retransmitting.
+        initial_mode: protocol mode id assumed before the first reply.
+        replies_by_mode: optional per-mode override of ``replies_needed``;
+            used when the deployment can switch modes dynamically.
+        trusted_by_mode: optional per-mode override of ``trusted_replicas``.
+    """
+
+    request_targets: TargetSelector
+    replies_needed: int
+    trusted_replicas: FrozenSet[str] = frozenset()
+    retransmit_targets: Optional[TargetSelector] = None
+    retransmit_replies_needed: Optional[int] = None
+    request_timeout: float = 0.05
+    initial_mode: int = 0
+    replies_by_mode: Optional[Dict[int, int]] = None
+    trusted_by_mode: Optional[Dict[int, FrozenSet[str]]] = None
+
+    def targets_for_retransmit(self, view: int, mode: int) -> List[str]:
+        selector = self.retransmit_targets or self.request_targets
+        return selector(view, mode)
+
+    def replies_for_mode(self, mode: int) -> int:
+        if self.replies_by_mode and mode in self.replies_by_mode:
+            return self.replies_by_mode[mode]
+        return self.replies_needed
+
+    def trusted_for_mode(self, mode: int) -> FrozenSet[str]:
+        if self.trusted_by_mode and mode in self.trusted_by_mode:
+            return self.trusted_by_mode[mode]
+        return self.trusted_replicas
+
+    @property
+    def replies_needed_after_retransmit(self) -> int:
+        if self.retransmit_replies_needed is None:
+            return self.replies_needed
+        return self.retransmit_replies_needed
+
+
+@dataclass
+class CompletedRequest:
+    """Latency record for one completed request."""
+
+    timestamp: int
+    sent_at: float
+    completed_at: float
+    retransmitted: bool
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.sent_at
+
+
+class Client(Node):
+    """A closed-loop client of a replicated service."""
+
+    def __init__(
+        self,
+        node_id: str,
+        simulator: Simulator,
+        signer: Signer,
+        verifier: Verifier,
+        config: ClientConfig,
+        operation_factory: OperationFactory,
+        recorder: Optional[Any] = None,
+        max_requests: Optional[int] = None,
+        cost_model: Optional[NodeCostModel] = None,
+    ) -> None:
+        super().__init__(node_id, simulator, cost_model=cost_model)
+        self.signer = signer
+        self.verifier = verifier
+        self.config = config
+        self.operation_factory = operation_factory
+        self.recorder = recorder
+        self.max_requests = max_requests
+
+        self.known_view = 0
+        self.known_mode = config.initial_mode
+        self.completed: List[CompletedRequest] = []
+        self.timeouts = 0
+
+        self._next_timestamp = 0
+        self._outstanding: Optional[Request] = None
+        self._sent_at = 0.0
+        self._retransmitted = False
+        self._reply_votes: Dict[str, set] = {}
+        self._timer = self.create_timer(self._on_timeout, label="request-timeout")
+        self._stopped = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the closed loop (schedules the first request immediately)."""
+        self._stopped = False
+        if self._outstanding is None:
+            self._issue_next()
+
+    def stop(self) -> None:
+        """Stop issuing new requests (the outstanding one may still finish)."""
+        self._stopped = True
+        self._timer.stop()
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.completed)
+
+    @property
+    def outstanding_timestamp(self) -> Optional[int]:
+        return self._outstanding.timestamp if self._outstanding else None
+
+    # -- issuing ------------------------------------------------------------
+
+    def _issue_next(self) -> None:
+        if self._stopped or self.crashed:
+            return
+        if self.max_requests is not None and self._next_timestamp >= self.max_requests:
+            return
+        self._next_timestamp += 1
+        operation = self.operation_factory(self._next_timestamp)
+        request = Request(
+            operation=operation, timestamp=self._next_timestamp, client_id=self.node_id
+        )
+        request.sign(self.signer)
+        self._outstanding = request
+        self._sent_at = self.now
+        self._retransmitted = False
+        self._reply_votes = {}
+        targets = self.config.request_targets(self.known_view, self.known_mode)
+        self._send_request(targets, request)
+        self._timer.start(self.config.request_timeout)
+
+    def _send_request(self, targets: Sequence[str], request: Request) -> None:
+        unique_targets = list(dict.fromkeys(targets))
+        if len(unique_targets) == 1:
+            self.send(unique_targets[0], request)
+        else:
+            self.multicast(unique_targets, request)
+
+    def _on_timeout(self) -> None:
+        if self._outstanding is None or self._stopped:
+            return
+        self.timeouts += 1
+        self._retransmitted = True
+        targets = self.config.targets_for_retransmit(self.known_view, self.known_mode)
+        self._send_request(targets, self._outstanding)
+        self._timer.start(self.config.request_timeout)
+
+    # -- replies ------------------------------------------------------------
+
+    def handle_message(self, src: str, payload: Any) -> None:
+        if not isinstance(payload, Reply):
+            return
+        self._on_reply(src, payload)
+
+    def _on_reply(self, src: str, reply: Reply) -> None:
+        if self._outstanding is None or reply.timestamp != self._outstanding.timestamp:
+            return
+        if reply.client_id != self.node_id:
+            return
+        if not reply.verify(self.verifier, expected_signer=reply.replica_id):
+            return
+        if reply.replica_id != src:
+            # A replica relaying someone else's reply is not acceptable.
+            return
+
+        result_key = digest(reply.signing_content()["result_digest"])
+        voters = self._reply_votes.setdefault(result_key, set())
+        voters.add(reply.replica_id)
+
+        if self._is_acceptable(reply, voters):
+            self._complete(reply)
+
+    def _is_acceptable(self, reply: Reply, voters: set) -> bool:
+        if reply.replica_id in self.config.trusted_for_mode(reply.mode):
+            return True
+        needed = (
+            self.config.replies_needed_after_retransmit
+            if self._retransmitted
+            else self.config.replies_for_mode(reply.mode)
+        )
+        return len(voters) >= needed
+
+    def _complete(self, reply: Reply) -> None:
+        assert self._outstanding is not None
+        record = CompletedRequest(
+            timestamp=self._outstanding.timestamp,
+            sent_at=self._sent_at,
+            completed_at=self.now,
+            retransmitted=self._retransmitted,
+        )
+        self.completed.append(record)
+        if self.recorder is not None:
+            self.recorder.record_completion(
+                client_id=self.node_id,
+                timestamp=record.timestamp,
+                sent_at=record.sent_at,
+                completed_at=record.completed_at,
+            )
+        # Track the view/mode the service reports so future requests go to
+        # the right primary after view changes and mode switches.
+        self.known_view = max(self.known_view, reply.view)
+        self.known_mode = reply.mode
+        self._outstanding = None
+        self._timer.stop()
+        self._issue_next()

@@ -1,0 +1,126 @@
+"""Ordered execution of committed requests.
+
+A consensus protocol may commit sequence numbers out of order (e.g. a
+replica learns about n=7 before n=6 arrives).  The executor buffers such
+gaps and applies operations to the state machine strictly in order, which
+is the property that guarantees all correct replicas converge.
+
+It also implements the exactly-once client semantics from Section 5.1: the
+client timestamp identifies a request, and re-executing a request that was
+already executed returns the cached reply instead of mutating state twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.smr.state_machine import Operation, StateMachine
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one committed request."""
+
+    sequence: int
+    client_id: str
+    timestamp: int
+    result: Any
+
+
+class OrderedExecutor:
+    """Applies committed operations in strict sequence-number order."""
+
+    def __init__(self, state_machine: StateMachine, execute_cost: float = 0.0) -> None:
+        self._state_machine = state_machine
+        self._execute_cost = execute_cost
+        self._pending: Dict[int, Tuple[str, int, Operation]] = {}
+        self._next_sequence = 1
+        self._reply_cache: Dict[Tuple[str, int], Any] = {}
+        self._executed: List[ExecutionResult] = []
+
+    @property
+    def state_machine(self) -> StateMachine:
+        return self._state_machine
+
+    @property
+    def next_sequence(self) -> int:
+        """The lowest sequence number not yet executed."""
+        return self._next_sequence
+
+    @property
+    def last_executed(self) -> int:
+        return self._next_sequence - 1
+
+    @property
+    def executed(self) -> List[ExecutionResult]:
+        """Every execution in order (grows; callers must not mutate)."""
+        return self._executed
+
+    def already_executed(self, client_id: str, timestamp: int) -> bool:
+        return (client_id, timestamp) in self._reply_cache
+
+    def cached_reply(self, client_id: str, timestamp: int) -> Optional[Any]:
+        """Reply previously produced for this client request, if any."""
+        return self._reply_cache.get((client_id, timestamp))
+
+    def commit(
+        self, sequence: int, client_id: str, timestamp: int, operation: Operation
+    ) -> List[ExecutionResult]:
+        """Record that ``sequence`` is committed and execute whatever is ready.
+
+        Returns the list of executions performed by this call (possibly
+        empty when there is still a gap, possibly several when this commit
+        fills one).
+        """
+        if sequence < 1:
+            raise ValueError(f"sequence numbers start at 1, got {sequence}")
+        if sequence < self._next_sequence:
+            return []
+        if sequence in self._pending:
+            return []
+        self._pending[sequence] = (client_id, timestamp, operation)
+        return self._drain()
+
+    def _drain(self) -> List[ExecutionResult]:
+        performed: List[ExecutionResult] = []
+        while self._next_sequence in self._pending:
+            sequence = self._next_sequence
+            client_id, timestamp, operation = self._pending.pop(sequence)
+            key = (client_id, timestamp)
+            if key in self._reply_cache:
+                result = self._reply_cache[key]
+            else:
+                result = self._state_machine.apply(operation)
+                self._reply_cache[key] = result
+            execution = ExecutionResult(
+                sequence=sequence, client_id=client_id, timestamp=timestamp, result=result
+            )
+            self._executed.append(execution)
+            performed.append(execution)
+            self._next_sequence += 1
+        return performed
+
+    # -- checkpoint support -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """State-machine snapshot plus reply cache, for state transfer."""
+        return {
+            "next_sequence": self._next_sequence,
+            "state": self._state_machine.snapshot(),
+            "replies": dict(self._reply_cache),
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Jump to a checkpointed state (used by lagging replicas)."""
+        target = snapshot["next_sequence"]
+        if target < self._next_sequence:
+            return
+        self._next_sequence = target
+        self._state_machine.restore(snapshot["state"])
+        self._reply_cache = dict(snapshot["replies"])
+        self._pending = {seq: item for seq, item in self._pending.items() if seq >= target}
+
+    def discard_below(self, sequence: int) -> None:
+        """Drop buffered commits below ``sequence`` (post-checkpoint GC)."""
+        self._pending = {seq: item for seq, item in self._pending.items() if seq >= sequence}

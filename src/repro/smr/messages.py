@@ -1,0 +1,129 @@
+"""Messages shared by every replication protocol in the repository.
+
+Client-facing messages (``REQUEST`` and ``REPLY``) have the same structure in
+SeeMoRe, Paxos, PBFT, and S-UpRight, so they live here in the SMR substrate.
+Protocol-internal messages (prepare/accept/commit/...) are defined by each
+protocol package.
+
+Every message class provides:
+
+* ``signed`` — whether the receiver must verify a public-key signature
+  (drives the CPU cost model in :mod:`repro.net.costs`);
+* ``wire_size()`` — approximate serialized size in bytes (drives bandwidth
+  and hashing costs);
+* ``signing_content()`` — the canonical content covered by the signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.crypto.signatures import Signature, Signer, Verifier
+from repro.smr.state_machine import Operation
+
+_HEADER_BYTES = 48
+_SIGNATURE_BYTES = 64
+_DIGEST_BYTES = 32
+
+
+class ProtocolMessage:
+    """Mixin with the signing helpers every protocol message uses."""
+
+    signed: bool = False
+    signature: Optional[Signature] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        """Canonical dict covered by this message's signature."""
+        raise NotImplementedError
+
+    def sign(self, signer: Signer) -> "ProtocolMessage":
+        """Attach a signature by ``signer`` over :meth:`signing_content`."""
+        self.signature = signer.sign(self.signing_content())
+        return self
+
+    def verify(self, verifier: Verifier, expected_signer: Optional[str] = None) -> bool:
+        """Check the attached signature (and optionally who produced it)."""
+        if not self.signed:
+            return True
+        if self.signature is None:
+            return False
+        if expected_signer is not None and self.signature.signer_id != expected_signer:
+            return False
+        return verifier.verify(self.signing_content(), self.signature)
+
+    def wire_size(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class Request(ProtocolMessage):
+    """Client request: ``<REQUEST, op, ts, client>`` signed by the client."""
+
+    operation: Operation
+    timestamp: int
+    client_id: str
+    signed: bool = True
+    signature: Optional[Signature] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "REQUEST",
+            "op": self.operation.to_wire(),
+            "timestamp": self.timestamp,
+            "client": self.client_id,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + self.operation.wire_size()
+
+
+@dataclass
+class Reply(ProtocolMessage):
+    """Reply to a client: ``<REPLY, mode, view, ts, result>`` signed by the replica."""
+
+    mode: int
+    view: int
+    timestamp: int
+    client_id: str
+    replica_id: str
+    result: Any
+    signed: bool = True
+    signature: Optional[Signature] = None
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "REPLY",
+            "mode": self.mode,
+            "view": self.view,
+            "timestamp": self.timestamp,
+            "client": self.client_id,
+            "replica": self.replica_id,
+            "result_digest": _result_digest(self.result),
+        }
+
+    def result_payload_size(self) -> int:
+        if isinstance(self.result, dict):
+            payload = self.result.get("payload", "")
+            if isinstance(payload, str):
+                return len(payload)
+        return 0
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + 16 + self.result_payload_size()
+
+
+def _result_digest(result: Any) -> str:
+    from repro.crypto.digest import digest
+
+    return digest(result)
+
+
+__all__ = [
+    "ProtocolMessage",
+    "Request",
+    "Reply",
+    "_HEADER_BYTES",
+    "_SIGNATURE_BYTES",
+    "_DIGEST_BYTES",
+]

@@ -1,0 +1,188 @@
+"""Common replica machinery shared by SeeMoRe and the baseline protocols.
+
+:class:`ReplicaBase` couples a network node with the SMR substrate: an
+ordered executor over a state machine, a commit ledger for safety checking,
+a slot log, crypto material, and the client bookkeeping needed for
+exactly-once replies.  Concrete protocols (SeeMoRe's three modes, Paxos,
+PBFT, S-UpRight) subclass it and register handlers for their message types.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from repro.crypto.digest import digest
+from repro.crypto.signatures import Signer, Verifier
+from repro.net.costs import NodeCostModel
+from repro.net.node import Node
+from repro.sim.simulator import Simulator
+from repro.smr.executor import ExecutionResult, OrderedExecutor
+from repro.smr.ledger import CommitLedger, LedgerEntry
+from repro.smr.messages import Reply, Request
+from repro.smr.slots import SlotLog
+from repro.smr.state_machine import StateMachine
+
+
+def request_digest(request: Request) -> str:
+    """Canonical digest of a client request (``D(µ)`` in the paper)."""
+    return digest(request.signing_content())
+
+
+class ReplicaBase(Node):
+    """Base class for every protocol replica.
+
+    Subclasses register message handlers with :meth:`register_handler` and
+    drive ordering; this class owns execution, replies, and safety records.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        simulator: Simulator,
+        signer: Signer,
+        verifier: Verifier,
+        state_machine: StateMachine,
+        cost_model: Optional[NodeCostModel] = None,
+    ) -> None:
+        super().__init__(node_id, simulator, cost_model=cost_model)
+        self.signer = signer
+        self.verifier = verifier
+        self.executor = OrderedExecutor(state_machine)
+        self.ledger = CommitLedger(node_id)
+        self.slots = SlotLog()
+        self.view = 0
+        self._handlers: Dict[Type, Callable[[str, Any], None]] = {}
+        # Requests we have seen, keyed by (client, timestamp); needed to
+        # answer client retransmissions and to build replies after execution.
+        self._known_requests: Dict[tuple, Request] = {}
+        self.replies_sent = 0
+
+    # -- dispatch -----------------------------------------------------------
+
+    def register_handler(self, message_type: Type, handler: Callable[[str, Any], None]) -> None:
+        """Route messages of ``message_type`` to ``handler(src, message)``."""
+        self._handlers[message_type] = handler
+
+    def handle_message(self, src: str, payload: Any) -> None:
+        handler = self._handlers.get(type(payload))
+        if handler is None:
+            self.on_unhandled_message(src, payload)
+            return
+        handler(src, payload)
+
+    def on_unhandled_message(self, src: str, payload: Any) -> None:
+        """Hook for unexpected message types; default is to ignore them."""
+
+    # -- request bookkeeping -------------------------------------------------
+
+    def remember_request(self, request: Request) -> None:
+        self._known_requests[(request.client_id, request.timestamp)] = request
+
+    def known_request(self, client_id: str, timestamp: int) -> Optional[Request]:
+        return self._known_requests.get((client_id, timestamp))
+
+    def request_is_valid(self, request: Request) -> bool:
+        """Validate the client's signature and freshness of a request."""
+        if not request.verify(self.verifier, expected_signer=request.client_id):
+            return False
+        cached = self.executor.cached_reply(request.client_id, request.timestamp)
+        # A request that was already executed is still "valid" -- the caller
+        # decides whether to re-reply from the cache.
+        return True if cached is None else True
+
+    # -- execution and replies ------------------------------------------------
+
+    def commit_slot(
+        self,
+        sequence: int,
+        request: Request,
+        view: int,
+        send_reply: bool,
+        mode_id: int = 0,
+    ) -> List[ExecutionResult]:
+        """Record a commit and execute whatever became ready.
+
+        Args:
+            sequence: the committed sequence number.
+            request: the client request committed in that slot.
+            view: the view in which the commit happened (for the ledger).
+            send_reply: whether this replica should reply to the client for
+                executions performed now (primaries/proxies do, passive
+                replicas do not).
+            mode_id: protocol mode identifier carried in replies.
+
+        Returns:
+            The executions performed as a result of this commit.
+        """
+        self.remember_request(request)
+        self.ledger.record(
+            LedgerEntry(
+                sequence=sequence,
+                digest=request_digest(request),
+                view=view,
+                client_id=request.client_id,
+                timestamp=request.timestamp,
+            )
+        )
+        slot = self.slots.slot(sequence)
+        slot.committed = True
+        executions = self.executor.commit(
+            sequence, request.client_id, request.timestamp, request.operation
+        )
+        for execution in executions:
+            executed_slot = self.slots.existing_slot(execution.sequence)
+            if executed_slot is not None:
+                executed_slot.executed = True
+            if send_reply:
+                self._reply_for_execution(execution, mode_id)
+        return executions
+
+    def _reply_for_execution(self, execution: ExecutionResult, mode_id: int) -> None:
+        known = self.known_request(execution.client_id, execution.timestamp)
+        client_id = known.client_id if known else execution.client_id
+        self.send_reply(client_id, execution.timestamp, execution.result, mode_id)
+
+    def send_reply(self, client_id: str, timestamp: int, result: Any, mode_id: int = 0) -> None:
+        """Send a signed reply to the client."""
+        reply = Reply(
+            mode=mode_id,
+            view=self.view,
+            timestamp=timestamp,
+            client_id=client_id,
+            replica_id=self.node_id,
+            result=result,
+        )
+        reply.sign(self.signer)
+        self.replies_sent += 1
+        self.send(client_id, reply)
+
+    def resend_cached_reply(self, request: Request, mode_id: int = 0) -> bool:
+        """Reply from the executor's cache if the request was already executed.
+
+        Returns ``True`` when a cached reply existed and was re-sent.
+        """
+        cached = self.executor.cached_reply(request.client_id, request.timestamp)
+        if cached is None:
+            return False
+        self.send_reply(request.client_id, request.timestamp, cached, mode_id)
+        return True
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def last_executed(self) -> int:
+        return self.executor.last_executed
+
+    @property
+    def committed_count(self) -> int:
+        return len(self.ledger)
+
+    def state_summary(self) -> Dict[str, Any]:
+        """Small status dict used by tests and examples."""
+        return {
+            "replica": self.node_id,
+            "view": self.view,
+            "last_executed": self.last_executed,
+            "committed": self.committed_count,
+            "crashed": self.crashed,
+        }

@@ -1,0 +1,151 @@
+"""Deterministic application state machines.
+
+Per Section 5 of the paper, operations must be *atomic* and *deterministic*:
+the same operation applied to the same state always yields the same result,
+and every replica starts from the same initial state.  Three machines are
+provided:
+
+* :class:`KeyValueStore` — the application used by the examples (put / get /
+  delete / scan), representative of the replicated storage layer a system
+  such as Spanner would place on top of the protocol.
+* :class:`Counter` — minimal machine used in unit tests.
+* :class:`NullStateMachine` — executes nothing; used by the 0/0, 0/4, 4/0
+  micro-benchmarks where only payload sizes matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A client-issued state machine operation.
+
+    Attributes:
+        kind: operation name understood by the target state machine.
+        args: positional arguments.
+        payload: opaque bytes-equivalent payload; only its size matters to
+            the micro-benchmarks but it is carried through execution.
+    """
+
+    kind: str
+    args: Tuple[Any, ...] = ()
+    payload: str = ""
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "args": list(self.args), "payload_len": len(self.payload)}
+
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes."""
+        return 16 + sum(len(str(arg)) for arg in self.args) + len(self.payload)
+
+
+class StateMachine:
+    """Interface all replicated applications implement."""
+
+    def apply(self, operation: Operation) -> Any:
+        """Execute one operation and return its result.
+
+        Must be deterministic: no randomness, no wall-clock reads.
+        """
+        raise NotImplementedError
+
+    def snapshot(self) -> Any:
+        """Return a serializable snapshot of the full state (for checkpoints)."""
+        raise NotImplementedError
+
+    def restore(self, snapshot: Any) -> None:
+        """Replace the state with a previously taken snapshot."""
+        raise NotImplementedError
+
+
+class KeyValueStore(StateMachine):
+    """A replicated key-value store supporting put/get/delete/scan."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+        self.operations_applied = 0
+
+    def apply(self, operation: Operation) -> Any:
+        self.operations_applied += 1
+        kind = operation.kind
+        if kind == "put":
+            key, value = operation.args
+            self._data[key] = value
+            return {"ok": True}
+        if kind == "get":
+            (key,) = operation.args
+            return {"ok": True, "value": self._data.get(key)}
+        if kind == "delete":
+            (key,) = operation.args
+            existed = key in self._data
+            self._data.pop(key, None)
+            return {"ok": True, "existed": existed}
+        if kind == "scan":
+            prefix = operation.args[0] if operation.args else ""
+            matches = sorted(k for k in self._data if k.startswith(prefix))
+            return {"ok": True, "keys": matches}
+        if kind == "noop":
+            return {"ok": True}
+        raise ValueError(f"unsupported key-value operation: {kind!r}")
+
+    def get(self, key: str) -> Optional[Any]:
+        """Local (non-replicated) read used by tests and examples."""
+        return self._data.get(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return dict(self._data)
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        self._data = dict(snapshot)
+
+
+class Counter(StateMachine):
+    """A single replicated integer supporting add/read."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def apply(self, operation: Operation) -> Any:
+        if operation.kind == "add":
+            (amount,) = operation.args
+            self.value += amount
+            return {"ok": True, "value": self.value}
+        if operation.kind == "read":
+            return {"ok": True, "value": self.value}
+        if operation.kind == "noop":
+            return {"ok": True}
+        raise ValueError(f"unsupported counter operation: {operation.kind!r}")
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def restore(self, snapshot: int) -> None:
+        self.value = snapshot
+
+
+@dataclass
+class NullStateMachine(StateMachine):
+    """Executes nothing; optionally echoes a fixed-size reply payload.
+
+    The reply payload size models the paper's x/y micro-benchmarks where the
+    reply carries y KB.
+    """
+
+    reply_payload_size: int = 0
+    operations_applied: int = field(default=0)
+
+    def apply(self, operation: Operation) -> Any:
+        self.operations_applied += 1
+        return {"ok": True, "payload": "x" * self.reply_payload_size}
+
+    def snapshot(self) -> int:
+        return self.operations_applied
+
+    def restore(self, snapshot: int) -> None:
+        self.operations_applied = snapshot

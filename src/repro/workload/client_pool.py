@@ -1,0 +1,79 @@
+"""A pool of closed-loop clients sharing one metrics collector."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.crypto.keys import KeyStore
+from repro.net.network import Network
+from repro.net.topology import Cloud, Placement
+from repro.sim.simulator import Simulator
+from repro.smr.client import Client, ClientConfig
+from repro.workload.generator import Workload
+from repro.workload.metrics import MetricsCollector
+
+
+class ClientPool:
+    """Creates, registers, and manages N closed-loop clients."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        keystore: KeyStore,
+        placement: Placement,
+        client_config: ClientConfig,
+        workload: Workload,
+        metrics: Optional[MetricsCollector] = None,
+        name_prefix: str = "client",
+    ) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.keystore = keystore
+        self.placement = placement
+        self.client_config = client_config
+        self.workload = workload
+        self.metrics = metrics or MetricsCollector()
+        self.name_prefix = name_prefix
+        self.clients: List[Client] = []
+
+    def spawn(self, count: int, max_requests_each: Optional[int] = None) -> List[Client]:
+        """Create ``count`` clients and attach them to the network."""
+        if count < 1:
+            raise ValueError(f"client count must be positive: {count}")
+        verifier = self.keystore.verifier()
+        created: List[Client] = []
+        for index in range(count):
+            client_id = f"{self.name_prefix}-{len(self.clients) + index}"
+            self.keystore.register(client_id)
+            self.placement.assign(client_id, Cloud.CLIENT)
+            client = Client(
+                node_id=client_id,
+                simulator=self.simulator,
+                signer=self.keystore.signer_for(client_id),
+                verifier=verifier,
+                config=self.client_config,
+                operation_factory=self.workload.operation_factory(client_seed=index),
+                recorder=self.metrics,
+                max_requests=max_requests_each,
+            )
+            self.network.register(client)
+            created.append(client)
+        self.clients.extend(created)
+        return created
+
+    def start_all(self) -> None:
+        for client in self.clients:
+            client.start()
+
+    def stop_all(self) -> None:
+        for client in self.clients:
+            client.stop()
+
+    @property
+    def total_completed(self) -> int:
+        return sum(client.completed_count for client in self.clients)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(client.timeouts for client in self.clients)

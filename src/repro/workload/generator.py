@@ -1,0 +1,122 @@
+"""Workload definitions.
+
+A workload is a recipe for the operations clients issue and the size of the
+replies the service returns.  The paper's micro-benchmarks are named
+``"x/y"``: request payloads of x KB and reply payloads of y KB (``0/0``,
+``0/4``, and ``4/0`` appear in Figures 2 and 3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.smr.state_machine import KeyValueStore, NullStateMachine, Operation, StateMachine
+
+KILOBYTE = 1024
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named workload: how to build operations and the service they run on.
+
+    Attributes:
+        name: human-readable name (e.g. ``"0/4"``).
+        request_payload_bytes: extra payload attached to every request.
+        reply_payload_bytes: payload the service attaches to every reply.
+    """
+
+    name: str
+    request_payload_bytes: int = 0
+    reply_payload_bytes: int = 0
+
+    def operation_factory(self, client_seed: int = 0) -> Callable[[int], Operation]:
+        """Return a factory mapping a client timestamp to an operation."""
+        payload = "x" * self.request_payload_bytes
+
+        def factory(timestamp: int) -> Operation:
+            return Operation("noop", (), payload)
+
+        return factory
+
+    def state_machine_factory(self) -> Callable[[], StateMachine]:
+        """Return a factory for the state machine replicas should run."""
+        reply_bytes = self.reply_payload_bytes
+
+        def factory() -> StateMachine:
+            return NullStateMachine(reply_payload_size=reply_bytes)
+
+        return factory
+
+
+def microbenchmark(name: str) -> Workload:
+    """Build one of the paper's x/y micro-benchmarks.
+
+    >>> microbenchmark("0/0").request_payload_bytes
+    0
+    >>> microbenchmark("4/0").request_payload_bytes
+    4096
+    """
+    try:
+        request_kb_text, reply_kb_text = name.split("/")
+        request_kb = int(request_kb_text)
+        reply_kb = int(reply_kb_text)
+    except (ValueError, AttributeError):
+        raise ValueError(f"micro-benchmark names look like '0/4', got {name!r}") from None
+    if request_kb < 0 or reply_kb < 0:
+        raise ValueError(f"payload sizes cannot be negative: {name!r}")
+    return Workload(
+        name=name,
+        request_payload_bytes=request_kb * KILOBYTE,
+        reply_payload_bytes=reply_kb * KILOBYTE,
+    )
+
+
+@dataclass(frozen=True)
+class KeyValueWorkload(Workload):
+    """A key-value workload: a mix of puts and gets over a keyspace.
+
+    Used by the examples to exercise the replicated key-value store rather
+    than the no-op micro-benchmark service.
+    """
+
+    key_space: int = 1000
+    value_size: int = 64
+    read_fraction: float = 0.5
+    seed: int = 0
+
+    def operation_factory(self, client_seed: int = 0) -> Callable[[int], Operation]:
+        rng = random.Random(self.seed * 100_003 + client_seed)
+        value = "v" * self.value_size
+
+        def factory(timestamp: int) -> Operation:
+            key = f"key-{rng.randrange(self.key_space)}"
+            if rng.random() < self.read_fraction:
+                return Operation("get", (key,))
+            return Operation("put", (key, value))
+
+        return factory
+
+    def state_machine_factory(self) -> Callable[[], StateMachine]:
+        return KeyValueStore
+
+
+def kv_workload(
+    key_space: int = 1000,
+    value_size: int = 64,
+    read_fraction: float = 0.5,
+    seed: int = 0,
+) -> KeyValueWorkload:
+    """Convenience constructor for a key-value workload."""
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(f"read fraction must be in [0, 1]: {read_fraction}")
+    return KeyValueWorkload(
+        name=f"kv-{int(read_fraction * 100)}r",
+        request_payload_bytes=0,
+        reply_payload_bytes=0,
+        key_space=key_space,
+        value_size=value_size,
+        read_fraction=read_fraction,
+        seed=seed,
+    )

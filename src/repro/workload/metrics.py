@@ -1,0 +1,146 @@
+"""Measurement: completions, throughput, latency, and timelines.
+
+The collector receives one record per completed client request and can then
+answer the questions the paper's figures ask:
+
+* *throughput* — completed requests per second over a window (x axis of
+  Figures 2 and 3);
+* *latency* — mean / percentile end-to-end latency (y axis);
+* *timeline* — completed requests per time bin, used for the view-change
+  experiment of Figure 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """One completed request as reported by a client."""
+
+    client_id: str
+    timestamp: int
+    sent_at: float
+    completed_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.sent_at
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate latency statistics over a set of completions."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, math.ceil(fraction * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+class MetricsCollector:
+    """Accumulates completion records from every client in a deployment."""
+
+    def __init__(self) -> None:
+        self._records: List[CompletionRecord] = []
+        self._per_client_counts: Dict[str, int] = {}
+
+    # -- recording (duck-typed interface used by repro.smr.client.Client) -----
+
+    def record_completion(
+        self, client_id: str, timestamp: int, sent_at: float, completed_at: float
+    ) -> None:
+        if completed_at < sent_at:
+            raise ValueError("completion cannot precede the send time")
+        record = CompletionRecord(
+            client_id=client_id, timestamp=timestamp, sent_at=sent_at, completed_at=completed_at
+        )
+        self._records.append(record)
+        self._per_client_counts[client_id] = self._per_client_counts.get(client_id, 0) + 1
+
+    # -- basic counters -------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[CompletionRecord]:
+        return list(self._records)
+
+    def completions_by_client(self) -> Dict[str, int]:
+        return dict(self._per_client_counts)
+
+    # -- windows ----------------------------------------------------------------
+
+    def _in_window(self, start: Optional[float], end: Optional[float]) -> List[CompletionRecord]:
+        records = self._records
+        if start is not None:
+            records = [r for r in records if r.completed_at >= start]
+        if end is not None:
+            records = [r for r in records if r.completed_at < end]
+        return records
+
+    def throughput(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Completed requests per second of simulated time in the window."""
+        records = self._in_window(start, end)
+        if not records:
+            return 0.0
+        window_start = start if start is not None else min(r.sent_at for r in records)
+        window_end = end if end is not None else max(r.completed_at for r in records)
+        duration = window_end - window_start
+        if duration <= 0:
+            return 0.0
+        return len(records) / duration
+
+    def latency(self, start: Optional[float] = None, end: Optional[float] = None) -> LatencySummary:
+        """Latency statistics for completions inside the window."""
+        records = self._in_window(start, end)
+        if not records:
+            return LatencySummary.empty()
+        latencies = sorted(r.latency for r in records)
+        return LatencySummary(
+            count=len(latencies),
+            mean=sum(latencies) / len(latencies),
+            p50=_percentile(latencies, 0.50),
+            p95=_percentile(latencies, 0.95),
+            p99=_percentile(latencies, 0.99),
+            maximum=latencies[-1],
+        )
+
+    def timeline(
+        self, bin_width: float, start: float = 0.0, end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Throughput per time bin: list of ``(bin_start, requests_per_second)``.
+
+        Used by the view-change experiment (Figure 4) to show the stall and
+        recovery around a primary failure.
+        """
+        if bin_width <= 0:
+            raise ValueError(f"bin width must be positive: {bin_width}")
+        if end is None:
+            end = max((r.completed_at for r in self._records), default=start)
+        bins: List[Tuple[float, float]] = []
+        bin_start = start
+        while bin_start < end:
+            bin_end = bin_start + bin_width
+            count = len(self._in_window(bin_start, bin_end))
+            bins.append((bin_start, count / bin_width))
+            bin_start = bin_end
+        return bins

@@ -1,0 +1,116 @@
+"""Unit tests for the Table 1 analytic comparison and report formatting."""
+
+import pytest
+
+from repro.analysis import (
+    comparison_table,
+    format_results_table,
+    format_series,
+    format_timeline,
+    messages_per_request,
+    profile_for,
+)
+
+
+class TestProfiles:
+    def test_table1_symbolic_rows(self):
+        lion = profile_for("seemore-lion")
+        assert lion.phases == 2
+        assert lion.message_complexity == "O(n)"
+        assert lion.receiving_network == "3m+2c+1"
+        assert lion.quorum_size == "2m+c+1"
+
+        dog = profile_for("seemore-dog")
+        assert dog.phases == 2
+        assert dog.message_complexity == "O(n^2)"
+        assert dog.receiving_network == "3m+1"
+
+        peacock = profile_for("seemore-peacock")
+        assert peacock.phases == 3
+
+        paxos = profile_for("cft")
+        assert paxos.phases == 2 and paxos.quorum_size == "f+1"
+
+        pbft = profile_for("bft")
+        assert pbft.phases == 3 and pbft.quorum_size == "2f+1"
+
+        upright = profile_for("s-upright")
+        assert upright.phases == 2 and upright.quorum_size == "2m+c+1"
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError):
+            profile_for("raft")
+
+    def test_comparison_table_concrete_values(self):
+        rows = {row["protocol"]: row for row in comparison_table(1, 1)}
+        assert rows["Lion"]["receiving_network"].endswith("= 6")
+        assert rows["Lion"]["quorum_size"].endswith("= 4")
+        assert rows["Dog"]["receiving_network"].endswith("= 4")
+        assert rows["Paxos"]["receiving_network"].endswith("= 5")
+        assert rows["PBFT"]["receiving_network"].endswith("= 7")
+        assert rows["UpRight"]["receiving_network"].endswith("= 6")
+
+    def test_comparison_table_other_mix(self):
+        rows = {row["protocol"]: row for row in comparison_table(3, 1)}
+        assert rows["Lion"]["receiving_network"].endswith("= 10")
+        assert rows["PBFT"]["receiving_network"].endswith("= 13")
+        assert rows["Paxos"]["receiving_network"].endswith("= 9")
+
+
+class TestMessageCounts:
+    def test_lion_is_linear(self):
+        # Lion exchanges 3N messages (Section 5.1).
+        assert messages_per_request("seemore-lion", 1, 1) == 3 * 6
+
+    def test_dog_matches_paper_formula(self):
+        # N + (3m+1)^2 + (3m+1)*N  (Section 5.2).
+        n, proxies = 6, 4
+        assert messages_per_request("seemore-dog", 1, 1) == n + proxies**2 + proxies * n
+
+    def test_peacock_matches_paper_formula(self):
+        # N + 2*(3m+1)^2 + (1+S)*(3m+1)  (Section 5.3).
+        n, proxies, s = 6, 4, 2
+        assert messages_per_request("seemore-peacock", 1, 1) == n + 2 * proxies**2 + (1 + s) * proxies
+
+    def test_lion_fewer_messages_than_dog_and_peacock(self):
+        for c, m in [(1, 1), (2, 2), (1, 3), (3, 1)]:
+            lion = messages_per_request("seemore-lion", c, m)
+            dog = messages_per_request("seemore-dog", c, m)
+            peacock = messages_per_request("seemore-peacock", c, m)
+            bft = messages_per_request("bft", c, m)
+            assert lion < dog <= peacock
+            assert peacock < bft
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError):
+            messages_per_request("raft", 1, 1)
+
+
+class TestReportFormatting:
+    def test_results_table_alignment(self):
+        rows = [
+            {"protocol": "lion", "throughput": 12.5},
+            {"protocol": "cft", "throughput": 13.75},
+        ]
+        text = format_results_table(rows)
+        lines = text.splitlines()
+        assert "protocol" in lines[0]
+        assert len(lines) == 4
+
+    def test_results_table_empty(self):
+        assert format_results_table([]) == "(no results)"
+
+    def test_results_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_results_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_series_formatting(self):
+        text = format_series("fig", [(1.0, 2.0), (3.0, 4.0)], x_label="tput", y_label="lat")
+        assert "fig" in text
+        assert text.count("tput=") == 2
+
+    def test_timeline_formatting(self):
+        text = format_timeline("fig4", [(0.0, 100.0), (0.01, 0.0)])
+        assert "fig4" in text
+        assert "t=" in text

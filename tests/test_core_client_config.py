@@ -1,0 +1,81 @@
+"""Unit tests for the per-mode SeeMoRe client configuration (Section 5 client rules)."""
+
+import pytest
+
+from repro.core import Mode, SeeMoReConfig, client_config_for_mode
+
+
+@pytest.fixture
+def config():
+    return SeeMoReConfig.build(crash_tolerance=1, byzantine_tolerance=2)
+
+
+class TestLionClientConfig:
+    def test_sends_to_trusted_primary(self, config):
+        client_config = client_config_for_mode(config, Mode.LION)
+        targets = client_config.request_targets(0, int(Mode.LION))
+        assert targets == [config.primary_of_view(0, Mode.LION)]
+        assert config.is_trusted(targets[0])
+
+    def test_single_trusted_reply_suffices(self, config):
+        client_config = client_config_for_mode(config, Mode.LION)
+        assert client_config.replies_needed == 1
+        assert client_config.trusted_replicas == frozenset(config.private_replicas)
+
+    def test_retransmission_goes_to_everyone_and_needs_m_plus_1(self, config):
+        client_config = client_config_for_mode(config, Mode.LION)
+        assert set(client_config.targets_for_retransmit(0, int(Mode.LION))) == set(
+            config.all_replicas
+        )
+        assert client_config.replies_needed_after_retransmit == config.byzantine_tolerance + 1
+
+
+class TestDogClientConfig:
+    def test_needs_2m_plus_1_matching_proxy_replies(self, config):
+        client_config = client_config_for_mode(config, Mode.DOG)
+        assert client_config.replies_needed == 2 * config.byzantine_tolerance + 1
+        assert client_config.trusted_replicas == frozenset()
+
+    def test_retransmission_targets_are_the_proxies(self, config):
+        client_config = client_config_for_mode(config, Mode.DOG)
+        targets = client_config.targets_for_retransmit(0, int(Mode.DOG))
+        assert set(targets) == set(config.proxies_of_view(0, Mode.DOG))
+
+
+class TestPeacockClientConfig:
+    def test_sends_to_untrusted_primary(self, config):
+        client_config = client_config_for_mode(config, Mode.PEACOCK)
+        targets = client_config.request_targets(0, int(Mode.PEACOCK))
+        assert targets == [config.primary_of_view(0, Mode.PEACOCK)]
+        assert not config.is_trusted(targets[0])
+
+    def test_needs_m_plus_1_matching_replies(self, config):
+        client_config = client_config_for_mode(config, Mode.PEACOCK)
+        assert client_config.replies_needed == config.byzantine_tolerance + 1
+
+
+class TestModeAwareness:
+    def test_reply_quorum_follows_reported_mode(self, config):
+        # A client built for the Lion mode must apply the Dog quorum once the
+        # service reports it has switched to the Dog mode.
+        client_config = client_config_for_mode(config, Mode.LION)
+        assert client_config.replies_for_mode(int(Mode.LION)) == 1
+        assert client_config.replies_for_mode(int(Mode.DOG)) == 2 * config.byzantine_tolerance + 1
+        assert client_config.replies_for_mode(int(Mode.PEACOCK)) == config.byzantine_tolerance + 1
+
+    def test_trusted_set_follows_reported_mode(self, config):
+        client_config = client_config_for_mode(config, Mode.LION)
+        assert client_config.trusted_for_mode(int(Mode.LION)) == frozenset(config.private_replicas)
+        assert client_config.trusted_for_mode(int(Mode.DOG)) == frozenset()
+
+    def test_targets_follow_reported_mode(self, config):
+        client_config = client_config_for_mode(config, Mode.LION)
+        lion_target = client_config.request_targets(0, int(Mode.LION))[0]
+        peacock_target = client_config.request_targets(0, int(Mode.PEACOCK))[0]
+        assert config.is_trusted(lion_target)
+        assert not config.is_trusted(peacock_target)
+
+    def test_unknown_mode_id_falls_back_to_initial_mode(self, config):
+        client_config = client_config_for_mode(config, Mode.LION)
+        targets = client_config.request_targets(0, 99)
+        assert targets == [config.primary_of_view(0, Mode.LION)]

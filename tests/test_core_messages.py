@@ -1,0 +1,136 @@
+"""Unit tests for SeeMoRe protocol messages: signing, sizes, and content."""
+
+import pytest
+
+from repro.core import messages as msgs
+from repro.core.modes import Mode
+from repro.crypto import KeyStore
+from repro.smr.messages import Reply, Request
+from repro.smr.replica import request_digest
+from repro.smr.state_machine import Operation
+
+
+@pytest.fixture
+def keys():
+    keystore = KeyStore()
+    for node in ("p0", "p1", "u0", "client-0"):
+        keystore.register(node)
+    return keystore
+
+
+@pytest.fixture
+def request_message(keys):
+    request = Request(operation=Operation("put", ("k", "v")), timestamp=1, client_id="client-0")
+    request.sign(keys.signer_for("client-0"))
+    return request
+
+
+class TestRequestAndReply:
+    def test_request_signature_roundtrip(self, keys, request_message):
+        assert request_message.verify(keys.verifier(), expected_signer="client-0")
+
+    def test_request_signature_fails_for_wrong_signer(self, keys, request_message):
+        assert not request_message.verify(keys.verifier(), expected_signer="p0")
+
+    def test_request_wire_size_grows_with_payload(self, keys):
+        small = Request(operation=Operation("noop"), timestamp=1, client_id="client-0")
+        big = Request(
+            operation=Operation("noop", payload="x" * 4096), timestamp=1, client_id="client-0"
+        )
+        assert big.wire_size() > small.wire_size() + 4000
+
+    def test_reply_wire_size_includes_result_payload(self, keys):
+        small = Reply(1, 0, 1, "client-0", "p0", {"ok": True, "payload": ""})
+        big = Reply(1, 0, 1, "client-0", "p0", {"ok": True, "payload": "x" * 4096})
+        assert big.wire_size() > small.wire_size() + 4000
+
+    def test_reply_signing_covers_result(self, keys):
+        reply = Reply(1, 0, 1, "client-0", "p0", {"ok": True, "value": 1})
+        reply.sign(keys.signer_for("p0"))
+        assert reply.verify(keys.verifier(), expected_signer="p0")
+        reply.result = {"ok": True, "value": 2}
+        assert not reply.verify(keys.verifier(), expected_signer="p0")
+
+    def test_unsigned_message_verifies_trivially(self, keys):
+        accept = msgs.Accept(view=0, sequence=1, digest="d", replica_id="p1", mode=1, signed=False)
+        assert accept.verify(keys.verifier())
+
+
+class TestProtocolMessages:
+    def test_prepare_sign_verify(self, keys, request_message):
+        prepare = msgs.Prepare(
+            view=0,
+            sequence=1,
+            digest=request_digest(request_message),
+            request=request_message,
+            mode=int(Mode.LION),
+        )
+        prepare.sign(keys.signer_for("p0"))
+        assert prepare.verify(keys.verifier(), expected_signer="p0")
+        assert not prepare.verify(keys.verifier(), expected_signer="p1")
+
+    def test_tampered_prepare_fails_verification(self, keys, request_message):
+        prepare = msgs.Prepare(
+            view=0,
+            sequence=1,
+            digest=request_digest(request_message),
+            request=request_message,
+            mode=int(Mode.LION),
+        )
+        prepare.sign(keys.signer_for("p0"))
+        prepare.sequence = 99
+        assert not prepare.verify(keys.verifier(), expected_signer="p0")
+
+    def test_signed_flags_match_paper(self, request_message):
+        # Lion accepts are unsigned; Dog accepts are signed.
+        lion_accept = msgs.Accept(0, 1, "d", "p1", int(Mode.LION), signed=False)
+        dog_accept = msgs.Accept(0, 1, "d", "u0", int(Mode.DOG), signed=True)
+        assert not lion_accept.signed
+        assert dog_accept.signed
+        # Primary ordering messages and informs are always signed.
+        assert msgs.Prepare(0, 1, "d", request_message, 1).signed
+        assert msgs.PrePrepare(0, 1, "d", request_message, 3).signed
+        assert msgs.Inform(0, 1, "d", "u0", 2).signed
+        assert msgs.Checkpoint(10, "d", "p0", 1).signed
+
+    def test_signed_accept_is_larger_than_unsigned(self):
+        unsigned = msgs.Accept(0, 1, "d", "p1", 1, signed=False)
+        signed = msgs.Accept(0, 1, "d", "u0", 2, signed=True)
+        assert signed.wire_size() > unsigned.wire_size()
+
+    def test_commit_with_request_is_larger(self, request_message):
+        without = msgs.Commit(0, 1, "d", "u0", 2, request=None)
+        with_request = msgs.Commit(0, 1, "d", "p0", 1, request=request_message)
+        assert with_request.wire_size() > without.wire_size()
+
+    def test_view_change_size_grows_with_entries(self, request_message):
+        empty = msgs.ViewChange(1, 1, "p0", 0, "")
+        entry = msgs.PreparedEntry(1, 0, "d", request_message)
+        full = msgs.ViewChange(1, 1, "p0", 0, "", prepared=[entry] * 5)
+        assert full.wire_size() > empty.wire_size()
+
+    def test_new_view_signing(self, keys, request_message):
+        entry = msgs.PreparedEntry(1, 0, request_digest(request_message), request_message)
+        new_view = msgs.NewView(1, 1, "p1", 0, prepares=[entry])
+        new_view.sign(keys.signer_for("p1"))
+        assert new_view.verify(keys.verifier(), expected_signer="p1")
+
+    def test_mode_change_signing(self, keys):
+        mode_change = msgs.ModeChange(new_view=2, new_mode=int(Mode.DOG), replica_id="p0")
+        mode_change.sign(keys.signer_for("p0"))
+        assert mode_change.verify(keys.verifier(), expected_signer="p0")
+        assert not mode_change.verify(keys.verifier(), expected_signer="u0")
+
+    def test_state_transfer_messages(self, keys):
+        request = msgs.StateTransferRequest(replica_id="u0", known_sequence=5)
+        assert not request.signed
+        response = msgs.StateTransferResponse(
+            replica_id="p0", checkpoint_sequence=10, state_digest="d", snapshot={"next_sequence": 11}
+        )
+        response.sign(keys.signer_for("p0"))
+        assert response.verify(keys.verifier(), expected_signer="p0")
+
+    def test_prepared_entry_wire_roundtrip(self, request_message):
+        entry = msgs.PreparedEntry(3, 1, "digest", request_message)
+        wire = entry.to_wire()
+        assert wire == {"sequence": 3, "view": 1, "digest": "digest"}

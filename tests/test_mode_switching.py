@@ -1,0 +1,132 @@
+"""Tests for dynamic mode switching (Section 5.4).
+
+A trusted replica multicasts ``MODE-CHANGE``; the protocol performs a view
+change and resumes in the new mode.  The tests check that switching works
+between every pair of modes while clients keep running, that requests keep
+completing afterwards, and that safety is never violated across the switch.
+"""
+
+import pytest
+
+from repro.cluster import build_seemore
+from repro.core import Mode
+from repro.smr.ledger import assert_ledgers_consistent
+from repro.workload import microbenchmark
+
+
+def build(mode, **kwargs):
+    return build_seemore(
+        crash_tolerance=1,
+        byzantine_tolerance=1,
+        mode=mode,
+        workload=microbenchmark("0/0"),
+        num_clients=kwargs.pop("num_clients", 2),
+        seed=kwargs.pop("seed", 5),
+        client_timeout=0.1,
+        **kwargs,
+    )
+
+
+def switch_modes(deployment, new_mode, switch_at=0.2, total=1.0):
+    """Run, ask a trusted replica to switch modes mid-run, keep running."""
+    config = deployment.extras["config"]
+    simulator = deployment.simulator
+    deployment.start_clients()
+    simulator.run(until=switch_at)
+    completed_before = deployment.metrics.completed
+    initiator = deployment.replicas[config.private_replicas[0]]
+    initiator.request_mode_switch(new_mode)
+    simulator.run(until=total)
+    deployment.stop_clients()
+    return completed_before, deployment.metrics.completed
+
+
+SWITCHES = [
+    (Mode.LION, Mode.DOG),
+    (Mode.LION, Mode.PEACOCK),
+    (Mode.DOG, Mode.LION),
+    (Mode.DOG, Mode.PEACOCK),
+    (Mode.PEACOCK, Mode.LION),
+    (Mode.PEACOCK, Mode.DOG),
+]
+
+
+class TestModeSwitching:
+    @pytest.mark.parametrize("start_mode,target_mode", SWITCHES)
+    def test_switch_preserves_liveness_and_safety(self, start_mode, target_mode):
+        deployment = build(start_mode)
+        before, after = switch_modes(deployment, target_mode)
+        assert before > 0, "progress before the switch"
+        assert after > before + 10, f"{start_mode.name}->{target_mode.name}: progress after the switch"
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+    @pytest.mark.parametrize("start_mode,target_mode", SWITCHES)
+    def test_replicas_adopt_the_new_mode(self, start_mode, target_mode):
+        deployment = build(start_mode)
+        switch_modes(deployment, target_mode)
+        modes = {replica.mode for replica in deployment.correct_replicas()}
+        assert modes == {target_mode}
+
+    def test_switch_advances_the_view(self):
+        deployment = build(Mode.LION)
+        switch_modes(deployment, Mode.PEACOCK)
+        assert all(replica.view >= 1 for replica in deployment.correct_replicas())
+
+    def test_untrusted_replica_cannot_initiate_switch(self):
+        deployment = build(Mode.LION)
+        config = deployment.extras["config"]
+        untrusted = deployment.replicas[config.public_replicas[0]]
+        with pytest.raises(PermissionError):
+            untrusted.request_mode_switch(Mode.PEACOCK)
+
+    def test_switch_back_and_forth(self):
+        deployment = build(Mode.LION)
+        config = deployment.extras["config"]
+        simulator = deployment.simulator
+        deployment.start_clients()
+        simulator.run(until=0.2)
+        deployment.replicas[config.private_replicas[0]].request_mode_switch(Mode.PEACOCK)
+        simulator.run(until=0.6)
+        trusted = next(
+            deployment.replicas[r]
+            for r in config.private_replicas
+            if not deployment.replicas[r].crashed
+        )
+        trusted.request_mode_switch(Mode.LION)
+        simulator.run(until=1.2)
+        deployment.stop_clients()
+
+        assert_ledgers_consistent(deployment.correct_ledgers())
+        modes = {replica.mode for replica in deployment.correct_replicas()}
+        assert modes == {Mode.LION}
+        assert deployment.metrics.completed > 50
+
+    def test_clients_follow_the_new_mode(self):
+        deployment = build(Mode.LION)
+        switch_modes(deployment, Mode.DOG, total=1.2)
+        # After the switch the clients should have learned the new mode from
+        # replies and be applying the Dog reply quorum.
+        assert any(client.known_mode == int(Mode.DOG) for client in deployment.clients)
+
+    def test_mode_change_message_from_untrusted_sender_is_ignored(self):
+        deployment = build(Mode.LION)
+        config = deployment.extras["config"]
+        simulator = deployment.simulator
+        deployment.start_clients()
+        simulator.run(until=0.2)
+
+        # Forge a MODE-CHANGE "from" an untrusted replica by injecting it
+        # directly into a correct replica's handler.
+        from repro.core import messages as msgs
+
+        untrusted_id = config.public_replicas[0]
+        untrusted = deployment.replicas[untrusted_id]
+        forged = msgs.ModeChange(new_view=5, new_mode=int(Mode.PEACOCK), replica_id=untrusted_id)
+        forged.sign(untrusted.signer)
+        victim = deployment.replicas[config.private_replicas[1]]
+        victim.handle_message(untrusted_id, forged)
+
+        simulator.run(until=0.6)
+        deployment.stop_clients()
+        assert victim.mode is Mode.LION
+        assert victim.view == 0

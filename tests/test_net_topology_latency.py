@@ -1,0 +1,115 @@
+"""Unit tests for cloud placement and latency models."""
+
+import random
+
+import pytest
+
+from repro.net import Cloud, CloudAwareLatencyModel, Placement, UniformLatencyModel
+from repro.net.latency import lan_latency
+
+
+def make_placement():
+    placement = Placement()
+    placement.assign_many(["p0", "p1"], Cloud.PRIVATE)
+    placement.assign_many(["u0", "u1", "u2"], Cloud.PUBLIC)
+    placement.assign("client-0", Cloud.CLIENT)
+    return placement
+
+
+class TestPlacement:
+    def test_cloud_of(self):
+        placement = make_placement()
+        assert placement.cloud_of("p0") is Cloud.PRIVATE
+        assert placement.cloud_of("u1") is Cloud.PUBLIC
+        assert placement.cloud_of("client-0") is Cloud.CLIENT
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            make_placement().cloud_of("ghost")
+
+    def test_nodes_in_sorted(self):
+        placement = make_placement()
+        assert placement.nodes_in(Cloud.PUBLIC) == ["u0", "u1", "u2"]
+
+    def test_is_trusted(self):
+        placement = make_placement()
+        assert placement.is_trusted("p0")
+        assert not placement.is_trusted("u0")
+
+    def test_reassignment_to_other_cloud_rejected(self):
+        placement = make_placement()
+        with pytest.raises(ValueError):
+            placement.assign("p0", Cloud.PUBLIC)
+
+    def test_reassignment_to_same_cloud_allowed(self):
+        placement = make_placement()
+        placement.assign("p0", Cloud.PRIVATE)
+        assert placement.cloud_of("p0") is Cloud.PRIVATE
+
+    def test_len_and_contains(self):
+        placement = make_placement()
+        assert len(placement) == 6
+        assert "p0" in placement
+        assert "ghost" not in placement
+
+
+class TestUniformLatencyModel:
+    def test_sample_in_expected_range(self):
+        model = UniformLatencyModel(base=0.001, jitter=0.0005)
+        rng = random.Random(1)
+        for _ in range(100):
+            sample = model.sample("a", "b", rng)
+            assert 0.001 <= sample <= 0.0015
+
+    def test_deterministic_given_seed(self):
+        model = UniformLatencyModel()
+        first = [model.sample("a", "b", random.Random(7)) for _ in range(5)]
+        second = [model.sample("a", "b", random.Random(7)) for _ in range(5)]
+        assert first == second
+
+
+class TestCloudAwareLatencyModel:
+    def setup_method(self):
+        self.placement = make_placement()
+        self.model = CloudAwareLatencyModel(
+            placement=self.placement,
+            intra_cloud=0.0002,
+            cross_cloud=0.01,
+            client_link=0.0005,
+            jitter_fraction=0.0,
+        )
+
+    def test_classify_links(self):
+        assert self.model.classify("p0", "p1") == "intra"
+        assert self.model.classify("u0", "u2") == "intra"
+        assert self.model.classify("p0", "u0") == "cross"
+        assert self.model.classify("client-0", "p0") == "client"
+        assert self.model.classify("u0", "client-0") == "client"
+
+    def test_cross_cloud_slower_than_intra(self):
+        rng = random.Random(0)
+        intra = self.model.sample("p0", "p1", rng)
+        cross = self.model.sample("p0", "u0", rng)
+        assert cross > intra
+
+    def test_base_for_uses_link_class(self):
+        assert self.model.base_for("p0", "p1") == 0.0002
+        assert self.model.base_for("p0", "u0") == 0.01
+        assert self.model.base_for("client-0", "u0") == 0.0005
+
+    def test_jitter_fraction_bounds_sample(self):
+        model = CloudAwareLatencyModel(
+            placement=self.placement, intra_cloud=0.001, jitter_fraction=0.5
+        )
+        rng = random.Random(3)
+        for _ in range(50):
+            sample = model.sample("p0", "p1", rng)
+            assert 0.001 <= sample <= 0.0015
+
+    def test_lan_latency_helper_colocates_clouds(self):
+        model = lan_latency(self.placement)
+        assert model.cross_cloud == model.intra_cloud
+
+    def test_lan_latency_helper_with_override(self):
+        model = lan_latency(self.placement, cross_cloud=0.05)
+        assert model.cross_cloud == 0.05

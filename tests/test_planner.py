@@ -1,0 +1,178 @@
+"""Unit tests for the public-cloud sizing planner (Section 4)."""
+
+import pytest
+
+from repro.planner import (
+    CloudPlan,
+    InfeasiblePlanError,
+    hybrid_network_size,
+    hybrid_quorum_size,
+    plan_across_clouds,
+    plan_with_explicit_failures,
+    plan_with_failure_ratio,
+    recommend_plan,
+    rental_is_beneficial,
+)
+from repro.planner.multicloud import PublicCloudOffer
+
+
+class TestNetworkAndQuorumSizes:
+    def test_hybrid_network_size_formula(self):
+        # N = 3m + 2c + 1 (Equation 1)
+        assert hybrid_network_size(1, 1) == 6
+        assert hybrid_network_size(2, 2) == 11
+        assert hybrid_network_size(3, 1) == 12
+        assert hybrid_network_size(1, 3) == 10
+
+    def test_hybrid_quorum_size_formula(self):
+        # Q = 2m + c + 1
+        assert hybrid_quorum_size(1, 1) == 4
+        assert hybrid_quorum_size(2, 2) == 7
+        assert hybrid_quorum_size(0, 1) == 2
+
+    def test_degenerate_cases_match_paxos_and_pbft(self):
+        # m=0 reduces to Paxos sizes (2c+1 / c+1); c=0 reduces to PBFT (3m+1 / 2m+1).
+        assert hybrid_network_size(0, 2) == 5
+        assert hybrid_quorum_size(0, 2) == 3
+        assert hybrid_network_size(2, 0) == 7
+        assert hybrid_quorum_size(2, 0) == 5
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            hybrid_network_size(-1, 0)
+        with pytest.raises(ValueError):
+            hybrid_quorum_size(0, -1)
+
+
+class TestRatioPlanning:
+    def test_paper_worked_example(self):
+        # S=2, c=1, alpha=0.3  =>  P = 10 (Section 4).
+        plan = plan_with_failure_ratio(2, 1, 0.3)
+        assert plan.public_nodes == 10
+        assert plan.network_size == 12
+        assert plan.satisfies_constraints
+
+    def test_equation_three_with_crash_ratio(self):
+        plan_without = plan_with_failure_ratio(2, 1, 0.2)
+        plan_with = plan_with_failure_ratio(2, 1, 0.2, crash_ratio=0.1)
+        # Accounting for crash-only failures in the public cloud never
+        # reduces the requirement below the malicious-only estimate.
+        assert plan_with.public_nodes >= plan_without.public_nodes
+
+    def test_private_cloud_already_sufficient_rejected(self):
+        with pytest.raises(InfeasiblePlanError):
+            plan_with_failure_ratio(3, 1, 0.2)  # S >= 2c+1
+
+    def test_useless_private_cloud_rejected(self):
+        with pytest.raises(InfeasiblePlanError):
+            plan_with_failure_ratio(1, 1, 0.2)  # S <= c
+
+    def test_alpha_one_third_or_more_rejected(self):
+        with pytest.raises(InfeasiblePlanError):
+            plan_with_failure_ratio(2, 1, 1.0 / 3.0)
+        with pytest.raises(InfeasiblePlanError):
+            plan_with_failure_ratio(2, 1, 0.4)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            plan_with_failure_ratio(2, 1, -0.1)
+        with pytest.raises(ValueError):
+            plan_with_failure_ratio(2, 1, 1.0)
+
+    def test_smaller_alpha_needs_fewer_nodes(self):
+        cheap = plan_with_failure_ratio(2, 1, 0.05)
+        pricey = plan_with_failure_ratio(2, 1, 0.3)
+        assert cheap.public_nodes < pricey.public_nodes
+
+    def test_plan_quorum_size_property(self):
+        plan = plan_with_failure_ratio(2, 1, 0.3)
+        assert plan.quorum_size == 2 * plan.byzantine_tolerance + plan.crash_tolerance + 1
+
+
+class TestExplicitPlanning:
+    def test_explicit_malicious_only(self):
+        # P = (3M + 2c + 1) - S
+        plan = plan_with_explicit_failures(2, 1, public_malicious=2)
+        assert plan.public_nodes == (3 * 2 + 2 * 1 + 1) - 2
+        assert plan.byzantine_tolerance == 2
+
+    def test_explicit_with_crash_failures(self):
+        plan = plan_with_explicit_failures(2, 1, public_malicious=1, public_crash=2)
+        assert plan.public_nodes == (3 * 1 + 2 * 2 + 2 * 1 + 1) - 2
+
+    def test_never_negative_rental(self):
+        plan = plan_with_explicit_failures(10, 1, public_malicious=0)
+        assert plan.public_nodes == 0
+
+    def test_negative_failure_counts_rejected(self):
+        with pytest.raises(ValueError):
+            plan_with_explicit_failures(2, 1, public_malicious=-1)
+
+
+class TestRecommendations:
+    def test_rental_beneficial_window(self):
+        # Beneficial only when c < S < 2c+1.
+        assert not rental_is_beneficial(1, 1)     # S == c
+        assert rental_is_beneficial(2, 1)         # c < S < 2c+1
+        assert not rental_is_beneficial(3, 1)     # S == 2c+1
+        assert rental_is_beneficial(3, 2)
+        assert rental_is_beneficial(4, 2)
+        assert not rental_is_beneficial(5, 2)
+
+    def test_recommend_prefers_local_paxos_when_sufficient(self):
+        plan = recommend_plan(5, 2, malicious_ratio=0.1)
+        assert plan.public_nodes == 0
+        assert "Paxos" in plan.rationale
+
+    def test_recommend_uses_explicit_when_given(self):
+        plan = recommend_plan(2, 1, public_malicious=1)
+        assert plan.public_nodes == 4
+        assert plan.byzantine_tolerance == 1
+
+    def test_recommend_uses_ratio_when_given(self):
+        plan = recommend_plan(2, 1, malicious_ratio=0.3)
+        assert plan.public_nodes == 10
+
+    def test_recommend_requires_some_information(self):
+        with pytest.raises(ValueError):
+            recommend_plan(2, 1)
+
+    def test_plan_is_frozen_dataclass(self):
+        plan = CloudPlan(2, 4, 1, 1)
+        with pytest.raises(AttributeError):
+            plan.public_nodes = 7
+
+
+class TestMultiCloudPlanning:
+    def test_single_offer_matches_ratio_model_scale(self):
+        offers = [PublicCloudOffer("aws", malicious_ratio=0.3, price_per_node=1.0, max_nodes=16)]
+        option = plan_across_clouds(2, 1, offers)
+        total = 2 + option.total_public_nodes
+        assert total >= 3 * option.byzantine_tolerance + 2 * 1 + 1
+
+    def test_prefers_cheaper_provider(self):
+        offers = [
+            PublicCloudOffer("pricey", malicious_ratio=0.1, price_per_node=10.0, max_nodes=8),
+            PublicCloudOffer("cheap", malicious_ratio=0.1, price_per_node=1.0, max_nodes=8),
+        ]
+        option = plan_across_clouds(2, 1, offers)
+        assert "cheap" in option.allocation
+        assert "pricey" not in option.allocation
+
+    def test_infeasible_when_every_provider_too_faulty(self):
+        offers = [PublicCloudOffer("bad", malicious_ratio=0.9, max_nodes=3)]
+        # With a tiny node cap and a very high failure ratio no allocation works.
+        with pytest.raises(InfeasiblePlanError):
+            plan_across_clouds(0, 2, offers)
+
+    def test_requires_at_least_one_offer(self):
+        with pytest.raises(ValueError):
+            plan_across_clouds(2, 1, [])
+
+    def test_allocation_excludes_zero_count_providers(self):
+        offers = [
+            PublicCloudOffer("a", malicious_ratio=0.1, price_per_node=1.0, max_nodes=8),
+            PublicCloudOffer("b", malicious_ratio=0.1, price_per_node=2.0, max_nodes=8),
+        ]
+        option = plan_across_clouds(2, 1, offers)
+        assert all(count > 0 for count in option.allocation.values())

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import KeyStore, digest
+from repro.planner import (
+    hybrid_network_size,
+    hybrid_quorum_size,
+    plan_with_explicit_failures,
+    plan_with_failure_ratio,
+)
+from repro.planner.sizing import InfeasiblePlanError
+from repro.sim import EventQueue, Simulator
+from repro.smr import Counter, Operation, OrderedExecutor
+from repro.smr.slots import SlotLog
+
+
+class TestQuorumIntersectionProperties:
+    @given(malicious=st.integers(0, 20), crash=st.integers(0, 20))
+    def test_hybrid_quorums_intersect_in_a_correct_node(self, malicious, crash):
+        """Any two quorums of size 2m+c+1 out of 3m+2c+1 share > m nodes.
+
+        This is the core safety argument of Section 3.2: the intersection of
+        any two quorums contains at least m+1 nodes, hence at least one
+        non-faulty node.
+        """
+        network = hybrid_network_size(malicious, crash)
+        quorum = hybrid_quorum_size(malicious, crash)
+        intersection = 2 * quorum - network
+        assert intersection >= malicious + 1
+
+    @given(malicious=st.integers(0, 20), crash=st.integers(0, 20))
+    def test_network_leaves_a_live_quorum_despite_faults(self, malicious, crash):
+        """Even with every faulty node silent, a full quorum of correct nodes remains."""
+        network = hybrid_network_size(malicious, crash)
+        quorum = hybrid_quorum_size(malicious, crash)
+        assert network - (malicious + crash) >= quorum
+
+
+class TestPlannerProperties:
+    @given(
+        crash=st.integers(1, 6),
+        alpha=st.floats(0.01, 0.32),
+    )
+    def test_ratio_plan_always_satisfies_network_constraint(self, crash, alpha):
+        private = crash + 1  # the beneficial regime requires c < S < 2c+1
+        if private >= 2 * crash + 1:
+            return
+        try:
+            plan = plan_with_failure_ratio(private, crash, alpha)
+        except InfeasiblePlanError:
+            return
+        worst_case_malicious = int(alpha * plan.public_nodes)
+        assert plan.network_size >= 3 * worst_case_malicious + 2 * crash + 1
+
+    @given(
+        private=st.integers(0, 10),
+        crash=st.integers(0, 5),
+        public_malicious=st.integers(0, 5),
+        public_crash=st.integers(0, 5),
+    )
+    def test_explicit_plan_is_exact_or_zero(self, private, crash, public_malicious, public_crash):
+        plan = plan_with_explicit_failures(private, crash, public_malicious, public_crash)
+        required = 3 * public_malicious + 2 * public_crash + 2 * crash + 1
+        assert plan.network_size >= required or plan.public_nodes == 0
+
+
+class TestExecutorProperties:
+    @given(st.permutations(list(range(1, 12))))
+    @settings(max_examples=50)
+    def test_out_of_order_commits_execute_in_order(self, order):
+        """Whatever order commits arrive in, execution is in sequence order."""
+        executor = OrderedExecutor(Counter())
+        for sequence in order:
+            executor.commit(sequence, "client", sequence, Operation("add", (sequence,)))
+        executed = [execution.sequence for execution in executor.executed]
+        assert executed == sorted(executed)
+        assert executor.last_executed == 11
+        assert executor.state_machine.value == sum(range(1, 12))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 8), st.integers(1, 5)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50)
+    def test_duplicate_client_requests_execute_once(self, submissions):
+        """The same (client, timestamp) never mutates state twice."""
+        executor = OrderedExecutor(Counter())
+        sequence = 0
+        seen = set()
+        for client_index, timestamp in submissions:
+            sequence += 1
+            executor.commit(sequence, f"client-{client_index}", timestamp, Operation("add", (1,)))
+            seen.add((f"client-{client_index}", timestamp))
+        assert executor.state_machine.value == len(seen)
+
+
+class TestDigestProperties:
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(st.integers(), st.text(max_size=16), st.booleans()),
+            max_size=8,
+        )
+    )
+    def test_digest_is_deterministic_and_order_insensitive(self, payload):
+        reordered = dict(reversed(list(payload.items())))
+        assert digest(payload) == digest(reordered)
+
+    @given(st.text(max_size=64), st.text(max_size=64))
+    def test_different_strings_rarely_collide(self, first, second):
+        if first != second:
+            assert digest(first) != digest(second)
+
+    @given(st.binary(max_size=256))
+    def test_signature_never_verifies_with_wrong_message(self, tampered):
+        keystore = KeyStore()
+        keystore.register("node")
+        signer = keystore.signer_for("node")
+        verifier = keystore.verifier()
+        signature = signer.sign("the-real-message")
+        if tampered != b"the-real-message":
+            assert not verifier.verify(tampered, signature)
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_events_fire_in_timestamp_order(self, delays):
+        simulator = Simulator()
+        fired = []
+        for delay in delays:
+            simulator.call_later(delay, lambda d=delay: fired.append(simulator.now))
+        simulator.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_event_queue_pops_in_order(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.push(time, lambda: None)
+        popped = []
+        while queue:
+            popped.append(queue.pop().time)
+        assert popped == sorted(popped)
+
+
+class TestSlotLogProperties:
+    @given(
+        st.lists(st.integers(1, 200), min_size=1, max_size=60),
+        st.integers(0, 150),
+    )
+    @settings(max_examples=50)
+    def test_collect_below_never_loses_higher_slots(self, sequences, watermark):
+        log = SlotLog()
+        for sequence in sequences:
+            log.slot(sequence).digest = f"digest-{sequence}"
+        log.collect_below(watermark)
+        assert all(sequence > watermark for sequence in log.sequences)
+        expected_survivors = {s for s in sequences if s > watermark}
+        assert set(log.sequences) == expected_survivors
+        assert log.low_watermark >= min(watermark, log.low_watermark)
+
+    @given(st.lists(st.tuples(st.integers(1, 30), st.sampled_from(["a", "b", "c"])), max_size=80))
+    @settings(max_examples=50)
+    def test_vote_counts_never_exceed_distinct_voters(self, votes):
+        log = SlotLog()
+        voters_per_slot = {}
+        for sequence, voter in votes:
+            slot = log.slot(sequence)
+            slot.record_vote("accept", voter, message=None, digest=None)
+            voters_per_slot.setdefault(sequence, set()).add(voter)
+        for sequence, voters in voters_per_slot.items():
+            assert log.slot(sequence).vote_count("accept") == len(voters)

@@ -1,0 +1,111 @@
+"""Unit tests for the single-threaded server process (CPU cost model)."""
+
+import pytest
+
+from repro.sim import Process, ProcessState, Simulator
+
+
+class TestProcess:
+    def test_work_runs_after_cost(self):
+        sim = Simulator()
+        process = Process(sim)
+        done_at = []
+        process.submit(2.0, lambda: done_at.append(sim.now))
+        sim.run()
+        assert done_at == [2.0]
+
+    def test_work_is_serialized(self):
+        sim = Simulator()
+        process = Process(sim)
+        done_at = []
+        process.submit(1.0, lambda: done_at.append(sim.now))
+        process.submit(1.0, lambda: done_at.append(sim.now))
+        process.submit(1.0, lambda: done_at.append(sim.now))
+        sim.run()
+        assert done_at == [1.0, 2.0, 3.0]
+
+    def test_queue_depth_counts_waiting_items(self):
+        sim = Simulator()
+        process = Process(sim)
+        process.submit(1.0, lambda: None)
+        process.submit(1.0, lambda: None)
+        process.submit(1.0, lambda: None)
+        assert process.queue_depth == 2  # one running, two waiting
+
+    def test_negative_cost_rejected(self):
+        sim = Simulator()
+        process = Process(sim)
+        with pytest.raises(ValueError):
+            process.submit(-1.0, lambda: None)
+
+    def test_zero_cost_work_allowed(self):
+        sim = Simulator()
+        process = Process(sim)
+        done = []
+        process.submit(0.0, lambda: done.append(True))
+        sim.run()
+        assert done == [True]
+
+    def test_crash_drops_queued_work(self):
+        sim = Simulator()
+        process = Process(sim)
+        done = []
+        process.submit(1.0, lambda: done.append("a"))
+        process.submit(1.0, lambda: done.append("b"))
+        sim.call_later(0.5, process.crash)
+        sim.run()
+        assert done == []
+        assert process.state is ProcessState.CRASHED
+
+    def test_crashed_process_rejects_new_work(self):
+        sim = Simulator()
+        process = Process(sim)
+        process.crash()
+        done = []
+        process.submit(1.0, lambda: done.append(True))
+        sim.run()
+        assert done == []
+
+    def test_recover_allows_new_work(self):
+        sim = Simulator()
+        process = Process(sim)
+        process.crash()
+        process.recover()
+        done = []
+        process.submit(1.0, lambda: done.append(True))
+        sim.run()
+        assert done == [True]
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        process = Process(sim)
+        process.submit(1.0, lambda: None)
+        process.submit(2.5, lambda: None)
+        sim.run()
+        assert process.busy_time == pytest.approx(3.5)
+        assert process.items_processed == 2
+
+    def test_utilisation_fraction(self):
+        sim = Simulator()
+        process = Process(sim)
+        process.submit(1.0, lambda: None)
+        sim.run(until=4.0)
+        assert process.utilisation() == pytest.approx(0.25)
+
+    def test_utilisation_with_zero_elapsed(self):
+        sim = Simulator()
+        process = Process(sim)
+        assert process.utilisation() == 0.0
+
+    def test_work_submitted_from_handler_runs(self):
+        sim = Simulator()
+        process = Process(sim)
+        done_at = []
+
+        def first():
+            done_at.append(sim.now)
+            process.submit(2.0, lambda: done_at.append(sim.now))
+
+        process.submit(1.0, first)
+        sim.run()
+        assert done_at == [1.0, 3.0]

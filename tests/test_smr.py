@@ -1,0 +1,241 @@
+"""Unit tests for state machines, the ordered executor, and commit ledgers."""
+
+import pytest
+
+from repro.crypto import digest
+from repro.smr import (
+    CommitLedger,
+    Counter,
+    KeyValueStore,
+    LedgerEntry,
+    NullStateMachine,
+    Operation,
+    OrderedExecutor,
+)
+from repro.smr.ledger import assert_ledgers_consistent, find_safety_violations
+
+
+class TestOperations:
+    def test_wire_size_includes_payload(self):
+        small = Operation("noop")
+        big = Operation("noop", payload="x" * 4096)
+        assert big.wire_size() > small.wire_size() + 4000
+
+    def test_to_wire_is_json_friendly(self):
+        op = Operation("put", ("k", "v"), payload="xy")
+        wire = op.to_wire()
+        assert wire["kind"] == "put"
+        assert wire["payload_len"] == 2
+
+
+class TestKeyValueStore:
+    def setup_method(self):
+        self.store = KeyValueStore()
+
+    def test_put_and_get(self):
+        self.store.apply(Operation("put", ("k", "v")))
+        result = self.store.apply(Operation("get", ("k",)))
+        assert result["value"] == "v"
+
+    def test_get_missing_key(self):
+        result = self.store.apply(Operation("get", ("missing",)))
+        assert result["value"] is None
+
+    def test_delete(self):
+        self.store.apply(Operation("put", ("k", "v")))
+        result = self.store.apply(Operation("delete", ("k",)))
+        assert result["existed"] is True
+        assert self.store.get("k") is None
+
+    def test_delete_missing(self):
+        result = self.store.apply(Operation("delete", ("nope",)))
+        assert result["existed"] is False
+
+    def test_scan_with_prefix(self):
+        for key in ("user:1", "user:2", "order:1"):
+            self.store.apply(Operation("put", (key, key)))
+        result = self.store.apply(Operation("scan", ("user:",)))
+        assert result["keys"] == ["user:1", "user:2"]
+
+    def test_scan_without_prefix_returns_all(self):
+        self.store.apply(Operation("put", ("a", 1)))
+        self.store.apply(Operation("put", ("b", 2)))
+        result = self.store.apply(Operation("scan"))
+        assert result["keys"] == ["a", "b"]
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(ValueError):
+            self.store.apply(Operation("frobnicate"))
+
+    def test_snapshot_restore_roundtrip(self):
+        self.store.apply(Operation("put", ("k", "v")))
+        snapshot = self.store.snapshot()
+        other = KeyValueStore()
+        other.restore(snapshot)
+        assert other.get("k") == "v"
+
+    def test_len_counts_keys(self):
+        self.store.apply(Operation("put", ("a", 1)))
+        self.store.apply(Operation("put", ("b", 2)))
+        assert len(self.store) == 2
+
+
+class TestCounterAndNull:
+    def test_counter_add_and_read(self):
+        counter = Counter()
+        counter.apply(Operation("add", (5,)))
+        counter.apply(Operation("add", (3,)))
+        assert counter.apply(Operation("read"))["value"] == 8
+
+    def test_counter_snapshot_restore(self):
+        counter = Counter()
+        counter.apply(Operation("add", (7,)))
+        other = Counter()
+        other.restore(counter.snapshot())
+        assert other.value == 7
+
+    def test_counter_unknown_op(self):
+        with pytest.raises(ValueError):
+            Counter().apply(Operation("frobnicate"))
+
+    def test_null_machine_echoes_payload_size(self):
+        machine = NullStateMachine(reply_payload_size=16)
+        result = machine.apply(Operation("noop"))
+        assert len(result["payload"]) == 16
+
+    def test_null_machine_counts_operations(self):
+        machine = NullStateMachine()
+        machine.apply(Operation("noop"))
+        machine.apply(Operation("noop"))
+        assert machine.operations_applied == 2
+
+
+class TestOrderedExecutor:
+    def setup_method(self):
+        self.executor = OrderedExecutor(Counter())
+
+    def test_in_order_execution(self):
+        self.executor.commit(1, "c1", 1, Operation("add", (1,)))
+        self.executor.commit(2, "c1", 2, Operation("add", (2,)))
+        assert self.executor.state_machine.value == 3
+        assert self.executor.last_executed == 2
+
+    def test_gap_buffers_until_filled(self):
+        self.executor.commit(2, "c1", 2, Operation("add", (2,)))
+        assert self.executor.state_machine.value == 0
+        executed = self.executor.commit(1, "c1", 1, Operation("add", (1,)))
+        assert self.executor.state_machine.value == 3
+        assert [e.sequence for e in executed] == [1, 2]
+
+    def test_duplicate_commit_ignored(self):
+        self.executor.commit(1, "c1", 1, Operation("add", (1,)))
+        self.executor.commit(1, "c1", 1, Operation("add", (1,)))
+        assert self.executor.state_machine.value == 1
+
+    def test_duplicate_request_uses_reply_cache(self):
+        self.executor.commit(1, "c1", 5, Operation("add", (1,)))
+        # Same client timestamp committed again under a different sequence
+        # (can happen across view changes); must not double-execute.
+        self.executor.commit(2, "c1", 5, Operation("add", (1,)))
+        assert self.executor.state_machine.value == 1
+        assert self.executor.already_executed("c1", 5)
+
+    def test_cached_reply_returned(self):
+        self.executor.commit(1, "c1", 5, Operation("add", (4,)))
+        assert self.executor.cached_reply("c1", 5)["value"] == 4
+        assert self.executor.cached_reply("c1", 99) is None
+
+    def test_invalid_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            self.executor.commit(0, "c1", 1, Operation("noop"))
+
+    def test_commit_below_watermark_is_noop(self):
+        self.executor.commit(1, "c1", 1, Operation("add", (1,)))
+        executed = self.executor.commit(1, "c2", 9, Operation("add", (100,)))
+        assert executed == []
+        assert self.executor.state_machine.value == 1
+
+    def test_snapshot_restore_jumps_forward(self):
+        self.executor.commit(1, "c1", 1, Operation("add", (1,)))
+        self.executor.commit(2, "c1", 2, Operation("add", (2,)))
+        snapshot = self.executor.snapshot()
+
+        lagging = OrderedExecutor(Counter())
+        lagging.restore(snapshot)
+        assert lagging.next_sequence == 3
+        assert lagging.state_machine.value == 3
+
+    def test_restore_never_moves_backwards(self):
+        self.executor.commit(1, "c1", 1, Operation("add", (1,)))
+        old_snapshot = {"next_sequence": 1, "state": 0, "replies": {}}
+        self.executor.restore(old_snapshot)
+        assert self.executor.next_sequence == 2
+        assert self.executor.state_machine.value == 1
+
+    def test_discard_below_drops_stale_pending(self):
+        self.executor.commit(5, "c1", 5, Operation("add", (5,)))
+        self.executor.discard_below(10)
+        self.executor.restore({"next_sequence": 10, "state": 0, "replies": {}})
+        self.executor.commit(10, "c1", 10, Operation("add", (10,)))
+        assert self.executor.state_machine.value == 10
+
+    def test_executed_history_grows_in_order(self):
+        for seq in (3, 1, 2):
+            self.executor.commit(seq, "c1", seq, Operation("add", (seq,)))
+        assert [e.sequence for e in self.executor.executed] == [1, 2, 3]
+
+
+class TestCommitLedger:
+    def test_record_and_lookup(self):
+        ledger = CommitLedger("r0")
+        entry = LedgerEntry(1, digest("op"), 0, "c1", 1)
+        ledger.record(entry)
+        assert ledger.digest_at(1) == digest("op")
+        assert 1 in ledger
+        assert ledger.highest_committed == 1
+
+    def test_re_record_same_digest_ok(self):
+        ledger = CommitLedger("r0")
+        entry = LedgerEntry(1, digest("op"), 0, "c1", 1)
+        ledger.record(entry)
+        ledger.record(entry)
+        assert len(ledger) == 1
+
+    def test_conflicting_record_raises(self):
+        ledger = CommitLedger("r0")
+        ledger.record(LedgerEntry(1, digest("op-a"), 0, "c1", 1))
+        with pytest.raises(ValueError):
+            ledger.record(LedgerEntry(1, digest("op-b"), 0, "c1", 1))
+
+    def test_find_safety_violations_none_when_consistent(self):
+        ledgers = [CommitLedger(f"r{i}") for i in range(3)]
+        for ledger in ledgers:
+            ledger.record(LedgerEntry(1, digest("op"), 0, "c1", 1))
+        assert find_safety_violations(ledgers) == []
+
+    def test_find_safety_violations_detects_divergence(self):
+        first, second = CommitLedger("r0"), CommitLedger("r1")
+        first.record(LedgerEntry(1, digest("op-a"), 0, "c1", 1))
+        second.record(LedgerEntry(1, digest("op-b"), 0, "c1", 1))
+        violations = find_safety_violations([first, second])
+        assert len(violations) == 1
+        assert violations[0][0] == 1
+
+    def test_assert_ledgers_consistent_raises_on_conflict(self):
+        first, second = CommitLedger("r0"), CommitLedger("r1")
+        first.record(LedgerEntry(1, digest("op-a"), 0, "c1", 1))
+        second.record(LedgerEntry(1, digest("op-b"), 0, "c1", 1))
+        with pytest.raises(AssertionError):
+            assert_ledgers_consistent([first, second])
+
+    def test_disjoint_ledgers_are_consistent(self):
+        first, second = CommitLedger("r0"), CommitLedger("r1")
+        first.record(LedgerEntry(1, digest("op-a"), 0, "c1", 1))
+        second.record(LedgerEntry(2, digest("op-b"), 0, "c1", 2))
+        assert_ledgers_consistent([first, second])
+
+    def test_empty_ledger_properties(self):
+        ledger = CommitLedger("r0")
+        assert ledger.highest_committed == 0
+        assert ledger.committed_sequences == []
+        assert ledger.entry_at(1) is None

@@ -1,0 +1,230 @@
+"""Unit tests for the closed-loop client (reply quorums, retransmission)."""
+
+import pytest
+
+from repro.crypto import KeyStore
+from repro.net import Network, Node, UniformLatencyModel
+from repro.sim import Simulator
+from repro.smr.client import Client, ClientConfig
+from repro.smr.messages import Reply, Request
+from repro.smr.state_machine import Operation
+from repro.workload import MetricsCollector
+
+
+class ScriptedReplica(Node):
+    """A fake replica that replies according to a small script."""
+
+    def __init__(self, node_id, simulator, signer, respond=True, result=None, delay=0.0):
+        super().__init__(node_id, simulator)
+        self.signer = signer
+        self.respond = respond
+        self.result = result if result is not None else {"ok": True}
+        self.delay = delay
+        self.requests_seen = 0
+
+    def handle_message(self, src, payload):
+        if not isinstance(payload, Request) or not self.respond:
+            return
+        self.requests_seen += 1
+        reply = Reply(
+            mode=1,
+            view=0,
+            timestamp=payload.timestamp,
+            client_id=payload.client_id,
+            replica_id=self.node_id,
+            result=self.result,
+        )
+        reply.sign(self.signer)
+        if self.delay:
+            self.simulator.call_later(self.delay, lambda: self.send(src, reply))
+        else:
+            self.send(src, reply)
+
+
+def build_harness(replica_specs, replies_needed=1, trusted=frozenset(), timeout=0.05,
+                  retransmit_replies_needed=None):
+    simulator = Simulator()
+    network = Network(simulator, latency_model=UniformLatencyModel(base=0.001, jitter=0.0))
+    keystore = KeyStore()
+    replica_ids = [spec["id"] for spec in replica_specs]
+    for replica_id in replica_ids:
+        keystore.register(replica_id)
+    keystore.register("client-0")
+
+    replicas = {}
+    for spec in replica_specs:
+        replica = ScriptedReplica(
+            spec["id"],
+            simulator,
+            keystore.signer_for(spec["id"]),
+            respond=spec.get("respond", True),
+            result=spec.get("result"),
+            delay=spec.get("delay", 0.0),
+        )
+        network.register(replica)
+        replicas[spec["id"]] = replica
+
+    config = ClientConfig(
+        request_targets=lambda view, mode: [replica_ids[0]],
+        replies_needed=replies_needed,
+        trusted_replicas=trusted,
+        retransmit_targets=lambda view, mode: replica_ids,
+        retransmit_replies_needed=retransmit_replies_needed,
+        request_timeout=timeout,
+    )
+    metrics = MetricsCollector()
+    client = Client(
+        node_id="client-0",
+        simulator=simulator,
+        signer=keystore.signer_for("client-0"),
+        verifier=keystore.verifier(),
+        config=config,
+        operation_factory=lambda ts: Operation("noop"),
+        recorder=metrics,
+        max_requests=3,
+    )
+    network.register(client)
+    return simulator, client, replicas, metrics
+
+
+class TestClientHappyPath:
+    def test_completes_requests_with_single_reply(self):
+        sim, client, replicas, metrics = build_harness([{"id": "r0"}])
+        client.start()
+        sim.run(until=1.0)
+        assert client.completed_count == 3
+        assert metrics.completed == 3
+        assert client.timeouts == 0
+
+    def test_latency_recorded_per_request(self):
+        sim, client, _, metrics = build_harness([{"id": "r0"}])
+        client.start()
+        sim.run(until=1.0)
+        for record in metrics.records:
+            assert record.latency > 0
+
+    def test_quorum_of_matching_replies_required(self):
+        # Two replicas reply but three matching replies are required: the
+        # client keeps retransmitting and never completes.
+        sim, client, _, _ = build_harness(
+            [{"id": "r0"}, {"id": "r1"}], replies_needed=3, retransmit_replies_needed=3
+        )
+        client.start()
+        sim.run(until=0.5)
+        assert client.completed_count == 0
+        assert client.timeouts > 0
+
+    def test_mismatched_results_do_not_count_together(self):
+        sim, client, _, _ = build_harness(
+            [
+                {"id": "r0", "result": {"ok": True, "value": 1}},
+                {"id": "r1", "result": {"ok": True, "value": 2}},
+            ],
+            replies_needed=2,
+            retransmit_replies_needed=2,
+        )
+        client.start()
+        sim.run(until=0.5)
+        assert client.completed_count == 0
+
+    def test_trusted_reply_accepted_alone(self):
+        sim, client, _, _ = build_harness(
+            [{"id": "r0"}, {"id": "r1"}], replies_needed=2, trusted=frozenset({"r0"})
+        )
+        client.start()
+        sim.run(until=1.0)
+        assert client.completed_count == 3
+
+
+class TestClientRetransmission:
+    def test_timeout_triggers_retransmission_to_all(self):
+        # Primary r0 never responds; r1 and r2 respond only after the client
+        # broadcasts (they are not the initial target).
+        sim, client, replicas, _ = build_harness(
+            [{"id": "r0", "respond": False}, {"id": "r1"}, {"id": "r2"}],
+            replies_needed=1,
+            retransmit_replies_needed=1,
+            timeout=0.02,
+        )
+        client.start()
+        sim.run(until=1.0)
+        assert client.timeouts > 0
+        assert client.completed_count == 3
+        assert replicas["r1"].requests_seen > 0
+
+    def test_stop_prevents_further_requests(self):
+        sim, client, _, _ = build_harness([{"id": "r0"}])
+        client.start()
+        sim.run(until=0.01)
+        client.stop()
+        completed_at_stop = client.completed_count
+        sim.run(until=1.0)
+        assert client.completed_count <= completed_at_stop + 1
+
+    def test_max_requests_limits_the_loop(self):
+        sim, client, _, _ = build_harness([{"id": "r0"}])
+        client.start()
+        sim.run(until=5.0)
+        assert client.completed_count == 3
+
+
+class TestClientValidation:
+    def test_reply_with_bad_signature_ignored(self):
+        sim, client, replicas, _ = build_harness([{"id": "r0"}, {"id": "r1"}], replies_needed=2)
+        # r1 signs with its own key but claims results of r0: craft manually.
+        original_handle = replicas["r1"].handle_message
+
+        def forge(src, payload):
+            if isinstance(payload, Request):
+                reply = Reply(
+                    mode=1,
+                    view=0,
+                    timestamp=payload.timestamp,
+                    client_id=payload.client_id,
+                    replica_id="r0",  # claims to be r0
+                    result={"ok": True},
+                )
+                reply.sign(replicas["r1"].signer)  # but signs as r1
+                replicas["r1"].send(src, reply)
+                return
+            original_handle(src, payload)
+
+        replicas["r1"].handle_message = forge
+        client.start()
+        sim.run(until=0.3)
+        # The forged reply never counts, so the quorum of 2 is never reached.
+        assert client.completed_count == 0
+
+    def test_stale_reply_for_old_timestamp_ignored(self):
+        sim, client, replicas, _ = build_harness([{"id": "r0"}])
+        client.start()
+        sim.run(until=1.0)
+        # Inject a stale reply after everything finished: must not crash or
+        # add completions.
+        stale = Reply(1, 0, 1, "client-0", "r0", {"ok": True})
+        stale.sign(replicas["r0"].signer)
+        completed = client.completed_count
+        client.handle_message("r0", stale)
+        assert client.completed_count == completed
+
+    def test_client_tracks_view_and_mode_from_replies(self):
+        sim, client, replicas, _ = build_harness([{"id": "r0"}])
+
+        def reply_in_view_3(src, payload):
+            if isinstance(payload, Request):
+                reply = Reply(
+                    mode=2,
+                    view=3,
+                    timestamp=payload.timestamp,
+                    client_id=payload.client_id,
+                    replica_id="r0",
+                    result={"ok": True},
+                )
+                reply.sign(replicas["r0"].signer)
+                replicas["r0"].send(src, reply)
+
+        replicas["r0"].handle_message = reply_in_view_3
+        client.start()
+        sim.run(until=0.5)
+        assert client.known_view == 3
+        assert client.known_mode == 2

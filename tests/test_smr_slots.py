@@ -1,0 +1,92 @@
+"""Unit tests for slot bookkeeping (votes, digest matching, watermarks)."""
+
+import pytest
+
+from repro.smr.slots import Slot, SlotLog
+
+
+class TestSlot:
+    def test_votes_are_per_sender(self):
+        slot = Slot(sequence=1, digest="d")
+        assert slot.record_vote("accept", "r0", None, "d") == 1
+        assert slot.record_vote("accept", "r0", None, "d") == 1  # duplicate sender
+        assert slot.record_vote("accept", "r1", None, "d") == 2
+
+    def test_mismatching_digest_not_counted(self):
+        slot = Slot(sequence=1, digest="d")
+        slot.record_vote("accept", "r0", None, "d")
+        slot.record_vote("accept", "r1", None, "other")
+        assert slot.vote_count("accept") == 1
+        assert slot.voters("accept") == ["r0"]
+
+    def test_votes_without_digest_count_for_any_slot_digest(self):
+        slot = Slot(sequence=1, digest="d")
+        slot.record_vote("accept", "r0", None, None)
+        assert slot.vote_count("accept") == 1
+
+    def test_votes_banked_before_digest_known(self):
+        slot = Slot(sequence=1)
+        slot.record_vote("accept", "r0", None, "d")
+        slot.record_vote("accept", "r1", None, "e")
+        assert slot.vote_count("accept") == 2  # unknown digest: count everything
+        slot.digest = "d"
+        assert slot.vote_count("accept") == 1  # now filtered
+
+    def test_has_vote_from(self):
+        slot = Slot(sequence=1)
+        slot.record_vote("commit", "r0", None, None)
+        assert slot.has_vote_from("commit", "r0")
+        assert not slot.has_vote_from("commit", "r1")
+        assert not slot.has_vote_from("accept", "r0")
+
+
+class TestSlotLog:
+    def test_slot_created_on_demand(self):
+        log = SlotLog()
+        slot = log.slot(5)
+        assert slot.sequence == 5
+        assert 5 in log
+        assert len(log) == 1
+
+    def test_existing_slot_returns_none_when_absent(self):
+        log = SlotLog()
+        assert log.existing_slot(3) is None
+
+    def test_slots_above_and_uncommitted(self):
+        log = SlotLog()
+        for sequence in (1, 2, 3):
+            log.slot(sequence)
+        log.slot(2).committed = True
+        assert [slot.sequence for slot in log.slots_above(1)] == [2, 3]
+        assert [slot.sequence for slot in log.uncommitted_slots()] == [1, 3]
+
+    def test_collect_below_discards_and_sets_watermark(self):
+        log = SlotLog()
+        for sequence in range(1, 11):
+            log.slot(sequence)
+        discarded = log.collect_below(5)
+        assert discarded == 5
+        assert log.low_watermark == 5
+        assert log.sequences == [6, 7, 8, 9, 10]
+
+    def test_collect_below_is_monotonic(self):
+        log = SlotLog()
+        log.slot(10)
+        log.collect_below(8)
+        assert log.collect_below(4) == 0
+        assert log.low_watermark == 8
+
+    def test_slot_below_watermark_is_throwaway(self):
+        log = SlotLog()
+        log.slot(10)
+        log.collect_below(10)
+        stale = log.slot(3)
+        stale.digest = "x"
+        assert log.existing_slot(3) is None
+
+    def test_highest_sequence(self):
+        log = SlotLog()
+        assert log.highest_sequence() == 0
+        log.slot(7)
+        log.slot(3)
+        assert log.highest_sequence() == 7

@@ -1,0 +1,180 @@
+"""Focused tests for view-change machinery details.
+
+The integration suites already cover "primary crashes, system recovers";
+these tests pin down the finer behaviours of Section 5's view-change
+routines: who collects view changes in each mode, how the new view is
+assembled, no-op filling, join-on-evidence, and state transfer for lagging
+replicas.
+"""
+
+import pytest
+
+from repro.cluster import build_seemore
+from repro.core import Mode, SeeMoReConfig
+from repro.core import messages as msgs
+from repro.core.view_change import NOOP_CLIENT, noop_request
+from repro.faults import crash_primary, crash_replica
+from repro.smr.ledger import assert_ledgers_consistent
+from repro.smr.replica import request_digest
+from repro.workload import microbenchmark
+
+
+def build(mode, **kwargs):
+    return build_seemore(
+        crash_tolerance=1,
+        byzantine_tolerance=1,
+        mode=mode,
+        workload=microbenchmark("0/0"),
+        num_clients=kwargs.pop("num_clients", 2),
+        seed=kwargs.pop("seed", 13),
+        client_timeout=0.1,
+        **kwargs,
+    )
+
+
+class TestCollectors:
+    def test_lion_and_dog_collector_is_new_primary(self):
+        config = SeeMoReConfig.build(1, 1)
+        deployment = build(Mode.LION)
+        replica = next(iter(deployment.replicas.values()))
+        manager = replica.view_changes
+        assert manager.collector_for(1, Mode.LION) == config.primary_of_view(1, Mode.LION)
+        assert manager.collector_for(1, Mode.DOG) == config.primary_of_view(1, Mode.DOG)
+
+    def test_peacock_collector_is_trusted_transferer(self):
+        config = SeeMoReConfig.build(1, 1)
+        deployment = build(Mode.PEACOCK)
+        replica = next(iter(deployment.replicas.values()))
+        manager = replica.view_changes
+        collector = manager.collector_for(1, Mode.PEACOCK)
+        assert collector == config.transferer_of_view(1)
+        assert config.is_trusted(collector)
+        # ... even though the new primary itself is untrusted.
+        assert not config.is_trusted(config.primary_of_view(1, Mode.PEACOCK))
+
+
+class TestNoopFilling:
+    def test_noop_request_is_deterministic_per_sequence(self):
+        assert request_digest(noop_request(7)) == request_digest(noop_request(7))
+        assert request_digest(noop_request(7)) != request_digest(noop_request(8))
+        assert noop_request(7).client_id == NOOP_CLIENT
+
+    def test_new_view_fills_sequence_holes_with_noops(self):
+        deployment = build(Mode.LION)
+        config = deployment.extras["config"]
+        collector_id = config.primary_of_view(1, Mode.LION)
+        collector = deployment.replicas[collector_id]
+        manager = collector.view_changes
+
+        # Hand-craft view-change messages that have prepared sequence 1 and 3
+        # but nothing for 2: the collector must fill 2 with a no-op.
+        def vc_from(replica_id, sequences):
+            replica = deployment.replicas[replica_id]
+            prepared = []
+            for sequence in sequences:
+                filler = noop_request(1000 + sequence)  # stand-in client request
+                prepared.append(
+                    msgs.PreparedEntry(
+                        sequence=sequence,
+                        view=0,
+                        digest=request_digest(filler),
+                        request=filler,
+                    )
+                )
+            view_change = msgs.ViewChange(
+                new_view=1,
+                mode=int(Mode.LION),
+                replica_id=replica_id,
+                checkpoint_sequence=0,
+                checkpoint_digest="",
+                prepared=prepared,
+            )
+            view_change.sign(replica.signer)
+            return view_change
+
+        senders = [r for r in config.all_replicas if r != collector_id]
+        for sender in senders[:4]:
+            manager.on_view_change(sender, vc_from(sender, [1, 3]))
+
+        assert collector.view == 1
+        new_view_sequences = sorted(
+            slot_sequence for slot_sequence in collector.slots.sequences if slot_sequence <= 3
+        )
+        assert 2 in new_view_sequences, "the hole at sequence 2 must exist as a slot"
+
+    def test_noop_commits_do_not_reach_clients(self):
+        deployment = build(Mode.LION)
+        simulator = deployment.simulator
+        deployment.start_clients()
+        simulator.run(until=0.15)
+        crash_primary(deployment)
+        simulator.run(until=1.0)
+        deployment.stop_clients()
+        # No client ever receives a reply for the no-op client id.
+        for client in deployment.clients:
+            assert all(record.timestamp > 0 for record in client.completed)
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+
+class TestJoinAndEscalation:
+    def test_replicas_join_view_change_on_quorum_of_evidence(self):
+        deployment = build(Mode.LION)
+        config = deployment.extras["config"]
+        simulator = deployment.simulator
+        deployment.start_clients()
+        simulator.run(until=0.15)
+        crash_primary(deployment)
+        simulator.run(until=1.0)
+        deployment.stop_clients()
+        # Every correct replica ends in the same (new) view even though only
+        # some of them had an expired timer.
+        views = {replica.view for replica in deployment.correct_replicas()}
+        assert len(views) == 1
+        assert views.pop() >= 1
+
+    def test_consecutive_primary_crashes_escalate_views(self):
+        deployment = build(Mode.LION, num_clients=3)
+        config = deployment.extras["config"]
+        simulator = deployment.simulator
+        deployment.start_clients()
+        simulator.run(until=0.15)
+        # Crash the current primary and the next one: the group must reach a
+        # view whose primary is a public... no — Lion primaries are always
+        # private, and S=2, so view 2 wraps back to the first (crashed)
+        # replica; with c=1 only one crash is tolerated, so crash only the
+        # current primary here and the *next* primary must take over.
+        first = crash_primary(deployment)
+        simulator.run(until=1.2)
+        deployment.stop_clients()
+        surviving_primary = config.primary_of_view(
+            max(r.view for r in deployment.correct_replicas()), Mode.LION
+        )
+        assert surviving_primary != first
+        assert deployment.metrics.completed > 20
+        assert_ledgers_consistent(deployment.correct_ledgers())
+
+
+class TestStateTransfer:
+    def test_lagging_replica_catches_up_via_state_transfer(self):
+        deployment = build(Mode.LION, num_clients=4, checkpoint_period=32)
+        config = deployment.extras["config"]
+        simulator = deployment.simulator
+        lagger_id = config.public_replicas[0]
+        lagger = deployment.replicas[lagger_id]
+
+        deployment.start_clients()
+        simulator.run(until=0.1)
+        # Simulate a long outage: the replica misses a stretch of commits.
+        lagger.crash()
+        simulator.run(until=0.5)
+        lagger.recover()
+        simulator.run(until=1.2)
+        deployment.stop_clients()
+
+        frontier = max(replica.last_executed for replica in deployment.correct_replicas())
+        assert frontier > 0
+        assert lagger.last_executed >= frontier - 2 * config.checkpoint_period, (
+            "the recovered replica should have caught up via state transfer"
+        )
+        assert lagger.state_transfers_completed >= 1
+        assert_ledgers_consistent(deployment.correct_ledgers())
