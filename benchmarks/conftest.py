@@ -9,7 +9,10 @@ substrate is a simulator rather than the authors' EC2 testbed.
 
 Results are echoed into the terminal summary and appended to
 ``benchmarks/results.txt`` so ``pytest benchmarks/ --benchmark-only`` leaves
-a readable record (the file is overwritten at the start of every session).
+a readable record.  The file is overwritten by the first benchmark that
+reports in a session — and only then, so runs that collect but deselect the
+benchmarks (e.g. ``pytest -m "not slow"``) leave the committed artifact
+untouched.
 """
 
 from __future__ import annotations
@@ -38,11 +41,6 @@ WARMUP = 0.08
 _report_lines: List[str] = []
 
 
-def pytest_sessionstart(session):
-    if RESULTS_PATH.exists():
-        RESULTS_PATH.unlink()
-
-
 class BenchReport:
     """Collects the rows a benchmark prints and persists them."""
 
@@ -61,8 +59,11 @@ class BenchReport:
 
     @staticmethod
     def _emit(line: str) -> None:
+        # First write of the session truncates; nothing is deleted until a
+        # benchmark actually reports (fast-tier runs keep the old artifact).
+        mode = "a" if _report_lines else "w"
         _report_lines.append(line)
-        with RESULTS_PATH.open("a") as handle:
+        with RESULTS_PATH.open(mode) as handle:
             handle.write(line + "\n")
 
 

@@ -1,0 +1,24 @@
+"""Repository-wide pytest configuration.
+
+Everything under ``benchmarks/`` reproduces a table or figure of the paper
+by running minutes of simulated workload, so those tests are auto-marked
+``slow`` (and ``integration``): the fast tier — ``pytest -m "not slow"`` —
+skips them while plain ``pytest`` still runs the full matrix.
+"""
+
+import pathlib
+
+import pytest
+
+_BENCHMARKS_DIR = pathlib.Path(__file__).parent / "benchmarks"
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        try:
+            in_benchmarks = _BENCHMARKS_DIR in pathlib.Path(str(item.fspath)).parents
+        except (OSError, ValueError):  # pragma: no cover - exotic collection nodes
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.slow)
+            item.add_marker(pytest.mark.integration)

@@ -30,7 +30,7 @@ from repro.baselines import (
     upright_client_config,
 )
 from repro.cluster.deployment import Deployment
-from repro.core import Mode, SeeMoReConfig, SeeMoReReplica, client_config_for_mode
+from repro.core import BatchPolicy, Mode, SeeMoReConfig, SeeMoReReplica, client_config_for_mode
 from repro.crypto.keys import KeyStore
 from repro.net.costs import NodeCostModel
 from repro.net.latency import CloudAwareLatencyModel
@@ -81,6 +81,7 @@ def _finish_deployment(
     workload: Workload,
     num_clients: int,
     extras: Optional[Dict] = None,
+    client_window: Optional[int] = None,
 ) -> Deployment:
     metrics = MetricsCollector()
     pool = ClientPool(
@@ -92,7 +93,7 @@ def _finish_deployment(
         workload=workload,
         metrics=metrics,
     )
-    pool.spawn(num_clients)
+    pool.spawn(num_clients, window=client_window)
     return Deployment(
         protocol=protocol,
         simulator=simulator,
@@ -121,11 +122,18 @@ def build_seemore(
     request_timeout: float = 0.02,
     client_timeout: float = 0.2,
     cost_model: Optional[NodeCostModel] = None,
+    batch_policy: Optional[BatchPolicy] = None,
+    client_window: Optional[int] = None,
 ) -> Deployment:
     """Build a SeeMoRe deployment in the given mode.
 
     Follows the paper's evaluation layout: ``2c`` replicas in the private
     cloud and ``3m+1`` in the public cloud (N = 3m+2c+1).
+
+    ``batch_policy`` configures request batching/pipelining at the primary
+    (default: one request per slot, the paper's setup) and ``client_window``
+    pipelines that many requests per client (default: the workload's
+    ``client_window``, normally the paper's closed loop of 1).
     """
     workload = workload or microbenchmark("0/0")
     config = SeeMoReConfig.build(
@@ -133,6 +141,7 @@ def build_seemore(
         byzantine_tolerance,
         checkpoint_period=checkpoint_period,
         request_timeout=request_timeout,
+        batch_policy=batch_policy or BatchPolicy(),
     )
     placement = Placement()
     placement.assign_many(config.private_replicas, Cloud.PRIVATE)
@@ -172,6 +181,7 @@ def build_seemore(
         workload=workload,
         num_clients=num_clients,
         extras={"config": config, "mode": mode},
+        client_window=client_window,
     )
 
 

@@ -43,6 +43,9 @@ class Deployment:
     metrics: MetricsCollector
     faulty_replicas: set = field(default_factory=set)
     extras: Dict[str, Any] = field(default_factory=dict)
+    # Per-replica count of batch sizes already pulled into the metrics, so
+    # collect_batch_sizes() can be called once per phase without re-counting.
+    _batch_sizes_collected: Dict[str, int] = field(default_factory=dict)
 
     # -- convenience accessors -------------------------------------------------
 
@@ -85,6 +88,24 @@ class Deployment:
 
     def total_completed(self) -> int:
         return self.metrics.completed
+
+    def collect_batch_sizes(self) -> None:
+        """Pull proposed-batch-size telemetry from replicas into the metrics.
+
+        Idempotent: repeated calls (e.g. once per experiment phase) record
+        only the batches proposed since the previous collection.  Only
+        replicas with a batcher (SeeMoRe) report.
+        """
+        for replica_id, replica in sorted(self.replicas.items()):
+            if replica_id in self.faulty_replicas:
+                continue
+            batcher = getattr(replica, "batcher", None)
+            if batcher is None:
+                continue
+            offset = self._batch_sizes_collected.get(replica_id, 0)
+            sizes = batcher.proposed_batch_sizes
+            self.metrics.record_batches(sizes[offset:])
+            self._batch_sizes_collected[replica_id] = len(sizes)
 
     def start_clients(self) -> None:
         self.client_pool.start_all()

@@ -16,6 +16,7 @@ the dynamic mode-switching technique of Section 5.4.
 """
 
 from repro.core.modes import Mode
+from repro.core.batching import Batcher, BatchPolicy
 from repro.core.config import SeeMoReConfig
 from repro.core.replica import SeeMoReReplica
 from repro.core.client_config import client_config_for_mode
@@ -23,6 +24,8 @@ from repro.core import messages
 
 __all__ = [
     "Mode",
+    "BatchPolicy",
+    "Batcher",
     "SeeMoReConfig",
     "SeeMoReReplica",
     "client_config_for_mode",

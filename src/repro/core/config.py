@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
+from repro.core.batching import BatchPolicy
 from repro.core.modes import Mode
 from repro.planner.sizing import hybrid_network_size, hybrid_quorum_size
 
@@ -40,6 +41,12 @@ class SeeMoReConfig:
             time a backup waits for a commit after seeing a prepare).
         view_change_timeout: how long to wait for a new-view before
             suspecting the *next* primary as well.
+        batch_policy: how the primary groups client requests into consensus
+            slots (see :class:`repro.core.batching.BatchPolicy`).  The
+            default policy proposes one request per slot, exactly like the
+            unbatched protocol.  ``checkpoint_period`` counts *slots*, so a
+            deployment with large batches checkpoints every
+            ``checkpoint_period × batch size`` requests.
     """
 
     private_replicas: Tuple[str, ...]
@@ -49,6 +56,7 @@ class SeeMoReConfig:
     checkpoint_period: int = 128
     request_timeout: float = 0.02
     view_change_timeout: float = 0.04
+    batch_policy: BatchPolicy = field(default_factory=BatchPolicy)
 
     def __post_init__(self) -> None:
         if self.crash_tolerance < 0 or self.byzantine_tolerance < 0:

@@ -12,6 +12,12 @@ Message flavours and who signs what follow the paper:
 * ``INFORM`` messages notify passive replicas of committed requests.
 * ``CHECKPOINT``, ``VIEW-CHANGE``, ``NEW-VIEW``, and ``MODE-CHANGE`` drive
   state transfer, liveness, and dynamic mode switching.
+
+Ordering messages carry one slot *payload*: either a bare client
+:class:`~repro.smr.messages.Request` or a :class:`~repro.smr.messages.Batch`
+of them (PBFT-style batching; see :mod:`repro.core.batching`).  The digest
+in every ordering/vote message covers the whole payload, so agreement,
+view changes, and safety checks treat a batch exactly like one request.
 """
 
 from __future__ import annotations
@@ -20,8 +26,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.smr.messages import (
+    Batch,
     ProtocolMessage,
     Request,
+    requests_of,
     _DIGEST_BYTES,
     _HEADER_BYTES,
     _SIGNATURE_BYTES,
@@ -35,7 +43,7 @@ class Prepare(ProtocolMessage):
     view: int
     sequence: int
     digest: str
-    request: Request
+    request: Any  # the slot payload: a Request or a Batch
     mode: int
     signed: bool = True
     signature: Optional[Any] = None
@@ -89,7 +97,7 @@ class Commit(ProtocolMessage):
     digest: str
     replica_id: str
     mode: int
-    request: Optional[Request] = None
+    request: Optional[Any] = None  # payload carried to lagging replicas (Lion)
     signed: bool = True
     signature: Optional[Any] = None
 
@@ -117,7 +125,7 @@ class PrePrepare(ProtocolMessage):
     view: int
     sequence: int
     digest: str
-    request: Request
+    request: Any  # the slot payload: a Request or a Batch
     mode: int
     signed: bool = True
     signature: Optional[Any] = None
@@ -213,12 +221,16 @@ class Checkpoint(ProtocolMessage):
 
 @dataclass
 class PreparedEntry:
-    """A per-sequence entry carried inside view-change and new-view messages."""
+    """A per-sequence entry carried inside view-change and new-view messages.
+
+    The ``request`` field holds the slot's whole payload — a bare request or
+    a batch — so a new view re-proposes uncommitted batches intact.
+    """
 
     sequence: int
     view: int
     digest: str
-    request: Optional[Request] = None
+    request: Optional[Any] = None
 
     def to_wire(self) -> Dict[str, Any]:
         return {"sequence": self.sequence, "view": self.view, "digest": self.digest}
@@ -365,6 +377,8 @@ class StateTransferResponse(ProtocolMessage):
 
 
 __all__ = [
+    "Batch",
+    "requests_of",
     "Prepare",
     "Accept",
     "Commit",

@@ -22,7 +22,6 @@ from typing import TYPE_CHECKING
 from repro.core import messages as msgs
 from repro.core.modes import Mode
 from repro.core.strategy_base import ModeStrategy
-from repro.smr.messages import Request
 from repro.smr.replica import request_digest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,34 +42,21 @@ class PeacockStrategy(ModeStrategy):
         return replica.is_proxy()
 
     # -- request handling --------------------------------------------------------
+    # Client requests funnel through the shared ModeStrategy.on_request path:
+    # the primary batches them and proposes via the hooks below.
 
-    def on_request(self, replica: "SeeMoReReplica", src: str, request: Request) -> None:
-        if not replica.is_primary():
-            self.handle_retransmission_or_forward(replica, src, request)
-            return
-        if replica.resend_cached_reply(request, mode_id=int(self.mode)):
-            return
-        if not replica.request_is_valid(request):
-            return
-        if replica.already_assigned(request):
-            return
-
-        sequence = replica.allocate_sequence()
-        if sequence is None:
-            return
-        digest = request_digest(request)
-        preprepare = msgs.PrePrepare(
+    def ordering_message(self, replica, sequence, digest, payload):
+        return msgs.PrePrepare(
             view=replica.view,
             sequence=sequence,
             digest=digest,
-            request=request,
+            request=payload,
             mode=int(self.mode),
         )
-        preprepare.sign(replica.signer)
-        slot = replica.prepare_slot(sequence, digest, request, preprepare)
+
+    def record_proposal_vote(self, replica, slot, digest):
+        # As in PBFT, the primary's pre-prepare doubles as its prepare vote.
         slot.record_vote("prepare", replica.node_id, None, digest)
-        replica.mark_assigned(request, sequence)
-        replica.multicast(replica.other_replicas(), preprepare)
 
     # -- pre-prepare / prepare / commit / inform --------------------------------------
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.core import messages as msgs
+from repro.core.batching import Batcher
 from repro.core.checkpointing import CheckpointManager
 from repro.core.config import SeeMoReConfig
 from repro.core.dog import DogStrategy
@@ -32,7 +33,7 @@ from repro.crypto.signatures import Signer, Verifier
 from repro.net.costs import NodeCostModel
 from repro.sim.simulator import Simulator
 from repro.smr.executor import ExecutionResult
-from repro.smr.messages import Request
+from repro.smr.messages import Request, requests_of
 from repro.smr.replica import ReplicaBase
 from repro.smr.slots import Slot
 from repro.smr.state_machine import StateMachine
@@ -69,7 +70,18 @@ class SeeMoReReplica(ReplicaBase):
         self.watermark_window = 4 * config.checkpoint_period
 
         self.checkpoints = CheckpointManager(config.checkpoint_period)
+        # The hook fires mid-drain, so the digest covers exactly the state at
+        # the boundary even when one commit fills a gap and several buffered
+        # sequences execute at once (routine under pipelining); digesting at
+        # the drain frontier instead would diverge across replicas and keep
+        # Peacock checkpoints from ever reaching a matching quorum.
+        self.executor.set_checkpoint_hook(config.checkpoint_period, self._take_checkpoint)
         self.view_changes = ViewChangeManager(self)
+        self.batcher = Batcher(
+            config.batch_policy,
+            timer_factory=lambda callback: self.create_timer(callback, "batch-linger"),
+            propose=self._propose_payload,
+        )
         self._assigned_sequences: Dict[tuple, int] = {}
         self._request_timer = self.create_timer(self._on_request_timeout, "request-timeout")
 
@@ -179,11 +191,30 @@ class SeeMoReReplica(ReplicaBase):
     def already_assigned(self, request: Request) -> bool:
         return (request.client_id, request.timestamp) in self._assigned_sequences
 
-    def mark_assigned(self, request: Request, sequence: int) -> None:
-        self._assigned_sequences[(request.client_id, request.timestamp)] = sequence
+    def mark_assigned(self, payload: Any, sequence: int) -> None:
+        """Record the sequence assignment of every request in ``payload``."""
+        for request in requests_of(payload):
+            self._assigned_sequences[(request.client_id, request.timestamp)] = sequence
 
     def clear_assignments(self) -> None:
         self._assigned_sequences.clear()
+
+    def prune_assignments(self, watermark: int) -> None:
+        """Drop assignment records for garbage-collected slots.
+
+        Every replica records assignments when it fills a slot, so checkpoint
+        GC must prune them or they grow without bound; retransmissions of
+        pruned requests are answered from the executor's reply cache.
+        """
+        self._assigned_sequences = {
+            key: sequence
+            for key, sequence in self._assigned_sequences.items()
+            if sequence > watermark
+        }
+
+    def _propose_payload(self, payload: Any) -> Optional[int]:
+        """Batcher callback: propose one slot payload in the current mode."""
+        return self.strategy.propose_payload(self, payload)
 
     # -- slots and commits -------------------------------------------------------------
 
@@ -216,7 +247,14 @@ class SeeMoReReplica(ReplicaBase):
         if ordering_message is not None and slot.ordering_message is None:
             slot.ordering_message = ordering_message
         slot.view = self.view
-        self.remember_request(request)
+        for inner in requests_of(request):
+            self.remember_request(inner)
+        # Record the sequence assignment here, on every path that fills a
+        # slot — including new-view re-proposals, which run *after*
+        # clear_assignments().  Without this, a client retransmission
+        # arriving at the new primary while its re-proposed slot is still
+        # uncommitted would be assigned a second sequence number.
+        self.mark_assigned(request, sequence)
         return slot
 
     def finalize_commit(self, slot: Slot, send_reply: bool) -> List[ExecutionResult]:
@@ -227,7 +265,7 @@ class SeeMoReReplica(ReplicaBase):
         executions = self.commit_slot(
             slot.sequence, slot.request, self.view, send_reply=reply, mode_id=int(self.mode)
         )
-        self._after_executions(executions)
+        self.batcher.on_slot_committed(slot.sequence)
         self._update_request_timer()
         self._maybe_request_catchup(slot.sequence)
         return executions
@@ -242,32 +280,30 @@ class SeeMoReReplica(ReplicaBase):
             }
         )
 
-    def _after_executions(self, executions: List[ExecutionResult]) -> None:
-        for execution in executions:
-            if not self.checkpoints.is_checkpoint_sequence(execution.sequence):
-                continue
-            state_digest = self._state_digest()
-            self.checkpoints.record_local_checkpoint(
-                execution.sequence, state_digest, self.executor.snapshot()
-            )
-            checkpoint = msgs.Checkpoint(
-                sequence=execution.sequence,
-                state_digest=state_digest,
-                replica_id=self.node_id,
-                mode=int(self.mode),
-            )
-            checkpoint.sign(self.signer)
-            if self.mode.has_trusted_primary:
-                # The trusted primary's signed checkpoint alone is a certificate.
-                if self.is_primary():
-                    self.multicast(self.other_replicas(), checkpoint)
-                    self._stabilise_checkpoint(execution.sequence, state_digest)
-            else:
-                # Peacock: PBFT-style quorum of proxy checkpoints.
-                if self.is_proxy():
-                    self.checkpoints.record_vote(execution.sequence, state_digest, self.node_id)
-                    self.multicast(self.other_replicas(), checkpoint)
-                    self._maybe_stabilise_by_votes(execution.sequence, state_digest)
+    def _take_checkpoint(self, sequence: int) -> None:
+        """Executor hook: execution just crossed checkpoint boundary ``sequence``."""
+        state_digest = self._state_digest()
+        self.checkpoints.record_local_checkpoint(
+            sequence, state_digest, self.executor.snapshot()
+        )
+        checkpoint = msgs.Checkpoint(
+            sequence=sequence,
+            state_digest=state_digest,
+            replica_id=self.node_id,
+            mode=int(self.mode),
+        )
+        checkpoint.sign(self.signer)
+        if self.mode.has_trusted_primary:
+            # The trusted primary's signed checkpoint alone is a certificate.
+            if self.is_primary():
+                self.multicast(self.other_replicas(), checkpoint)
+                self._stabilise_checkpoint(sequence, state_digest)
+        else:
+            # Peacock: PBFT-style quorum of proxy checkpoints.
+            if self.is_proxy():
+                self.checkpoints.record_vote(sequence, state_digest, self.node_id)
+                self.multicast(self.other_replicas(), checkpoint)
+                self._maybe_stabilise_by_votes(sequence, state_digest)
 
     def _on_checkpoint(self, src: str, message: msgs.Checkpoint) -> None:
         if not message.verify(self.verifier, expected_signer=src):
@@ -292,6 +328,10 @@ class SeeMoReReplica(ReplicaBase):
             return
         self.slots.collect_below(sequence)
         self.executor.discard_below(sequence)
+        self.prune_assignments(sequence)
+        # The advanced low watermark may re-open the sequence window for
+        # proposals the batcher had to refuse earlier.
+        self.batcher.pump()
 
     # -- request timer and view changes ------------------------------------------------------
 
@@ -320,7 +360,35 @@ class SeeMoReReplica(ReplicaBase):
         self.view_changes.start()
 
     def on_view_installed(self) -> None:
-        """Hook invoked after a new view is installed (no-op by default)."""
+        """Re-home requests the batcher buffered across the view/mode change.
+
+        Proposals from the old view are forgotten (the new-view message
+        already re-proposed every uncommitted batch).  Requests that were
+        still waiting in the batch buffer either re-enter the new primary's
+        batcher or are forwarded to it, so a mode switch mid-batch loses
+        nothing; the executor's reply cache keeps re-proposals exactly-once.
+        """
+        batcher = self.batcher
+        batcher.reset_in_flight()
+        if self.is_primary():
+            batcher.adopt_in_flight(
+                slot.sequence
+                for slot in self.slots.uncommitted_slots()
+                if slot.request is not None
+            )
+        pending = batcher.drain()
+        forward_to = None if self.is_primary() else self.current_primary()
+        for request in pending:
+            if self.resend_cached_reply(request, mode_id=int(self.mode)):
+                continue
+            if forward_to is None:
+                if not self.already_assigned(request):
+                    batcher.enqueue(request)
+            else:
+                self.send(forward_to, request)
+        if forward_to is not None and pending:
+            self.start_request_timer()
+        batcher.resume()
 
     # -- view-change helpers used by the manager -------------------------------------------------
 
@@ -475,6 +543,9 @@ class SeeMoReReplica(ReplicaBase):
         self.bump_sequence_counter(self.executor.next_sequence)
         self._catchup_votes.clear()
         self.state_transfers_completed += 1
+        # Slots the snapshot jumped over committed without this replica ever
+        # running finalize_commit on them; release their pipeline slots.
+        self.batcher.forget_in_flight_below(self.executor.last_executed)
         self._update_request_timer()
 
     # -- introspection -----------------------------------------------------------------------------------
@@ -488,6 +559,8 @@ class SeeMoReReplica(ReplicaBase):
                 "is_proxy": self.is_proxy() if not self.crashed else False,
                 "stable_checkpoint": self.checkpoints.stable_sequence,
                 "view_changes": self.view_changes.view_changes_completed,
+                "batches_proposed": self.batcher.batches_proposed,
+                "mean_batch_size": round(self.batcher.mean_batch_size(), 2),
             }
         )
         return summary

@@ -9,14 +9,16 @@ the strategy during a view change.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.core.modes import Mode
 from repro.core import messages as msgs
 from repro.smr.messages import Request
+from repro.smr.replica import request_digest
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.replica import SeeMoReReplica
+    from repro.smr.slots import Slot
 
 
 class ModeStrategy:
@@ -27,8 +29,53 @@ class ModeStrategy:
     # -- normal case ---------------------------------------------------------
 
     def on_request(self, replica: "SeeMoReReplica", src: str, request: Request) -> None:
-        """Handle a client request (either direct or a retransmission)."""
+        """Handle a client request (either direct or a retransmission).
+
+        The primary-side path is shared by all three modes: validate, then
+        hand the request to the replica's batcher, which proposes one slot
+        per batch through :meth:`propose_payload`.
+        """
+        if not replica.is_primary():
+            self.handle_retransmission_or_forward(replica, src, request)
+            return
+        if replica.resend_cached_reply(request, mode_id=int(self.mode)):
+            return
+        if not replica.request_is_valid(request):
+            return
+        if replica.already_assigned(request):
+            return
+        replica.batcher.enqueue(request)
+
+    def propose_payload(self, replica: "SeeMoReReplica", payload: Any) -> Optional[int]:
+        """Order one slot payload (a request or a batch) as the primary.
+
+        Returns the assigned sequence number, or ``None`` when this replica
+        may not propose right now (not the primary — e.g. a demoted primary
+        whose batcher pump fires after a view change — view change in
+        progress, or watermark window full); the batcher keeps the payload
+        queued in that case.
+        """
+        if not replica.is_primary():
+            return None
+        sequence = replica.allocate_sequence()
+        if sequence is None:
+            return None
+        digest = request_digest(payload)
+        message = self.ordering_message(replica, sequence, digest, payload)
+        message.sign(replica.signer)
+        slot = replica.prepare_slot(sequence, digest, payload, message)
+        self.record_proposal_vote(replica, slot, digest)
+        replica.multicast(replica.other_replicas(), message)
+        return sequence
+
+    def ordering_message(
+        self, replica: "SeeMoReReplica", sequence: int, digest: str, payload: Any
+    ) -> msgs.ProtocolMessage:
+        """Build the mode's ordering message (``PREPARE`` / ``PRE-PREPARE``)."""
         raise NotImplementedError
+
+    def record_proposal_vote(self, replica: "SeeMoReReplica", slot: "Slot", digest: str) -> None:
+        """Count the primary's own proposal toward the slot's first quorum."""
 
     def on_prepare(self, replica: "SeeMoReReplica", src: str, message: msgs.Prepare) -> None:
         """Handle the trusted primary's prepare (Lion and Dog modes)."""

@@ -67,6 +67,7 @@ class ViewChangeManager:
         self.active_target = target_view
         replica.in_view_change = True
         replica.stop_request_timer()
+        replica.batcher.pause()
         self.view_changes_started += 1
 
         view_change = self.build_view_change_message(target_view, mode)
@@ -285,6 +286,11 @@ class ViewChangeManager:
         replica = self.replica
         mode = Mode(message.mode)
 
+        # No proposals while the new view is installed: the commits replayed
+        # below pump the batcher, and sequence numbers are only safe to hand
+        # out again once bump_sequence_counter has run.  on_view_installed
+        # (called last) resumes the batcher.
+        replica.batcher.pause()
         replica.view = message.new_view
         replica.set_mode(mode)
         replica.in_view_change = False

@@ -12,10 +12,13 @@ The client behaviour follows Section 5 of the paper:
   request to a wider set of replicas, which is also what eventually exposes
   a faulty primary and triggers a view change.
 
-The client is *closed loop*: it keeps exactly one request outstanding and
-issues the next one as soon as the previous one completes, which is the
-load model used in the paper's experiments (each client "waits for the
-reply before sending a subsequent request").
+The client is *closed loop*: it keeps a fixed window of requests
+outstanding and issues the next one as soon as a previous one completes.
+With the default ``window=1`` this is exactly the load model used in the
+paper's experiments (each client "waits for the reply before sending a
+subsequent request"); a larger window pipelines several requests, which is
+how the batching benchmarks offer enough concurrent load for primaries to
+fill their batches without simulating thousands of client objects.
 """
 
 from __future__ import annotations
@@ -101,6 +104,17 @@ class CompletedRequest:
         return self.completed_at - self.sent_at
 
 
+@dataclass
+class _PendingRequest:
+    """One in-flight request and the reply votes gathered for it."""
+
+    request: Request
+    sent_at: float
+    last_sent_at: float
+    retransmitted: bool = False
+    votes: Dict[str, set] = field(default_factory=dict)
+
+
 class Client(Node):
     """A closed-loop client of a replicated service."""
 
@@ -115,14 +129,18 @@ class Client(Node):
         recorder: Optional[Any] = None,
         max_requests: Optional[int] = None,
         cost_model: Optional[NodeCostModel] = None,
+        window: int = 1,
     ) -> None:
         super().__init__(node_id, simulator, cost_model=cost_model)
+        if window < 1:
+            raise ValueError(f"client window must be at least 1: {window}")
         self.signer = signer
         self.verifier = verifier
         self.config = config
         self.operation_factory = operation_factory
         self.recorder = recorder
         self.max_requests = max_requests
+        self.window = window
 
         self.known_view = 0
         self.known_mode = config.initial_mode
@@ -130,23 +148,20 @@ class Client(Node):
         self.timeouts = 0
 
         self._next_timestamp = 0
-        self._outstanding: Optional[Request] = None
-        self._sent_at = 0.0
-        self._retransmitted = False
-        self._reply_votes: Dict[str, set] = {}
+        # Insertion-ordered map of timestamp -> pending request (oldest first).
+        self._pending: Dict[int, _PendingRequest] = {}
         self._timer = self.create_timer(self._on_timeout, label="request-timeout")
         self._stopped = False
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
-        """Begin the closed loop (schedules the first request immediately)."""
+        """Begin the closed loop (fills the request window immediately)."""
         self._stopped = False
-        if self._outstanding is None:
-            self._issue_next()
+        self._fill_window()
 
     def stop(self) -> None:
-        """Stop issuing new requests (the outstanding one may still finish)."""
+        """Stop issuing new requests (outstanding ones may still finish)."""
         self._stopped = True
         self._timer.stop()
 
@@ -155,29 +170,40 @@ class Client(Node):
         return len(self.completed)
 
     @property
+    def outstanding_count(self) -> int:
+        return len(self._pending)
+
+    @property
     def outstanding_timestamp(self) -> Optional[int]:
-        return self._outstanding.timestamp if self._outstanding else None
+        """Oldest in-flight timestamp (None when nothing is outstanding)."""
+        return next(iter(self._pending), None)
 
     # -- issuing ------------------------------------------------------------
 
-    def _issue_next(self) -> None:
+    def _fill_window(self) -> None:
+        while self._issue_next():
+            pass
+
+    def _issue_next(self) -> bool:
         if self._stopped or self.crashed:
-            return
+            return False
+        if len(self._pending) >= self.window:
+            return False
         if self.max_requests is not None and self._next_timestamp >= self.max_requests:
-            return
+            return False
         self._next_timestamp += 1
         operation = self.operation_factory(self._next_timestamp)
         request = Request(
             operation=operation, timestamp=self._next_timestamp, client_id=self.node_id
         )
         request.sign(self.signer)
-        self._outstanding = request
-        self._sent_at = self.now
-        self._retransmitted = False
-        self._reply_votes = {}
+        self._pending[request.timestamp] = _PendingRequest(
+            request=request, sent_at=self.now, last_sent_at=self.now
+        )
         targets = self.config.request_targets(self.known_view, self.known_mode)
         self._send_request(targets, request)
-        self._timer.start(self.config.request_timeout)
+        self._schedule_timer()
+        return True
 
     def _send_request(self, targets: Sequence[str], request: Request) -> None:
         unique_targets = list(dict.fromkeys(targets))
@@ -186,14 +212,38 @@ class Client(Node):
         else:
             self.multicast(unique_targets, request)
 
-    def _on_timeout(self) -> None:
-        if self._outstanding is None or self._stopped:
+    def _schedule_timer(self) -> None:
+        """Arm the timer for the oldest outstanding transmission's deadline.
+
+        One timer serves the whole window, but each request keeps its own
+        deadline (``last_sent_at + timeout``), so a request issued moments
+        before the timer fires is not retransmitted prematurely.
+        """
+        if not self._pending or self._stopped:
+            self._timer.stop()
             return
-        self.timeouts += 1
-        self._retransmitted = True
+        next_deadline = (
+            min(pending.last_sent_at for pending in self._pending.values())
+            + self.config.request_timeout
+        )
+        self._timer.start(max(0.0, next_deadline - self.now))
+
+    def _on_timeout(self) -> None:
+        if not self._pending or self._stopped:
+            return
         targets = self.config.targets_for_retransmit(self.known_view, self.known_mode)
-        self._send_request(targets, self._outstanding)
-        self._timer.start(self.config.request_timeout)
+        overdue = [
+            pending
+            for pending in self._pending.values()
+            if self.now - pending.last_sent_at >= self.config.request_timeout - 1e-12
+        ]
+        if overdue:
+            self.timeouts += 1
+            for pending in overdue:
+                pending.retransmitted = True
+                pending.last_sent_at = self.now
+                self._send_request(targets, pending.request)
+        self._schedule_timer()
 
     # -- replies ------------------------------------------------------------
 
@@ -203,7 +253,8 @@ class Client(Node):
         self._on_reply(src, payload)
 
     def _on_reply(self, src: str, reply: Reply) -> None:
-        if self._outstanding is None or reply.timestamp != self._outstanding.timestamp:
+        pending = self._pending.get(reply.timestamp)
+        if pending is None:
             return
         if reply.client_id != self.node_id:
             return
@@ -214,29 +265,28 @@ class Client(Node):
             return
 
         result_key = digest(reply.signing_content()["result_digest"])
-        voters = self._reply_votes.setdefault(result_key, set())
+        voters = pending.votes.setdefault(result_key, set())
         voters.add(reply.replica_id)
 
-        if self._is_acceptable(reply, voters):
-            self._complete(reply)
+        if self._is_acceptable(reply, voters, pending):
+            self._complete(reply, pending)
 
-    def _is_acceptable(self, reply: Reply, voters: set) -> bool:
+    def _is_acceptable(self, reply: Reply, voters: set, pending: _PendingRequest) -> bool:
         if reply.replica_id in self.config.trusted_for_mode(reply.mode):
             return True
         needed = (
             self.config.replies_needed_after_retransmit
-            if self._retransmitted
+            if pending.retransmitted
             else self.config.replies_for_mode(reply.mode)
         )
         return len(voters) >= needed
 
-    def _complete(self, reply: Reply) -> None:
-        assert self._outstanding is not None
+    def _complete(self, reply: Reply, pending: _PendingRequest) -> None:
         record = CompletedRequest(
-            timestamp=self._outstanding.timestamp,
-            sent_at=self._sent_at,
+            timestamp=pending.request.timestamp,
+            sent_at=pending.sent_at,
             completed_at=self.now,
-            retransmitted=self._retransmitted,
+            retransmitted=pending.retransmitted,
         )
         self.completed.append(record)
         if self.recorder is not None:
@@ -250,6 +300,6 @@ class Client(Node):
         # the right primary after view changes and mode switches.
         self.known_view = max(self.known_view, reply.view)
         self.known_mode = reply.mode
-        self._outstanding = None
-        self._timer.stop()
-        self._issue_next()
+        del self._pending[pending.request.timestamp]
+        self._schedule_timer()
+        self._fill_window()

@@ -13,14 +13,21 @@ already executed returns the cached reply instead of mutating state twice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.smr.state_machine import Operation, StateMachine
+
+# One client request inside a committed slot: (client_id, timestamp, operation).
+BatchEntry = Tuple[str, int, Operation]
 
 
 @dataclass(frozen=True)
 class ExecutionResult:
-    """Outcome of executing one committed request."""
+    """Outcome of executing one committed request.
+
+    With batching several results share one ``sequence``: every request in a
+    batch executes under its slot's sequence number, in batch order.
+    """
 
     sequence: int
     client_id: str
@@ -34,10 +41,27 @@ class OrderedExecutor:
     def __init__(self, state_machine: StateMachine, execute_cost: float = 0.0) -> None:
         self._state_machine = state_machine
         self._execute_cost = execute_cost
-        self._pending: Dict[int, Tuple[str, int, Operation]] = {}
+        self._pending: Dict[int, List[BatchEntry]] = {}
         self._next_sequence = 1
         self._reply_cache: Dict[Tuple[str, int], Any] = {}
         self._executed: List[ExecutionResult] = []
+        self._checkpoint_interval: Optional[int] = None
+        self._checkpoint_callback: Optional[Any] = None
+
+    def set_checkpoint_hook(self, interval: int, callback) -> None:
+        """Invoke ``callback(sequence)`` the moment execution crosses each
+        ``interval`` boundary.
+
+        The hook fires *inside* the drain, so the state the callback observes
+        is exactly the state after ``sequence`` — even when a single commit
+        fills a gap and drains several buffered sequences at once.  Replicas
+        use this to produce checkpoint digests that match across replicas
+        regardless of commit arrival order.
+        """
+        if interval < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {interval}")
+        self._checkpoint_interval = interval
+        self._checkpoint_callback = callback
 
     @property
     def state_machine(self) -> StateMachine:
@@ -73,32 +97,52 @@ class OrderedExecutor:
         empty when there is still a gap, possibly several when this commit
         fills one).
         """
+        return self.commit_batch(sequence, [(client_id, timestamp, operation)])
+
+    def commit_batch(
+        self, sequence: int, entries: Sequence[BatchEntry]
+    ) -> List[ExecutionResult]:
+        """Record that ``sequence`` committed a batch of requests.
+
+        All requests of the batch execute under the same sequence number, in
+        batch order, once every earlier sequence has executed.  Requests the
+        replica already executed (client retransmissions that slipped into a
+        later batch) are served from the reply cache instead of mutating
+        state twice.
+        """
         if sequence < 1:
             raise ValueError(f"sequence numbers start at 1, got {sequence}")
+        if not entries:
+            raise ValueError("a committed slot must contain at least one request")
         if sequence < self._next_sequence:
             return []
         if sequence in self._pending:
             return []
-        self._pending[sequence] = (client_id, timestamp, operation)
+        self._pending[sequence] = list(entries)
         return self._drain()
 
     def _drain(self) -> List[ExecutionResult]:
         performed: List[ExecutionResult] = []
         while self._next_sequence in self._pending:
             sequence = self._next_sequence
-            client_id, timestamp, operation = self._pending.pop(sequence)
-            key = (client_id, timestamp)
-            if key in self._reply_cache:
-                result = self._reply_cache[key]
-            else:
-                result = self._state_machine.apply(operation)
-                self._reply_cache[key] = result
-            execution = ExecutionResult(
-                sequence=sequence, client_id=client_id, timestamp=timestamp, result=result
-            )
-            self._executed.append(execution)
-            performed.append(execution)
+            for client_id, timestamp, operation in self._pending.pop(sequence):
+                key = (client_id, timestamp)
+                if key in self._reply_cache:
+                    result = self._reply_cache[key]
+                else:
+                    result = self._state_machine.apply(operation)
+                    self._reply_cache[key] = result
+                execution = ExecutionResult(
+                    sequence=sequence, client_id=client_id, timestamp=timestamp, result=result
+                )
+                self._executed.append(execution)
+                performed.append(execution)
             self._next_sequence += 1
+            if (
+                self._checkpoint_callback is not None
+                and sequence % self._checkpoint_interval == 0
+            ):
+                self._checkpoint_callback(sequence)
         return performed
 
     # -- checkpoint support -------------------------------------------------

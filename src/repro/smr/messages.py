@@ -17,7 +17,7 @@ Every message class provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.crypto.signatures import Signature, Signer, Verifier
 from repro.smr.state_machine import Operation
@@ -119,10 +119,69 @@ def _result_digest(result: Any) -> str:
     return digest(result)
 
 
+@dataclass
+class Batch(ProtocolMessage):
+    """An ordered group of client requests proposed in one consensus slot.
+
+    Batching amortizes the per-slot agreement cost (ordering messages,
+    signatures, quorum bookkeeping) over many client requests, which is the
+    standard PBFT-style throughput lever.  The batch itself is unsigned: the
+    ordering message that carries it (``PREPARE`` / ``PRE-PREPARE``) is
+    signed by the primary, and each inner request keeps its own client
+    signature.  Replicas commit the batch as a unit and fan replies out per
+    request after execution.
+    """
+
+    requests: List[Request] = field(default_factory=list)
+    signed: bool = False
+    signature: Optional[Signature] = None
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a batch must contain at least one request")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def client_id(self) -> str:
+        """Lead request's client id (keeps slot-level bookkeeping uniform)."""
+        return self.requests[0].client_id
+
+    @property
+    def timestamp(self) -> int:
+        """Lead request's timestamp (keeps slot-level bookkeeping uniform)."""
+        return self.requests[0].timestamp
+
+    def signing_content(self) -> Dict[str, Any]:
+        from repro.crypto.digest import digest
+
+        return {
+            "type": "BATCH",
+            "count": len(self.requests),
+            "digests": [digest(request.signing_content()) for request in self.requests],
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + sum(request.wire_size() for request in self.requests)
+
+
+def requests_of(payload: Any) -> List[Request]:
+    """The client requests inside a slot payload (a batch or a bare request)."""
+    if isinstance(payload, Batch):
+        return payload.requests
+    return [payload]
+
+
 __all__ = [
     "ProtocolMessage",
     "Request",
     "Reply",
+    "Batch",
+    "requests_of",
     "_HEADER_BYTES",
     "_SIGNATURE_BYTES",
     "_DIGEST_BYTES",

@@ -18,13 +18,13 @@ from repro.net.node import Node
 from repro.sim.simulator import Simulator
 from repro.smr.executor import ExecutionResult, OrderedExecutor
 from repro.smr.ledger import CommitLedger, LedgerEntry
-from repro.smr.messages import Reply, Request
+from repro.smr.messages import Reply, Request, requests_of
 from repro.smr.slots import SlotLog
 from repro.smr.state_machine import StateMachine
 
 
-def request_digest(request: Request) -> str:
-    """Canonical digest of a client request (``D(µ)`` in the paper)."""
+def request_digest(request) -> str:
+    """Canonical digest of a slot payload (``D(µ)``): a request or a batch."""
     return digest(request.signing_content())
 
 
@@ -104,17 +104,20 @@ class ReplicaBase(Node):
 
         Args:
             sequence: the committed sequence number.
-            request: the client request committed in that slot.
+            request: the slot payload committed in that slot — one client
+                request or a batch of them.
             view: the view in which the commit happened (for the ledger).
             send_reply: whether this replica should reply to the client for
                 executions performed now (primaries/proxies do, passive
-                replicas do not).
+                replicas do not).  Replies fan out per inner request.
             mode_id: protocol mode identifier carried in replies.
 
         Returns:
             The executions performed as a result of this commit.
         """
-        self.remember_request(request)
+        inner = requests_of(request)
+        for each in inner:
+            self.remember_request(each)
         self.ledger.record(
             LedgerEntry(
                 sequence=sequence,
@@ -126,8 +129,8 @@ class ReplicaBase(Node):
         )
         slot = self.slots.slot(sequence)
         slot.committed = True
-        executions = self.executor.commit(
-            sequence, request.client_id, request.timestamp, request.operation
+        executions = self.executor.commit_batch(
+            sequence, [(each.client_id, each.timestamp, each.operation) for each in inner]
         )
         for execution in executions:
             executed_slot = self.slots.existing_slot(execution.sequence)

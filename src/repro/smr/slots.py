@@ -13,12 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.smr.messages import Request
+from repro.smr.messages import Request, requests_of
 
 
 @dataclass
 class Slot:
-    """State of one sequence number on one replica."""
+    """State of one sequence number on one replica.
+
+    ``request`` holds the slot's whole payload: a bare client request or a
+    :class:`~repro.smr.messages.Batch` — agreement never looks inside it.
+    """
 
     sequence: int
     view: int = 0
@@ -28,6 +32,13 @@ class Slot:
     votes: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     committed: bool = False
     executed: bool = False
+
+    @property
+    def request_count(self) -> int:
+        """Client requests carried by this slot (0 while the payload is unknown)."""
+        if self.request is None:
+            return 0
+        return len(requests_of(self.request))
 
     def record_vote(self, phase: str, sender: str, message: Any, digest: Optional[str] = None) -> int:
         """Record one vote for ``phase`` from ``sender``.

@@ -14,7 +14,7 @@ This package provides those pieces:
 """
 
 from repro.workload.generator import Workload, kv_workload, microbenchmark
-from repro.workload.metrics import MetricsCollector, LatencySummary
+from repro.workload.metrics import BatchSizeSummary, MetricsCollector, LatencySummary
 from repro.workload.client_pool import ClientPool
 
 __all__ = [
@@ -23,5 +23,6 @@ __all__ = [
     "kv_workload",
     "MetricsCollector",
     "LatencySummary",
+    "BatchSizeSummary",
     "ClientPool",
 ]

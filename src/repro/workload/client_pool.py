@@ -37,10 +37,21 @@ class ClientPool:
         self.name_prefix = name_prefix
         self.clients: List[Client] = []
 
-    def spawn(self, count: int, max_requests_each: Optional[int] = None) -> List[Client]:
-        """Create ``count`` clients and attach them to the network."""
+    def spawn(
+        self,
+        count: int,
+        max_requests_each: Optional[int] = None,
+        window: Optional[int] = None,
+    ) -> List[Client]:
+        """Create ``count`` clients and attach them to the network.
+
+        ``window`` pipelines that many requests per client (defaults to the
+        workload's ``client_window``, normally 1 — the paper's closed loop).
+        """
         if count < 1:
             raise ValueError(f"client count must be positive: {count}")
+        if window is None:
+            window = getattr(self.workload, "client_window", 1)
         verifier = self.keystore.verifier()
         created: List[Client] = []
         for index in range(count):
@@ -56,6 +67,7 @@ class ClientPool:
                 operation_factory=self.workload.operation_factory(client_seed=index),
                 recorder=self.metrics,
                 max_requests=max_requests_each,
+                window=window,
             )
             self.network.register(client)
             created.append(client)

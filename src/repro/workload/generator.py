@@ -9,7 +9,7 @@ replies the service returns.  The paper's micro-benchmarks are named
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.smr.state_machine import KeyValueStore, NullStateMachine, Operation, StateMachine
@@ -25,11 +25,21 @@ class Workload:
         name: human-readable name (e.g. ``"0/4"``).
         request_payload_bytes: extra payload attached to every request.
         reply_payload_bytes: payload the service attaches to every reply.
+        client_window: requests each client keeps in flight.  ``1`` is the
+            paper's closed loop; larger windows pipeline requests so batching
+            primaries see enough concurrent load to fill their batches.
     """
 
     name: str
     request_payload_bytes: int = 0
     reply_payload_bytes: int = 0
+    client_window: int = 1
+
+    def with_client_window(self, window: int) -> "Workload":
+        """Copy of this workload with a different per-client pipeline window."""
+        if window < 1:
+            raise ValueError(f"client window must be at least 1: {window}")
+        return replace(self, client_window=window)
 
     def operation_factory(self, client_seed: int = 0) -> Callable[[int], Operation]:
         """Return a factory mapping a client timestamp to an operation."""

@@ -7,7 +7,11 @@ answer the questions the paper's figures ask:
   Figures 2 and 3);
 * *latency* — mean / percentile end-to-end latency (y axis);
 * *timeline* — completed requests per time bin, used for the view-change
-  experiment of Figure 4.
+  experiment of Figure 4;
+* *batch sizes* — how full the primary's proposed batches were, reported by
+  the batching benchmark alongside per-request latency so the batching
+  knobs (``max_batch``, ``linger``) can be tuned against the throughput
+  they buy.
 """
 
 from __future__ import annotations
@@ -29,6 +33,39 @@ class CompletionRecord:
     @property
     def latency(self) -> float:
         return self.completed_at - self.sent_at
+
+
+@dataclass(frozen=True)
+class BatchSizeSummary:
+    """Distribution of proposed batch sizes across a run."""
+
+    batches: int
+    requests: int
+    mean: float
+    p50: int
+    maximum: int
+    histogram: Dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "BatchSizeSummary":
+        return cls(batches=0, requests=0, mean=0.0, p50=0, maximum=0, histogram={})
+
+    @classmethod
+    def of(cls, sizes: List[int]) -> "BatchSizeSummary":
+        if not sizes:
+            return cls.empty()
+        ordered = sorted(sizes)
+        histogram: Dict[int, int] = {}
+        for size in sizes:
+            histogram[size] = histogram.get(size, 0) + 1
+        return cls(
+            batches=len(sizes),
+            requests=sum(sizes),
+            mean=sum(sizes) / len(sizes),
+            p50=ordered[len(ordered) // 2],
+            maximum=ordered[-1],
+            histogram=histogram,
+        )
 
 
 @dataclass(frozen=True)
@@ -60,6 +97,7 @@ class MetricsCollector:
     def __init__(self) -> None:
         self._records: List[CompletionRecord] = []
         self._per_client_counts: Dict[str, int] = {}
+        self._batch_sizes: List[int] = []
 
     # -- recording (duck-typed interface used by repro.smr.client.Client) -----
 
@@ -73,6 +111,26 @@ class MetricsCollector:
         )
         self._records.append(record)
         self._per_client_counts[client_id] = self._per_client_counts.get(client_id, 0) + 1
+
+    def record_batch(self, size: int) -> None:
+        """Record the size of one batch a primary proposed."""
+        if size < 1:
+            raise ValueError(f"batch sizes are positive: {size}")
+        self._batch_sizes.append(size)
+
+    def record_batches(self, sizes: List[int]) -> None:
+        for size in sizes:
+            self.record_batch(size)
+
+    # -- batch distribution ----------------------------------------------------
+
+    @property
+    def batch_sizes(self) -> List[int]:
+        return list(self._batch_sizes)
+
+    def batch_summary(self) -> BatchSizeSummary:
+        """Distribution of recorded batch sizes (empty when unbatched)."""
+        return BatchSizeSummary.of(self._batch_sizes)
 
     # -- basic counters -------------------------------------------------------
 

@@ -77,6 +77,7 @@ class TestRunDeployment:
         with pytest.raises(ValueError):
             run_deployment(deployment, duration=0.0)
 
+    @pytest.mark.slow
     def test_more_clients_more_throughput_until_saturation(self):
         results = sweep_clients(
             build_seemore,

@@ -59,10 +59,18 @@ class TestCheckpointManager:
         assert snapshot is None
 
 
+@pytest.mark.integration
 class TestCheckpointingInDeployment:
     """Checkpoints are produced, become stable, and garbage-collect logs."""
 
-    @pytest.mark.parametrize("mode", [Mode.LION, Mode.DOG, Mode.PEACOCK])
+    @pytest.mark.parametrize(
+        "mode",
+        [
+            Mode.LION,
+            pytest.param(Mode.DOG, marks=pytest.mark.slow),
+            pytest.param(Mode.PEACOCK, marks=pytest.mark.slow),
+        ],
+    )
     def test_checkpoints_become_stable_and_gc_runs(self, mode):
         deployment = build_seemore(
             crash_tolerance=1,
@@ -82,6 +90,7 @@ class TestCheckpointingInDeployment:
             if replica.checkpoints.stable_sequence > 0:
                 assert replica.slots.low_watermark == replica.checkpoints.stable_sequence
 
+    @pytest.mark.slow
     def test_checkpoint_digests_agree_across_replicas(self):
         deployment = build_seemore(
             crash_tolerance=1,

@@ -47,8 +47,18 @@ def run_with_fault(deployment, fault, fault_at=0.15, total=1.2):
     return completed_before, completed_after
 
 
+pytestmark = pytest.mark.integration
+
+
 class TestCrashFaults:
-    @pytest.mark.parametrize("mode", [Mode.LION, Mode.DOG, Mode.PEACOCK])
+    @pytest.mark.parametrize(
+        "mode",
+        [
+            Mode.LION,
+            pytest.param(Mode.DOG, marks=pytest.mark.slow),
+            pytest.param(Mode.PEACOCK, marks=pytest.mark.slow),
+        ],
+    )
     def test_primary_crash_triggers_view_change_and_recovers(self, mode):
         deployment = build(mode)
         before, after = run_with_fault(deployment, crash_primary)
@@ -58,6 +68,7 @@ class TestCrashFaults:
         surviving_views = {r.view for r in deployment.correct_replicas()}
         assert max(surviving_views) >= 1, "a new view must have been installed"
 
+    @pytest.mark.slow
     def test_lion_tolerates_backup_crash(self):
         deployment = build(Mode.LION)
         config = deployment.extras["config"]
@@ -68,6 +79,7 @@ class TestCrashFaults:
         assert after > before + 10
         assert_ledgers_consistent(deployment.correct_ledgers())
 
+    @pytest.mark.slow
     def test_lion_tolerates_public_node_crash(self):
         deployment = build(Mode.LION)
         config = deployment.extras["config"]
@@ -76,6 +88,7 @@ class TestCrashFaults:
         assert after > before + 10
         assert_ledgers_consistent(deployment.correct_ledgers())
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("mode", [Mode.DOG, Mode.PEACOCK])
     def test_proxy_crash_is_absorbed_by_quorum(self, mode):
         deployment = build(mode)
@@ -86,6 +99,7 @@ class TestCrashFaults:
         assert after > before + 10
         assert_ledgers_consistent(deployment.correct_ledgers())
 
+    @pytest.mark.slow
     def test_paxos_leader_crash_recovers(self):
         deployment = build_paxos(
             crash_tolerance=1, byzantine_tolerance=1, num_clients=2, seed=7, client_timeout=0.1
@@ -94,6 +108,7 @@ class TestCrashFaults:
         assert after > before + 10
         assert_ledgers_consistent(deployment.correct_ledgers())
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("builder", [build_pbft, build_upright])
     def test_bft_style_primary_crash_recovers(self, builder):
         deployment = builder(
@@ -105,8 +120,19 @@ class TestCrashFaults:
 
 
 class TestByzantineFaults:
-    @pytest.mark.parametrize("mode", [Mode.LION, Mode.DOG, Mode.PEACOCK])
-    @pytest.mark.parametrize("strategy", ["silent", "lie", "corrupt"])
+    @pytest.mark.parametrize(
+        "mode",
+        [
+            Mode.LION,
+            pytest.param(Mode.DOG, marks=pytest.mark.slow),
+            pytest.param(Mode.PEACOCK, marks=pytest.mark.slow),
+        ],
+    )
+    @pytest.mark.parametrize(
+        "strategy",
+        ["lie", pytest.param("silent", marks=pytest.mark.slow),
+         pytest.param("corrupt", marks=pytest.mark.slow)],
+    )
     def test_one_byzantine_public_replica_is_tolerated(self, mode, strategy):
         deployment = build(mode)
         config = deployment.extras["config"]
@@ -120,6 +146,7 @@ class TestByzantineFaults:
         assert after > before + 10, f"{mode.name} must absorb a {strategy} Byzantine replica"
         assert_ledgers_consistent(deployment.correct_ledgers())
 
+    @pytest.mark.slow
     def test_byzantine_peacock_primary_is_replaced(self):
         deployment = build(Mode.PEACOCK)
         config = deployment.extras["config"]
@@ -131,6 +158,7 @@ class TestByzantineFaults:
         assert_ledgers_consistent(deployment.correct_ledgers())
         assert max(r.view for r in deployment.correct_replicas()) >= 1
 
+    @pytest.mark.slow
     def test_equivocating_peacock_primary_cannot_split_state(self):
         deployment = build(Mode.PEACOCK)
         config = deployment.extras["config"]
@@ -154,6 +182,7 @@ class TestByzantineFaults:
         with pytest.raises(ValueError):
             make_byzantine(deployment, config.public_replicas[0], "steal-keys")
 
+    @pytest.mark.slow
     def test_lying_replicas_cannot_fool_clients(self):
         deployment = build(Mode.DOG)
         config = deployment.extras["config"]
@@ -170,6 +199,7 @@ class TestByzantineFaults:
 
 
 class TestCombinedFaults:
+    @pytest.mark.slow
     def test_crash_plus_byzantine_at_the_bound(self):
         deployment = build(Mode.LION, num_clients=3)
         config = deployment.extras["config"]
@@ -185,6 +215,7 @@ class TestCombinedFaults:
         assert after > before + 10
         assert_ledgers_consistent(deployment.correct_ledgers())
 
+    @pytest.mark.slow
     def test_f4_configuration_tolerates_mixed_faults(self):
         deployment = build_seemore(
             crash_tolerance=2,

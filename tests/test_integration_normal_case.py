@@ -23,6 +23,8 @@ from repro.core import Mode
 from repro.smr.ledger import assert_ledgers_consistent
 from repro.workload import kv_workload, microbenchmark
 
+pytestmark = pytest.mark.integration
+
 RUN_KWARGS = dict(duration=0.5, warmup=0.1)
 
 
@@ -47,6 +49,7 @@ class TestSeeMoReModes:
         assert result.safety_violations == 0
         assert_ledgers_consistent(deployment.correct_ledgers())
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("mode", [Mode.LION, Mode.DOG, Mode.PEACOCK])
     def test_replicas_converge_on_committed_prefix(self, mode):
         deployment, _ = run_small(build_seemore, mode=mode)
@@ -67,6 +70,7 @@ class TestSeeMoReModes:
             else:
                 assert replica.replies_sent == 0
 
+    @pytest.mark.slow
     def test_dog_private_cloud_stays_passive(self):
         deployment, _ = run_small(build_seemore, mode=Mode.DOG)
         config = deployment.extras["config"]
@@ -79,6 +83,7 @@ class TestSeeMoReModes:
             if replica_id != primary:
                 assert replica.last_executed > 0
 
+    @pytest.mark.slow
     def test_peacock_private_cloud_not_in_agreement(self):
         deployment, _ = run_small(build_seemore, mode=Mode.PEACOCK)
         config = deployment.extras["config"]
@@ -87,6 +92,7 @@ class TestSeeMoReModes:
             assert replica.replies_sent == 0
             assert replica.last_executed > 0  # informed of results
 
+    @pytest.mark.slow
     def test_proxies_reply_in_dog_mode(self):
         deployment, _ = run_small(build_seemore, mode=Mode.DOG)
         config = deployment.extras["config"]
@@ -114,21 +120,25 @@ class TestSeeMoReModes:
 
 
 class TestBaselines:
+    @pytest.mark.slow
     def test_paxos_completes_requests(self):
         deployment, result = run_small(build_paxos)
         assert result.completed > 50
         assert result.safety_violations == 0
 
+    @pytest.mark.slow
     def test_pbft_completes_requests(self):
         deployment, result = run_small(build_pbft)
         assert result.completed > 50
         assert result.safety_violations == 0
 
+    @pytest.mark.slow
     def test_upright_completes_requests(self):
         deployment, result = run_small(build_upright)
         assert result.completed > 50
         assert result.safety_violations == 0
 
+    @pytest.mark.slow
     def test_paxos_only_leader_replies(self):
         deployment, _ = run_small(build_paxos)
         config = deployment.extras["config"]
@@ -139,6 +149,7 @@ class TestBaselines:
             else:
                 assert replica.replies_sent == 0
 
+    @pytest.mark.slow
     def test_pbft_all_replicas_reply(self):
         deployment, _ = run_small(build_pbft)
         assert all(replica.replies_sent > 0 for replica in deployment.replicas.values())
@@ -168,6 +179,7 @@ class TestBuilderRegistry:
             builder_for("raft")
 
 
+@pytest.mark.slow
 class TestThroughputOrdering:
     """Coarse performance-shape checks used by the paper's comparisons."""
 

@@ -127,6 +127,37 @@ class TestOrderedExecutor:
         assert self.executor.state_machine.value == 3
         assert [e.sequence for e in executed] == [1, 2]
 
+    def test_checkpoint_hook_fires_at_boundary_state(self):
+        """The hook observes the state exactly at the boundary, even when one
+        commit fills a gap and drains past the boundary in the same call."""
+        observed = []
+        self.executor.set_checkpoint_hook(
+            2,
+            lambda seq: observed.append(
+                (seq, self.executor.next_sequence, self.executor.state_machine.value)
+            ),
+        )
+        # Out-of-order arrival: 3 and 2 buffer, then 1 drains all three.
+        self.executor.commit(3, "c1", 3, Operation("add", (30,)))
+        self.executor.commit(2, "c1", 2, Operation("add", (20,)))
+        self.executor.commit(1, "c1", 1, Operation("add", (10,)))
+        # At the boundary (seq 2) the hook saw value 10+20, NOT the drain
+        # frontier's 60 — matching what an in-order replica digests.
+        assert observed == [(2, 3, 30)]
+
+    def test_checkpoint_hook_matches_in_order_replica(self):
+        def run(commit_order):
+            snapshots = []
+            executor = OrderedExecutor(Counter())
+            executor.set_checkpoint_hook(
+                2, lambda seq: snapshots.append((seq, executor.snapshot()["state"]))
+            )
+            for sequence in commit_order:
+                executor.commit(sequence, "c1", sequence, Operation("add", (sequence,)))
+            return snapshots
+
+        assert run([1, 2, 3, 4]) == run([2, 4, 3, 1])
+
     def test_duplicate_commit_ignored(self):
         self.executor.commit(1, "c1", 1, Operation("add", (1,)))
         self.executor.commit(1, "c1", 1, Operation("add", (1,)))

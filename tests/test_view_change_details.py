@@ -32,6 +32,9 @@ def build(mode, **kwargs):
     )
 
 
+pytestmark = pytest.mark.integration
+
+
 class TestCollectors:
     def test_lion_and_dog_collector_is_new_primary(self):
         config = SeeMoReConfig.build(1, 1)
@@ -102,6 +105,7 @@ class TestNoopFilling:
         )
         assert 2 in new_view_sequences, "the hole at sequence 2 must exist as a slot"
 
+    @pytest.mark.slow
     def test_noop_commits_do_not_reach_clients(self):
         deployment = build(Mode.LION)
         simulator = deployment.simulator
@@ -117,6 +121,7 @@ class TestNoopFilling:
 
 
 class TestJoinAndEscalation:
+    @pytest.mark.slow
     def test_replicas_join_view_change_on_quorum_of_evidence(self):
         deployment = build(Mode.LION)
         config = deployment.extras["config"]
@@ -132,6 +137,7 @@ class TestJoinAndEscalation:
         assert len(views) == 1
         assert views.pop() >= 1
 
+    @pytest.mark.slow
     def test_consecutive_primary_crashes_escalate_views(self):
         deployment = build(Mode.LION, num_clients=3)
         config = deployment.extras["config"]
@@ -155,6 +161,7 @@ class TestJoinAndEscalation:
 
 
 class TestStateTransfer:
+    @pytest.mark.slow
     def test_lagging_replica_catches_up_via_state_transfer(self):
         deployment = build(Mode.LION, num_clients=4, checkpoint_period=32)
         config = deployment.extras["config"]
