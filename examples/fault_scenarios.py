@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Run named fault scenarios and print the matrix report.
+
+The scenario engine (``repro.scenarios``) schedules timed faults — crashes,
+Byzantine strategies, partitions, mode switches, load surges — against a
+running deployment while invariant checkers sample the system continuously.
+This example runs a few library scenarios across all three modes and prints
+the summary table; pass scenario names as arguments to pick others.
+
+Run with:  python examples/fault_scenarios.py [scenario ...]
+"""
+
+import sys
+
+from repro.analysis import format_scenario_results
+from repro.scenarios import SCENARIOS, run_scenario_matrix, scenario_by_name
+
+DEFAULT_NAMES = [
+    "primary-crash-mid-batch",
+    "equivocating-public-primary",
+    "mode-switch-under-load",
+]
+
+
+def main() -> None:
+    names = sys.argv[1:] or DEFAULT_NAMES
+    scenarios = [scenario_by_name(name) for name in names]
+    print(f"running {len(scenarios)} scenario(s) x 3 modes "
+          f"(library has {len(SCENARIOS)}: {', '.join(SCENARIOS)})\n")
+    results = run_scenario_matrix(scenarios)
+    print(format_scenario_results(results))
+    if any(not result.ok for result in results):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -37,8 +37,9 @@ from repro.cluster import (
     sweep_clients,
 )
 from repro.workload import MetricsCollector, Workload, kv_workload, microbenchmark
+from repro.scenarios import SCENARIOS, Scenario, run_scenario, run_scenario_matrix
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Mode",
@@ -63,5 +64,9 @@ __all__ = [
     "microbenchmark",
     "kv_workload",
     "MetricsCollector",
+    "Scenario",
+    "SCENARIOS",
+    "run_scenario",
+    "run_scenario_matrix",
     "__version__",
 ]

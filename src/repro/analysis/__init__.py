@@ -15,7 +15,12 @@ from repro.analysis.comparison import (
     messages_per_request,
     profile_for,
 )
-from repro.analysis.report import format_results_table, format_series, format_timeline
+from repro.analysis.report import (
+    format_results_table,
+    format_scenario_results,
+    format_series,
+    format_timeline,
+)
 
 __all__ = [
     "ProtocolProfile",
@@ -23,6 +28,7 @@ __all__ = [
     "profile_for",
     "messages_per_request",
     "format_results_table",
+    "format_scenario_results",
     "format_series",
     "format_timeline",
 ]

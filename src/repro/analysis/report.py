@@ -39,6 +39,29 @@ def format_series(
     return "\n".join(lines)
 
 
+def format_scenario_results(results: Iterable, title: str = "Fault scenarios") -> str:
+    """Summarise fault-scenario runs (one row per scenario × mode).
+
+    ``results`` is an iterable of
+    :class:`~repro.scenarios.engine.ScenarioResult`; failing runs get their
+    individual invariant/expectation failures listed under the table.
+    """
+    results = list(results)
+    rows = [result.as_row() for result in results]
+    columns = [
+        "scenario", "mode", "completed", "timeouts", "max_view",
+        "state_transfers", "failures", "verdict",
+    ]
+    lines = [title, format_results_table(rows, columns=columns)]
+    failing = [result for result in results if not result.ok]
+    for result in failing:
+        lines.append(f"\n{result.scenario} [{result.mode}] failed:")
+        lines.extend(f"  {failure}" for failure in result.failures())
+    passed = len(results) - len(failing)
+    lines.append(f"\n{passed}/{len(results)} scenario runs passed")
+    return "\n".join(lines)
+
+
 def format_timeline(title: str, bins: Sequence[Tuple[float, float]], time_unit: str = "s") -> str:
     """Render a throughput timeline (Figure 4 style) as text."""
     lines = [f"{title}  (time [{time_unit}] vs throughput [req/s])"]

@@ -107,6 +107,19 @@ class Deployment:
             self.metrics.record_batches(sizes[offset:])
             self._batch_sizes_collected[replica_id] = len(sizes)
 
+    def add_clients(self, count: int, window: Optional[int] = None, start: bool = True) -> List:
+        """Spawn ``count`` extra closed-loop clients, optionally mid-run.
+
+        New clients register with the network and keystore like the
+        originals (the shared verifier sees late registrations, mirroring a
+        PKI), so load can be ramped while the deployment is running.
+        """
+        created = self.client_pool.spawn(count, window=window)
+        if start:
+            for client in created:
+                client.start()
+        return created
+
     def start_clients(self) -> None:
         self.client_pool.start_all()
 

@@ -208,6 +208,7 @@ class ViewChangeManager:
         committed: Dict[int, msgs.PreparedEntry] = {}
         prepared_counts: Dict[Tuple[int, str], int] = {}
         prepared_entries: Dict[Tuple[int, str], msgs.PreparedEntry] = {}
+        prepared_views: Dict[Tuple[int, str], int] = {}
         highest = checkpoint_seq
         for view_change in view_changes:
             for entry in view_change.committed:
@@ -220,6 +221,7 @@ class ViewChangeManager:
                 key = (entry.sequence, entry.digest)
                 prepared_counts[key] = prepared_counts.get(key, 0) + 1
                 prepared_entries.setdefault(key, entry)
+                prepared_views[key] = max(prepared_views.get(key, -1), entry.view)
                 highest = max(highest, entry.sequence)
 
         commits: List[msgs.PreparedEntry] = []
@@ -228,11 +230,19 @@ class ViewChangeManager:
             if sequence in committed:
                 commits.append(self._rewrap(committed[sequence], target_view))
                 continue
+            # Reconciliation rule (Section 5.1): among conflicting prepared
+            # entries for a sequence, the one prepared in the *highest* view
+            # wins — a later view's assignment supersedes whatever an older
+            # (possibly deposed or equivocating) primary handed out.  Vote
+            # count breaks ties within a view; the digest keeps the final
+            # fallback deterministic across collectors.
             candidates = [
-                (count, key) for key, count in prepared_counts.items() if key[0] == sequence
+                (prepared_views[key], count, key)
+                for key, count in prepared_counts.items()
+                if key[0] == sequence
             ]
             if candidates:
-                count, key = max(candidates)
+                _view, count, key = max(candidates)
                 entry = prepared_entries[key]
                 if mode is Mode.LION and count >= config.accept_quorum(Mode.LION):
                     commits.append(self._rewrap(entry, target_view))
@@ -296,6 +306,7 @@ class ViewChangeManager:
         replica.in_view_change = False
         self.pending_mode = None
         self.active_target = None
+        self._prune_below(message.new_view)
         self._new_view_timer.stop()
         replica.stop_request_timer()
         replica.clear_assignments()
@@ -326,6 +337,21 @@ class ViewChangeManager:
 
         replica.bump_sequence_counter(highest + 1)
         replica.on_view_installed()
+
+    def _prune_below(self, installed_view: int) -> None:
+        """Garbage-collect view-change state for views ≤ the installed view.
+
+        Both ``_store`` and ``_new_views_sent`` are keyed by
+        ``(target_view, mode)``; entries for views at or below the one just
+        installed can never produce a new view again (``on_view_change`` and
+        ``_maybe_build_new_view`` both refuse ``new_view <= replica.view``),
+        so keeping them only leaks memory across the unbounded stream of
+        view changes a long-running deployment performs.
+        """
+        self._store = {
+            key: messages for key, messages in self._store.items() if key[0] > installed_view
+        }
+        self._new_views_sent = {key for key in self._new_views_sent if key[0] > installed_view}
 
     # -- timeouts ---------------------------------------------------------------------------
 

@@ -25,7 +25,7 @@ from typing import Callable, Dict, Iterable, List
 from repro.cluster.deployment import Deployment
 from repro.core import messages as core_msgs
 from repro.crypto.signatures import Signature
-from repro.smr.messages import Reply
+from repro.smr.messages import Batch, Reply
 from repro.smr.replica import ReplicaBase, request_digest
 from repro.smr.state_machine import Operation
 
@@ -43,28 +43,51 @@ def make_silent(replica: ReplicaBase) -> None:
     replica.multicast = multicast_nothing  # type: ignore[assignment]
 
 
+def tampered_request(request):
+    """Copy of one client request with its operation replaced by garbage."""
+    twisted = copy.copy(request)
+    twisted.operation = Operation(
+        kind="put",
+        args=("byzantine", "tampered"),
+        payload=getattr(request.operation, "payload", ""),
+    )
+    return twisted
+
+
+def tampered_payload(payload):
+    """A conflicting slot payload: a request or a batch with one request twisted.
+
+    The returned payload always hashes to a *different* digest than the
+    original, so an ordering message built around it genuinely conflicts
+    with the honest proposal.  For batches the tampering happens *inside* a
+    copied batch (the batch digest covers every inner request), matching how
+    a real Byzantine primary would equivocate under batching.
+    """
+    if isinstance(payload, Batch):
+        requests = list(payload.requests)
+        requests[0] = tampered_request(requests[0])
+        return Batch(requests=requests)
+    return tampered_request(payload)
+
+
 def make_equivocating(replica: ReplicaBase) -> None:
     """A Byzantine primary sends conflicting proposals to different replicas.
 
-    Only ordering messages that carry a request (SeeMoRe's ``Prepare`` and
-    ``PrePrepare``) are attacked; everything else is forwarded unchanged.
-    Correct replicas detect the conflict by digest mismatch and refuse the
-    second assignment, so the slot stalls and a view change removes the
+    Only ordering messages that carry a slot payload (SeeMoRe's ``Prepare``
+    and ``PrePrepare``) are attacked; everything else is forwarded
+    unchanged.  The twisted copy is *self-consistent* — its digest is
+    recomputed over the tampered payload (a bare request or a whole batch)
+    and it is re-signed — so receivers accept whichever proposal arrives
+    first and detect the conflict by digest mismatch on the slot, refusing
+    the second assignment; the slot stalls and a view change removes the
     equivocator.
     """
     original_multicast = replica.multicast
 
     def conflicting_copy(payload):
         twisted = copy.copy(payload)
-        twisted_request = copy.copy(payload.request)
-        twisted_operation = Operation(
-            kind="put",
-            args=("byzantine", "tampered"),
-            payload=getattr(payload.request.operation, "payload", ""),
-        )
-        twisted_request.operation = twisted_operation
-        twisted.request = twisted_request
-        twisted.digest = request_digest(twisted_request)
+        twisted.request = tampered_payload(payload.request)
+        twisted.digest = request_digest(twisted.request)
         twisted.sign(replica.signer)
         return twisted
 
@@ -88,7 +111,9 @@ def make_lying(replica: ReplicaBase) -> None:
 
     The signature on the lie is the Byzantine replica's own (it cannot forge
     anyone else's), so clients relying on f+1 / 2m+1 matching replies are
-    never fooled as long as the fault bound holds.
+    never fooled as long as the fault bound holds.  Replies are per client
+    request even under batching (replicas fan replies out after executing a
+    batch), so tampering the ``result`` field covers the batched path too.
     """
     original_send = replica.send
 

@@ -40,9 +40,16 @@ def current_primary_id(deployment: Deployment) -> str:
     one clients are still talking to.
     """
     config = deployment.extras["config"]
-    views = [replica.view for replica in deployment.correct_replicas()]
-    view = min(views) if views else 0
-    mode = deployment.extras.get("mode")
+    correct = deployment.correct_replicas()
+    if correct:
+        lowest = min(correct, key=lambda replica: replica.view)
+        view = lowest.view
+        # Prefer the replica's *live* mode: after a dynamic mode switch the
+        # deployment's initial mode in ``extras`` is stale.
+        mode = getattr(lowest, "mode", deployment.extras.get("mode"))
+    else:
+        view = 0
+        mode = deployment.extras.get("mode")
     if mode is not None:
         return config.primary_of_view(view, mode)
     return config.primary_of_view(view)

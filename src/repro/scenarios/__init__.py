@@ -1,0 +1,104 @@
+"""Deterministic fault-scenario engine (the standing regression net).
+
+SeeMoRe's whole claim is behaviour *under faults*: crash faults in the
+trusted private cloud, Byzantine faults in the public cloud, and dynamic
+mode switches as the environment changes.  This package turns those
+conditions into first-class, declarative scenarios:
+
+* :mod:`~repro.scenarios.events` — timed events scheduled on the simulator
+  clock: crash/recover a replica, activate a named Byzantine strategy,
+  partition/heal the network, degrade per-link latency, trigger a mode
+  switch, ramp client load;
+* :mod:`~repro.scenarios.invariants` — checkers sampled continuously while
+  a scenario runs: committed prefixes never fork, no correct client accepts
+  a forged reply, exactly-once execution per request id, checkpoint digests
+  agree;
+* :mod:`~repro.scenarios.engine` — the runner tying both to a
+  :class:`~repro.cluster.deployment.Deployment`, plus declarative
+  post-run expectations (progress resumed, view advanced, mode installed,
+  replica caught up);
+* :mod:`~repro.scenarios.library` — the named scenarios every protocol
+  change must keep passing, across all three modes.
+
+Quick start::
+
+    from repro.core import Mode
+    from repro.scenarios import SCENARIOS, run_scenario
+
+    result = run_scenario(SCENARIOS["primary-crash-mid-batch"], Mode.DOG)
+    result.assert_ok()
+"""
+
+from repro.scenarios.engine import (
+    CaughtUp,
+    Expectation,
+    ModeIs,
+    ProgressAfter,
+    Scenario,
+    ScenarioResult,
+    StateTransferred,
+    ViewAdvanced,
+    build_scenario_deployment,
+    run_scenario,
+    run_scenario_matrix,
+)
+from repro.scenarios.events import (
+    Byzantine,
+    ClearLinkDegradation,
+    ClientSurge,
+    Crash,
+    HealPartition,
+    LinkDegradation,
+    ModeSwitch,
+    Partition,
+    Recover,
+    ScenarioEvent,
+    resolve_target,
+)
+from repro.scenarios.invariants import (
+    CheckpointAgreement,
+    CommittedPrefixAgreement,
+    ExactlyOnceExecution,
+    InvariantChecker,
+    NoForgedReplies,
+    default_checkers,
+)
+from repro.scenarios.library import SCENARIOS, scenario_by_name, scenario_names
+
+__all__ = [
+    # engine
+    "Scenario",
+    "ScenarioResult",
+    "run_scenario",
+    "run_scenario_matrix",
+    "build_scenario_deployment",
+    "Expectation",
+    "ProgressAfter",
+    "ViewAdvanced",
+    "ModeIs",
+    "StateTransferred",
+    "CaughtUp",
+    # events
+    "ScenarioEvent",
+    "Crash",
+    "Recover",
+    "Byzantine",
+    "Partition",
+    "HealPartition",
+    "LinkDegradation",
+    "ClearLinkDegradation",
+    "ModeSwitch",
+    "ClientSurge",
+    "resolve_target",
+    # invariants
+    "InvariantChecker",
+    "CommittedPrefixAgreement",
+    "NoForgedReplies",
+    "ExactlyOnceExecution",
+    "CheckpointAgreement",
+    "default_checkers",
+    # library
+    "SCENARIOS",
+    "scenario_by_name",
+    "scenario_names",
+]

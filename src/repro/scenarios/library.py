@@ -1,0 +1,210 @@
+"""The named scenario library.
+
+Each entry is one declarative :class:`~repro.scenarios.engine.Scenario`
+meant to run across all three modes via
+:func:`~repro.scenarios.engine.run_scenario`.  The names are stable — CI,
+the README, and the regression tests refer to them — so treat renames as
+breaking changes.
+
+To add a scenario: compose events and expectations, pick a duration that
+comfortably covers the last expectation's probe time, and register it in
+:data:`SCENARIOS` (order is presentation order in reports).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.batching import BatchPolicy
+from repro.scenarios.engine import (
+    CaughtUp,
+    ModeIs,
+    ProgressAfter,
+    Scenario,
+    StateTransferred,
+    ViewAdvanced,
+)
+from repro.scenarios.events import (
+    Byzantine,
+    ClearLinkDegradation,
+    ClientSurge,
+    Crash,
+    HealPartition,
+    LinkDegradation,
+    ModeSwitch,
+    Partition,
+    Recover,
+)
+
+_BATCHING = BatchPolicy(max_batch=8, linger=0.002)
+
+
+PRIMARY_CRASH_MID_BATCH = Scenario(
+    name="primary-crash-mid-batch",
+    description="Primary crashes while batches are in flight; the new view must "
+    "re-propose every uncommitted batch exactly once.",
+    batch_policy=_BATCHING,
+    client_window=3,
+    events=(Crash(at=0.15, target="primary"),),
+    expectations=(ProgressAfter(at=0.4), ViewAdvanced(min_view=1)),
+    duration=0.7,
+)
+
+EQUIVOCATING_PUBLIC_PRIMARY = Scenario(
+    name="equivocating-public-primary",
+    description="The most primary-like public replica equivocates on batched "
+    "proposals; correct replicas must refuse the conflicting assignment.",
+    batch_policy=BatchPolicy(max_batch=4, linger=0.001),
+    client_window=2,
+    events=(Byzantine(at=0.12, target="public-primary", strategy="equivocate"),),
+    expectations=(ProgressAfter(at=0.5),),
+    duration=0.75,
+)
+
+PARTITION_DURING_MODE_SWITCH = Scenario(
+    name="partition-during-mode-switch",
+    description="The clouds partition moments after a mode switch begins; the "
+    "switch must complete once the partition heals.",
+    events=(
+        ModeSwitch(at=0.12, new_mode="next"),
+        Partition(at=0.15, groups=(("private",), ("public",))),
+        HealPartition(at=0.3),
+    ),
+    expectations=(ProgressAfter(at=0.5), ModeIs(steps=1)),
+    duration=0.9,
+)
+
+CASCADING_VIEW_CHANGES = Scenario(
+    name="cascading-view-changes",
+    description="Two successive primaries crash; views must cascade past both "
+    "without forking the committed prefix.",
+    crash_tolerance=2,
+    byzantine_tolerance=2,
+    events=(Crash(at=0.1, target="primary"), Crash(at=0.35, target="primary")),
+    expectations=(ProgressAfter(at=0.55), ViewAdvanced(min_view=2)),
+    duration=0.9,
+)
+
+RECOVER_VIA_STATE_TRANSFER = Scenario(
+    name="recover-via-state-transfer",
+    description="A replica sleeps through checkpoints and must catch up via "
+    "state transfer after recovering.",
+    checkpoint_period=32,
+    num_clients=2,
+    client_window=2,
+    events=(Crash(at=0.1, target="public:1"), Recover(at=0.35, target="public:1")),
+    expectations=(
+        ProgressAfter(at=0.45),
+        StateTransferred(target="public:1"),
+        CaughtUp(target="public:1", slack=64),
+    ),
+    duration=0.8,
+    settle=0.25,
+)
+
+SILENT_BYZANTINE_PROXY = Scenario(
+    name="silent-byzantine-proxy",
+    description="A public replica goes Byzantine-silent; quorums must absorb it.",
+    events=(Byzantine(at=0.12, target="public-backup", strategy="silent"),),
+    expectations=(ProgressAfter(at=0.3),),
+    duration=0.6,
+)
+
+LYING_REPLICA_UNDER_LOAD = Scenario(
+    name="lying-replica-under-load",
+    description="A public replica forges results while client load ramps; no "
+    "correct client may accept a forged reply.",
+    events=(
+        Byzantine(at=0.1, target="public-backup", strategy="lie"),
+        ClientSurge(at=0.2, count=1),
+    ),
+    expectations=(ProgressAfter(at=0.35),),
+    duration=0.6,
+)
+
+CORRUPT_SIGNATURE_STORM = Scenario(
+    name="corrupt-signature-storm",
+    description="A public replica's signatures all turn invalid; every correct "
+    "receiver must discard its messages.",
+    events=(Byzantine(at=0.12, target="public-backup", strategy="corrupt"),),
+    expectations=(ProgressAfter(at=0.3),),
+    duration=0.6,
+)
+
+CRASH_RECOVER_BACKUP = Scenario(
+    name="crash-recover-backup",
+    description="A private backup crashes and later recovers; it must rejoin "
+    "without disturbing the group.",
+    events=(Crash(at=0.1, target="private:1"), Recover(at=0.3, target="private:1")),
+    expectations=(ProgressAfter(at=0.25),),
+    duration=0.65,
+)
+
+CROSS_CLOUD_SLOWDOWN = Scenario(
+    name="cross-cloud-slowdown",
+    description="Cross-cloud links degrade by 2 ms mid-run and later heal — the "
+    "geo-distribution stress of the paper's ablations.",
+    events=(
+        LinkDegradation(at=0.15, delay=0.002, link_class="cross"),
+        ClearLinkDegradation(at=0.35),
+    ),
+    expectations=(ProgressAfter(at=0.4),),
+    duration=0.7,
+)
+
+CLIENT_SURGE = Scenario(
+    name="client-surge",
+    description="Client load triples mid-run; the batching primary must absorb "
+    "the surge without violating safety.",
+    batch_policy=_BATCHING,
+    client_window=2,
+    events=(ClientSurge(at=0.2, count=3),),
+    expectations=(ProgressAfter(at=0.3, min_completed=30),),
+    duration=0.6,
+)
+
+MODE_SWITCH_UNDER_LOAD = Scenario(
+    name="mode-switch-under-load",
+    description="Two dynamic mode switches under continuous load; every request "
+    "buffered across a switch must survive, exactly once.",
+    events=(ModeSwitch(at=0.15, new_mode="next"), ModeSwitch(at=0.4, new_mode="next")),
+    expectations=(ProgressAfter(at=0.55), ModeIs(steps=2)),
+    duration=0.9,
+)
+
+
+#: The library, in presentation order.
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        PRIMARY_CRASH_MID_BATCH,
+        EQUIVOCATING_PUBLIC_PRIMARY,
+        PARTITION_DURING_MODE_SWITCH,
+        CASCADING_VIEW_CHANGES,
+        RECOVER_VIA_STATE_TRANSFER,
+        SILENT_BYZANTINE_PROXY,
+        LYING_REPLICA_UNDER_LOAD,
+        CORRUPT_SIGNATURE_STORM,
+        CRASH_RECOVER_BACKUP,
+        CROSS_CLOUD_SLOWDOWN,
+        CLIENT_SURGE,
+        MODE_SWITCH_UNDER_LOAD,
+    )
+}
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look up a named scenario; raises with the valid names on a typo."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose one of {sorted(SCENARIOS)}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+__all__ = ["SCENARIOS", "scenario_by_name", "scenario_names"]

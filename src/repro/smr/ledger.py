@@ -10,6 +10,7 @@ replicas, the request digests must match.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
@@ -55,6 +56,17 @@ class CommitLedger:
 
     def entry_at(self, sequence: int) -> Optional[LedgerEntry]:
         return self._entries.get(sequence)
+
+    def entries_since(self, offset: int) -> List[LedgerEntry]:
+        """Entries recorded after the first ``offset``, in commit order.
+
+        The ledger is append-only, so a caller can scan it incrementally by
+        remembering ``len(ledger)`` between calls (continuous safety
+        checkers do this to avoid re-comparing already-verified slots).
+        """
+        if offset >= len(self._entries):
+            return []
+        return list(islice(self._entries.values(), offset, None))
 
     @property
     def committed_sequences(self) -> List[int]:

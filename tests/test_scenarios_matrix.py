@@ -1,0 +1,33 @@
+"""The scenario-matrix regression net: every named scenario, every mode.
+
+This is the standing gate for protocol changes: each library scenario runs
+under Lion, Dog, and Peacock with all invariant checkers sampling
+continuously, and must uphold every invariant and expectation.
+
+The matrix is deliberately *not* marked ``slow`` — it is the acceptance
+surface for fault behaviour (``pytest tests/test_scenarios*.py -m "not
+slow"``).  CI runs a smoke subset of it on every push (see
+``.github/workflows/ci.yml``) and the full matrix nightly.
+"""
+
+import pytest
+
+from repro.core import Mode
+from repro.scenarios import SCENARIOS, run_scenario
+
+pytestmark = pytest.mark.integration
+
+MODES = [Mode.LION, Mode.DOG, Mode.PEACOCK]
+
+
+def test_library_is_large_enough():
+    """The acceptance floor: at least 10 named scenarios in the library."""
+    assert len(SCENARIOS) >= 10
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda mode: mode.name.lower())
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_matrix(name, mode):
+    result = run_scenario(SCENARIOS[name], mode)
+    result.assert_ok()
+    assert result.completed >= SCENARIOS[name].min_completed

@@ -160,6 +160,103 @@ class TestJoinAndEscalation:
         assert_ledgers_consistent(deployment.correct_ledgers())
 
 
+class TestNewViewReconciliation:
+    """The Section 5.1 rule: conflicting prepared entries for one sequence
+    are resolved in favour of the entry prepared in the *highest* view;
+    vote count only breaks ties.  (A stale assignment from a deposed
+    primary can be reported by more replicas than the assignment a later
+    view already superseded it with.)"""
+
+    def _view_change_from(self, deployment, replica_id, target_view, entries):
+        replica = deployment.replicas[replica_id]
+        view_change = msgs.ViewChange(
+            new_view=target_view,
+            mode=int(Mode.LION),
+            replica_id=replica_id,
+            checkpoint_sequence=0,
+            checkpoint_digest="",
+            prepared=list(entries),
+        )
+        view_change.sign(replica.signer)
+        return view_change
+
+    def test_highest_view_entry_beats_more_votes(self):
+        deployment = build(Mode.LION)
+        config = deployment.extras["config"]
+        target_view = 3
+        collector_id = config.primary_of_view(target_view, Mode.LION)
+        collector = deployment.replicas[collector_id]
+        manager = collector.view_changes
+
+        stale_request = noop_request(1001)
+        fresh_request = noop_request(1002)
+        stale_digest = request_digest(stale_request)
+        fresh_digest = request_digest(fresh_request)
+
+        def stale_entry():
+            return msgs.PreparedEntry(
+                sequence=1, view=0, digest=stale_digest, request=stale_request
+            )
+
+        fresh_entry = msgs.PreparedEntry(
+            sequence=1, view=2, digest=fresh_digest, request=fresh_request
+        )
+
+        senders = [r for r in config.all_replicas if r != collector_id]
+        # One replica saw the view-2 assignment; two others still report the
+        # view-0 assignment (more votes, staler view).
+        manager.on_view_change(
+            senders[0], self._view_change_from(deployment, senders[0], target_view, [fresh_entry])
+        )
+        for sender in senders[1:3]:
+            manager.on_view_change(
+                sender,
+                self._view_change_from(deployment, sender, target_view, [stale_entry()]),
+            )
+
+        assert collector.view == target_view, "the new view must have been installed"
+        slot = collector.slots.slot(1)
+        assert slot.digest == fresh_digest, (
+            "the entry prepared in the highest view must win, not the one "
+            "with the most votes"
+        )
+
+    def test_view_change_state_is_pruned_after_install(self):
+        deployment = build(Mode.LION)
+        config = deployment.extras["config"]
+        target_view = 3
+        collector_id = config.primary_of_view(target_view, Mode.LION)
+        collector = deployment.replicas[collector_id]
+        manager = collector.view_changes
+
+        senders = [r for r in config.all_replicas if r != collector_id]
+        for sender in senders[:3]:
+            manager.on_view_change(
+                sender, self._view_change_from(deployment, sender, target_view, [])
+            )
+
+        assert collector.view == target_view
+        assert all(key[0] > target_view for key in manager._store), (
+            "view-change messages for installed views must be garbage-collected"
+        )
+        assert all(key[0] > target_view for key in manager._new_views_sent)
+
+    @pytest.mark.slow
+    def test_store_does_not_grow_across_repeated_view_changes(self):
+        deployment = build(Mode.LION, num_clients=2)
+        simulator = deployment.simulator
+        deployment.start_clients()
+        simulator.run(until=0.15)
+        crash_primary(deployment)
+        simulator.run(until=1.0)
+        deployment.stop_clients()
+        for replica in deployment.correct_replicas():
+            manager = replica.view_changes
+            assert manager.view_changes_completed >= 1
+            stale = [key for key in manager._store if key[0] <= replica.view]
+            assert stale == [], f"{replica.node_id} kept view-change state for {stale}"
+
+
 class TestStateTransfer:
     @pytest.mark.slow
     def test_lagging_replica_catches_up_via_state_transfer(self):
