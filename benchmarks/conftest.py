@@ -7,16 +7,20 @@ series the paper reports, and applies *shape* assertions — who wins, by
 roughly what factor — rather than absolute-number assertions, since the
 substrate is a simulator rather than the authors' EC2 testbed.
 
-Results are echoed into the terminal summary and appended to
-``benchmarks/results.txt`` so ``pytest benchmarks/ --benchmark-only`` leaves
-a readable record.  The file is overwritten by the first benchmark that
-reports in a session — and only then, so runs that collect but deselect the
-benchmarks (e.g. ``pytest -m "not slow"``) leave the committed artifact
-untouched.
+Results are echoed into the terminal summary and written as machine-readable
+JSON to ``benchmarks/results.json`` (one document per session: a list of
+titled sections with their table lines) so ``pytest benchmarks/
+--benchmark-only`` leaves a parseable record.  The file is written only when
+at least one benchmark actually reported, so runs that collect but deselect
+the benchmarks (e.g. ``pytest -m "not slow"``) touch nothing; it is
+gitignored — the durable performance trajectory lives in the
+``benchmarks/perf/`` harness's ``BENCH_*.json`` documents instead.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import pathlib
 from typing import Callable, Dict, List, Sequence
 
@@ -25,7 +29,7 @@ import pytest
 from repro.cluster import Deployment, RunResult, builder_for, run_deployment
 from repro.workload import Workload, microbenchmark
 
-RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.json"
 
 # Protocols compared in every figure of Section 6, in the paper's order.
 FIGURE_PROTOCOLS = ("bft", "s-upright", "seemore-peacock", "seemore-dog", "seemore-lion", "cft")
@@ -39,12 +43,14 @@ MEASURE_DURATION = 0.25
 WARMUP = 0.08
 
 _report_lines: List[str] = []
+_report_sections: List[Dict] = []
 
 
 class BenchReport:
-    """Collects the rows a benchmark prints and persists them."""
+    """Collects the rows a benchmark prints and persists them as JSON."""
 
     def section(self, title: str) -> None:
+        _report_sections.append({"title": title, "lines": []})
         self._emit("")
         self._emit("=" * 78)
         self._emit(title)
@@ -52,19 +58,19 @@ class BenchReport:
 
     def line(self, text: str = "") -> None:
         self._emit(text)
+        if not _report_sections:
+            # Rows reported before the first section() still belong in the
+            # JSON artifact, not only in the terminal summary.
+            _report_sections.append({"title": "", "lines": []})
+        _report_sections[-1]["lines"].append(text)
 
     def block(self, text: str) -> None:
         for line in text.splitlines():
-            self._emit(line)
+            self.line(line)
 
     @staticmethod
     def _emit(line: str) -> None:
-        # First write of the session truncates; nothing is deleted until a
-        # benchmark actually reports (fast-tier runs keep the old artifact).
-        mode = "a" if _report_lines else "w"
         _report_lines.append(line)
-        with RESULTS_PATH.open(mode) as handle:
-            handle.write(line + "\n")
 
 
 @pytest.fixture(scope="session")
@@ -75,10 +81,22 @@ def report() -> BenchReport:
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not _report_lines:
         return
+    # Persist once per session, only when a benchmark actually reported.
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+                "sections": _report_sections,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
     terminalreporter.write_line("")
     terminalreporter.write_line("################ reproduced tables and figures ################")
     for line in _report_lines:
         terminalreporter.write_line(line)
+    terminalreporter.write_line(f"(machine-readable copy: {RESULTS_PATH})")
 
 
 # -- experiment helpers ----------------------------------------------------------

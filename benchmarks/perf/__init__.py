@@ -1,0 +1,9 @@
+"""Persistent performance-trajectory harness (``BENCH_*.json``).
+
+Unlike the figure-reproduction benchmarks under ``benchmarks/`` (which
+measure *simulated* protocol performance), this package measures the
+**simulator itself**: how many events per wall-clock second the engine
+sustains on standard workloads, so hot-path regressions are caught before
+they land.  See ``benchmarks/perf/harness.py`` for the schema and
+``README.md`` ("Performance") for usage.
+"""

@@ -1,0 +1,109 @@
+"""Compare two ``BENCH_*.json`` documents and fail on events/sec regression.
+
+Usage::
+
+    python benchmarks/perf/compare.py CURRENT.json BASELINE.json \
+        [--max-regression 0.25] [--no-calibration]
+
+Cases are matched by name.  When both documents carry a
+``host.calibration_ops_per_second`` score (a fixed sha256 + heap-churn
+workload measured by the harness on the machine that produced the
+document), each side's events/sec is divided by its own score first, so a
+baseline recorded on a fast workstation remains comparable on a slower CI
+runner and vice versa.  Without calibration on both sides the raw numbers
+are compared (same-machine trajectories).
+
+The check fails (exit code 1) when the geometric-mean ratio over the
+shared cases drops by more than ``--max-regression`` (default 25%); the
+geometric mean — rather than any single case — keeps the gate robust
+against per-case wall-clock noise, while a real hot-path regression moves
+every case.  Per-case ratios are printed either way so a localized
+regression is still visible in the log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+from typing import Optional, Tuple
+
+
+def load(path: pathlib.Path) -> Tuple[dict, Optional[float]]:
+    document = json.loads(pathlib.Path(path).read_text())
+    cases = {case["name"]: case for case in document["cases"]}
+    calibration = document.get("host", {}).get("calibration_ops_per_second")
+    return cases, calibration
+
+
+def compare(
+    current_path: pathlib.Path,
+    baseline_path: pathlib.Path,
+    max_regression: float,
+    use_calibration: bool = True,
+) -> int:
+    current, current_cal = load(current_path)
+    baseline, baseline_cal = load(baseline_path)
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print("error: the two documents share no case names", file=sys.stderr)
+        return 2
+
+    normalize = use_calibration and current_cal and baseline_cal
+    if normalize:
+        print(
+            f"calibration: current {current_cal:,.0f} ops/s, "
+            f"baseline {baseline_cal:,.0f} ops/s — comparing normalized events/sec"
+        )
+        current_scale, baseline_scale = 1.0 / current_cal, 1.0 / baseline_cal
+    else:
+        print("calibration scores missing on one side — comparing raw events/sec")
+        current_scale = baseline_scale = 1.0
+
+    ratios = []
+    width = max(len(name) for name in shared)
+    print(f"{'case'.ljust(width)}  {'current':>12}  {'baseline':>12}  {'ratio':>7}")
+    for name in shared:
+        now = current[name]["events_per_second"]
+        then = baseline[name]["events_per_second"]
+        ratio = (now * current_scale) / (then * baseline_scale) if then else float("inf")
+        ratios.append(ratio)
+        print(f"{name.ljust(width)}  {now:>12,.0f}  {then:>12,.0f}  {ratio:>7.2f}")
+
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    floor = 1.0 - max_regression
+    print(f"\ngeomean ratio: {geomean:.3f}  (failure threshold: < {floor:.2f})")
+    if geomean < floor:
+        print(
+            f"FAIL: events/sec regressed by more than {max_regression:.0%} "
+            f"({geomean:.3f} of baseline)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("--max-regression", type=float, default=0.25)
+    parser.add_argument(
+        "--no-calibration",
+        action="store_true",
+        help="compare raw events/sec even when calibration scores are present",
+    )
+    args = parser.parse_args(argv)
+    return compare(
+        args.current,
+        args.baseline,
+        args.max_regression,
+        use_calibration=not args.no_calibration,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

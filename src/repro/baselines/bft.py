@@ -259,12 +259,7 @@ class QuorumBFTReplica(ReplicaBase):
                 del self._checkpoint_votes[seq]
 
     def _update_timer(self) -> None:
-        waiting = any(
-            slot.request is not None and not slot.committed
-            for slot in self.slots.uncommitted_slots()
-            if slot.ordering_message is not None
-        )
-        if waiting:
+        if self.slots.has_pending_proposal():
             self._request_timer.restart(self.config.request_timeout)
         else:
             self._request_timer.stop()

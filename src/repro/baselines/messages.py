@@ -16,6 +16,7 @@ from repro.smr.messages import (
     Request,
     _DIGEST_BYTES,
     _HEADER_BYTES,
+    _SEP,
     _SIGNATURE_BYTES,
 )
 
@@ -42,8 +43,11 @@ class AcceptRequest(ProtocolMessage):
             "digest": self.digest,
         }
 
+    def signing_bytes(self) -> bytes:
+        return (f"PAXOS-ACCEPT-REQUEST{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}").encode("utf-8")
+
     def wire_size(self) -> int:
-        return _HEADER_BYTES + _DIGEST_BYTES + self.request.wire_size()
+        return _HEADER_BYTES + _DIGEST_BYTES + self.request.cached_wire_size()
 
 
 @dataclass
@@ -65,6 +69,9 @@ class Accepted(ProtocolMessage):
             "digest": self.digest,
             "replica": self.replica_id,
         }
+
+    def signing_bytes(self) -> bytes:
+        return (f"PAXOS-ACCEPTED{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}{_SEP}{self.replica_id}").encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _DIGEST_BYTES
@@ -89,8 +96,11 @@ class Learn(ProtocolMessage):
             "digest": self.digest,
         }
 
+    def signing_bytes(self) -> bytes:
+        return (f"PAXOS-LEARN{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}").encode("utf-8")
+
     def wire_size(self) -> int:
-        return _HEADER_BYTES + _DIGEST_BYTES + self.request.wire_size()
+        return _HEADER_BYTES + _DIGEST_BYTES + self.request.cached_wire_size()
 
 
 # -- PBFT / S-UpRight (Byzantine fault tolerant) --------------------------------------
@@ -115,8 +125,11 @@ class BftPrePrepare(ProtocolMessage):
             "digest": self.digest,
         }
 
+    def signing_bytes(self) -> bytes:
+        return (f"BFT-PRE-PREPARE{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}").encode("utf-8")
+
     def wire_size(self) -> int:
-        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.wire_size()
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.cached_wire_size()
 
 
 @dataclass
@@ -138,6 +151,9 @@ class BftPrepare(ProtocolMessage):
             "digest": self.digest,
             "replica": self.replica_id,
         }
+
+    def signing_bytes(self) -> bytes:
+        return (f"BFT-PREPARE{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}{_SEP}{self.replica_id}").encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
@@ -162,6 +178,9 @@ class BftCommit(ProtocolMessage):
             "digest": self.digest,
             "replica": self.replica_id,
         }
+
+    def signing_bytes(self) -> bytes:
+        return (f"BFT-COMMIT{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}{_SEP}{self.replica_id}").encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
@@ -188,6 +207,9 @@ class BaselineCheckpoint(ProtocolMessage):
             "replica": self.replica_id,
         }
 
+    def signing_bytes(self) -> bytes:
+        return (f"BASELINE-CHECKPOINT{_SEP}{self.sequence}{_SEP}{self.state_digest}{_SEP}{self.replica_id}").encode("utf-8")
+
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
 
@@ -207,7 +229,7 @@ class BaselineEntry:
     def wire_size(self) -> int:
         size = 24 + _DIGEST_BYTES
         if self.request is not None:
-            size += self.request.wire_size()
+            size += self.request.cached_wire_size()
         return size
 
 

@@ -185,12 +185,7 @@ class PaxosReplica(ReplicaBase):
             self.slots.collect_below(executed - self.config.checkpoint_period)
 
     def _update_timer(self) -> None:
-        waiting = any(
-            slot.request is not None and not slot.committed
-            for slot in self.slots.uncommitted_slots()
-            if slot.ordering_message is not None
-        )
-        if waiting:
+        if self.slots.has_pending_proposal():
             self._request_timer.restart(self.config.request_timeout)
         else:
             self._request_timer.stop()

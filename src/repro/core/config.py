@@ -16,7 +16,7 @@ together with the quorum sizes of Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.batching import BatchPolicy
 from repro.core.modes import Mode
@@ -57,6 +57,14 @@ class SeeMoReConfig:
     request_timeout: float = 0.02
     view_change_timeout: float = 0.04
     batch_policy: BatchPolicy = field(default_factory=BatchPolicy)
+    # Memo for proxies_of_view, keyed by ``view mod public_size``.  Derived
+    # state only: excluded from equality/hash/repr, never serialized.
+    _proxy_cache: Dict[int, List[str]] = field(
+        default_factory=dict, init=False, compare=False, repr=False
+    )
+    _proxy_set_cache: Dict[int, frozenset] = field(
+        default_factory=dict, init=False, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.crash_tolerance < 0 or self.byzantine_tolerance < 0:
@@ -213,19 +221,39 @@ class SeeMoReConfig:
         A public replica with public-cloud index ``j`` is a proxy when
         ``(j - (v mod P)) mod P <= 3m``, which rotates the proxy set with
         the view and always makes the Peacock primary a proxy.
+
+        The result only depends on ``view mod P``, so it is memoized — every
+        vote-validity check consults the proxy set, making this one of the
+        hottest calls in the Dog and Peacock modes.  Callers must treat the
+        returned list as read-only.
         """
         if not mode.uses_proxies or not self.public_replicas:
             return []
         offset = view % self.public_size
-        proxies = [
-            replica_id
-            for index, replica_id in enumerate(self.public_replicas)
-            if (index - offset) % self.public_size <= 3 * self.byzantine_tolerance
-        ]
-        return proxies[: self.proxy_count]
+        cached = self._proxy_cache.get(offset)
+        if cached is None:
+            proxies = [
+                replica_id
+                for index, replica_id in enumerate(self.public_replicas)
+                if (index - offset) % self.public_size <= 3 * self.byzantine_tolerance
+            ]
+            cached = proxies[: self.proxy_count]
+            self._proxy_cache[offset] = cached
+        return cached
+
+    def proxy_set_of_view(self, view: int, mode: Mode) -> frozenset:
+        """Frozenset of :meth:`proxies_of_view`, memoized for membership tests."""
+        if not mode.uses_proxies or not self.public_replicas:
+            return frozenset()
+        offset = view % self.public_size
+        cached = self._proxy_set_cache.get(offset)
+        if cached is None:
+            cached = frozenset(self.proxies_of_view(view, mode))
+            self._proxy_set_cache[offset] = cached
+        return cached
 
     def is_proxy(self, replica_id: str, view: int, mode: Mode) -> bool:
-        return replica_id in self.proxies_of_view(view, mode)
+        return replica_id in self.proxy_set_of_view(view, mode)
 
     def participants(self, view: int, mode: Mode) -> List[str]:
         """Replicas that actively vote in the agreement of ``view``."""

@@ -100,7 +100,7 @@ class DogStrategy(ModeStrategy):
             return
         if not replica.valid_view(message.view):
             return
-        if src not in replica.current_proxies():
+        if not replica.is_current_proxy(src):
             return
         if not message.verify(replica.verifier, expected_signer=src):
             return
@@ -136,7 +136,7 @@ class DogStrategy(ModeStrategy):
             return
         if not replica.valid_view(message.view):
             return
-        if src not in replica.current_proxies():
+        if not replica.is_current_proxy(src):
             return
         if not message.verify(replica.verifier, expected_signer=src):
             return
@@ -155,7 +155,7 @@ class DogStrategy(ModeStrategy):
             return
         if not replica.valid_view(message.view):
             return
-        if src not in replica.current_proxies():
+        if not replica.is_current_proxy(src):
             return
         if not message.verify(replica.verifier, expected_signer=src):
             return

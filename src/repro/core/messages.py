@@ -32,6 +32,7 @@ from repro.smr.messages import (
     requests_of,
     _DIGEST_BYTES,
     _HEADER_BYTES,
+    _SEP,
     _SIGNATURE_BYTES,
 )
 
@@ -57,8 +58,13 @@ class Prepare(ProtocolMessage):
             "mode": self.mode,
         }
 
+    def signing_bytes(self) -> bytes:
+        return (
+            f"PREPARE{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}{_SEP}{self.mode}"
+        ).encode("utf-8")
+
     def wire_size(self) -> int:
-        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.wire_size()
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.cached_wire_size()
 
 
 @dataclass
@@ -82,6 +88,12 @@ class Accept(ProtocolMessage):
             "replica": self.replica_id,
             "mode": self.mode,
         }
+
+    def signing_bytes(self) -> bytes:
+        return (
+            f"ACCEPT{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
+            f"{_SEP}{self.replica_id}{_SEP}{self.mode}"
+        ).encode("utf-8")
 
     def wire_size(self) -> int:
         size = _HEADER_BYTES + _DIGEST_BYTES
@@ -111,10 +123,16 @@ class Commit(ProtocolMessage):
             "mode": self.mode,
         }
 
+    def signing_bytes(self) -> bytes:
+        return (
+            f"COMMIT{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
+            f"{_SEP}{self.replica_id}{_SEP}{self.mode}"
+        ).encode("utf-8")
+
     def wire_size(self) -> int:
         size = _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
         if self.request is not None:
-            size += self.request.wire_size()
+            size += self.request.cached_wire_size()
         return size
 
 
@@ -139,8 +157,14 @@ class PrePrepare(ProtocolMessage):
             "mode": self.mode,
         }
 
+    def signing_bytes(self) -> bytes:
+        return (
+            f"PRE-PREPARE{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
+            f"{_SEP}{self.mode}"
+        ).encode("utf-8")
+
     def wire_size(self) -> int:
-        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.wire_size()
+        return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.cached_wire_size()
 
 
 @dataclass
@@ -164,6 +188,12 @@ class ProxyPrepare(ProtocolMessage):
             "replica": self.replica_id,
             "mode": self.mode,
         }
+
+    def signing_bytes(self) -> bytes:
+        return (
+            f"PROXY-PREPARE{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
+            f"{_SEP}{self.replica_id}{_SEP}{self.mode}"
+        ).encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
@@ -191,6 +221,12 @@ class Inform(ProtocolMessage):
             "mode": self.mode,
         }
 
+    def signing_bytes(self) -> bytes:
+        return (
+            f"INFORM{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
+            f"{_SEP}{self.replica_id}{_SEP}{self.mode}"
+        ).encode("utf-8")
+
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
 
@@ -215,6 +251,12 @@ class Checkpoint(ProtocolMessage):
             "mode": self.mode,
         }
 
+    def signing_bytes(self) -> bytes:
+        return (
+            f"CHECKPOINT{_SEP}{self.sequence}{_SEP}{self.state_digest}"
+            f"{_SEP}{self.replica_id}{_SEP}{self.mode}"
+        ).encode("utf-8")
+
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
 
@@ -238,7 +280,7 @@ class PreparedEntry:
     def wire_size(self) -> int:
         size = 24 + _DIGEST_BYTES
         if self.request is not None:
-            size += self.request.wire_size()
+            size += self.request.cached_wire_size()
         return size
 
 

@@ -104,7 +104,7 @@ class PeacockStrategy(ModeStrategy):
             return
         if not replica.valid_view(message.view):
             return
-        if src not in replica.current_proxies():
+        if not replica.is_current_proxy(src):
             return
         if not message.verify(replica.verifier, expected_signer=src):
             return
@@ -141,7 +141,7 @@ class PeacockStrategy(ModeStrategy):
             return
         if not replica.valid_view(message.view):
             return
-        if src not in replica.current_proxies():
+        if not replica.is_current_proxy(src):
             return
         if not message.verify(replica.verifier, expected_signer=src):
             return
@@ -163,7 +163,7 @@ class PeacockStrategy(ModeStrategy):
             return
         if not replica.valid_view(message.view):
             return
-        if src not in replica.current_proxies():
+        if not replica.is_current_proxy(src):
             return
         if not message.verify(replica.verifier, expected_signer=src):
             return

@@ -83,6 +83,7 @@ class SeeMoReReplica(ReplicaBase):
             propose=self._propose_payload,
         )
         self._assigned_sequences: Dict[tuple, int] = {}
+        self._assignment_generation = 0
         self._request_timer = self.create_timer(self._on_request_timeout, "request-timeout")
 
         # Catch-up (state transfer) bookkeeping: a replica that falls far
@@ -125,10 +126,14 @@ class SeeMoReReplica(ReplicaBase):
     def current_proxies(self) -> List[str]:
         return self.config.proxies_of_view(self.view, self.mode)
 
+    def is_current_proxy(self, node_id: str) -> bool:
+        """Membership test against the current proxy set (memoized frozenset)."""
+        return node_id in self.config.proxy_set_of_view(self.view, self.mode)
+
     def is_proxy(self) -> bool:
         if self.mode is Mode.LION:
             return False
-        return self.node_id in self.current_proxies()
+        return self.is_current_proxy(self.node_id)
 
     def other_replicas(self) -> List[str]:
         return [replica for replica in self.config.all_replicas if replica != self.node_id]
@@ -198,6 +203,9 @@ class SeeMoReReplica(ReplicaBase):
 
     def clear_assignments(self) -> None:
         self._assigned_sequences.clear()
+        # Invalidate every slot's "already bookkept" stamp: re-proposed
+        # payloads must re-record their assignments in the new view.
+        self._assignment_generation += 1
 
     def prune_assignments(self, watermark: int) -> None:
         """Drop assignment records for garbage-collected slots.
@@ -240,6 +248,10 @@ class SeeMoReReplica(ReplicaBase):
             slot.request = None
             slot.ordering_message = None
             slot.votes.clear()
+            # The superseding payload must be re-walked below even within
+            # the same assignment generation — the old payload's entries
+            # are stale now.
+            slot.bookkept_generation = -1
         if slot.digest is None:
             slot.digest = digest_value
         if slot.request is None:
@@ -247,14 +259,25 @@ class SeeMoReReplica(ReplicaBase):
         if ordering_message is not None and slot.ordering_message is None:
             slot.ordering_message = ordering_message
         slot.view = self.view
-        for inner in requests_of(request):
-            self.remember_request(inner)
-        # Record the sequence assignment here, on every path that fills a
-        # slot — including new-view re-proposals, which run *after*
-        # clear_assignments().  Without this, a client retransmission
-        # arriving at the new primary while its re-proposed slot is still
-        # uncommitted would be assigned a second sequence number.
-        self.mark_assigned(request, sequence)
+        # One pass over the payload records both the known-request entry and
+        # the sequence assignment (same key).  Assignments must be recorded
+        # on every path that fills a slot — including new-view re-proposals,
+        # which run *after* clear_assignments().  Without this, a client
+        # retransmission arriving at the new primary while its re-proposed
+        # slot is still uncommitted would be assigned a second sequence
+        # number.  A slot whose payload object was already walked in the
+        # current assignment generation (e.g. the commit that follows the
+        # prepare carries the same batch) skips the walk — the writes would
+        # be byte-identical.
+        generation = self._assignment_generation
+        if slot.request is not request or slot.bookkept_generation != generation:
+            known = self._known_requests
+            assigned = self._assigned_sequences
+            for inner in requests_of(request):
+                key = (inner.client_id, inner.timestamp)
+                known[key] = inner
+                assigned[key] = sequence
+            slot.bookkept_generation = generation
         return slot
 
     def finalize_commit(self, slot: Slot, send_reply: bool) -> List[ExecutionResult]:
@@ -344,12 +367,7 @@ class SeeMoReReplica(ReplicaBase):
 
     def _update_request_timer(self) -> None:
         """Stop the timer when nothing is in flight, else re-arm it."""
-        waiting = any(
-            slot.request is not None and not slot.committed
-            for slot in self.slots.uncommitted_slots()
-            if slot.ordering_message is not None
-        )
-        if waiting:
+        if self.slots.has_pending_proposal():
             self._request_timer.restart(self.config.request_timeout)
         else:
             self._request_timer.stop()

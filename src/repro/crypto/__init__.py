@@ -14,7 +14,7 @@ performance impact of authentication is visible in the benchmarks, exactly
 as it is on the paper's EC2 testbed.
 """
 
-from repro.crypto.digest import digest, digest_bytes
+from repro.crypto.digest import digest, digest_bytes, digest_of
 from repro.crypto.keys import KeyStore
 from repro.crypto.signatures import (
     InvalidSignatureError,
@@ -27,6 +27,7 @@ from repro.crypto.costs import CryptoCostModel
 __all__ = [
     "digest",
     "digest_bytes",
+    "digest_of",
     "KeyStore",
     "Signature",
     "Signer",

@@ -3,6 +3,14 @@
 The protocols never compare full request payloads; they compare digests
 (``D(µ)`` in the paper's notation).  We use SHA-256 over a canonical
 serialization of the message content.
+
+Canonicalization (``json.dumps(sort_keys=True)``) dominates the simulator's
+CPU profile when recomputed per replica per hop, so protocol messages carry
+a *content-addressed digest cache*: :func:`digest_of` computes the canonical
+digest of an object's wire form exactly once per object lifetime and stores
+it on the object.  ``copy.copy`` of a protocol message deliberately drops
+the cache (see ``ProtocolMessage.__copy__``), so Byzantine twists that copy
+and mutate a message can never inherit a stale digest.
 """
 
 from __future__ import annotations
@@ -10,6 +18,15 @@ from __future__ import annotations
 import hashlib
 import json
 from typing import Any
+
+#: Attribute under which :func:`digest_of` caches a message's content digest.
+DIGEST_CACHE_ATTR = "_content_digest"
+#: Attribute under which ``ProtocolMessage.cached_wire_size`` caches the
+#: serialized size estimate (shared with the net layer's fast probe).
+WIRE_SIZE_CACHE_ATTR = "_wire_size"
+#: Guard flag set alongside any cached wire form; lets the message mixin's
+#: ``__setattr__`` test "is there anything to invalidate?" with one probe.
+HAS_CACHE_FLAG = "_has_wire_caches"
 
 
 def _canonical_bytes(value: Any) -> bytes:
@@ -45,3 +62,50 @@ def digest(value: Any) -> str:
     True
     """
     return digest_bytes(_canonical_bytes(value))
+
+
+def digest_of(message: Any) -> str:
+    """Content-addressed digest of a message, canonicalized at most once.
+
+    For objects exposing ``signing_content()`` (every protocol message) the
+    digest covers that canonical wire form and is cached on the object, so
+    the 3f+1 replicas of a simulated deployment — which all receive the same
+    Python object — canonicalize and hash it exactly once in total.  Objects
+    exposing ``wire_form()`` (the frozen-signing-content accessor on
+    :class:`~repro.smr.messages.ProtocolMessage`) additionally reuse the
+    cached content dict.  Plain values fall back to :func:`digest`.
+
+    The cache lives in the instance ``__dict__`` and is **not** inherited by
+    ``copy.copy`` of a protocol message; mutate-after-copy attack helpers
+    therefore always recompute, which the Byzantine regression tests pin.
+    """
+    try:
+        instance_dict = message.__dict__
+    except AttributeError:
+        instance_dict = None
+    else:
+        cached = instance_dict.get(DIGEST_CACHE_ATTR)
+        if cached is not None:
+            return cached
+    signing_bytes = getattr(message, "signing_bytes", None)
+    if callable(signing_bytes):
+        # Hot message types define a flat canonical byte form that encodes
+        # the same fields as their signing content without a JSON pass.
+        result = digest_bytes(signing_bytes())
+    else:
+        wire_form = getattr(message, "wire_form", None)
+        if callable(wire_form):
+            value = wire_form()
+        else:
+            signing_content = getattr(message, "signing_content", None)
+            if callable(signing_content):
+                value = signing_content()
+            else:
+                # Plain values (dicts, strings, ...) have no stable identity
+                # to hang a cache off; hash them directly.
+                return digest(message)
+        result = digest_bytes(_canonical_bytes(value))
+    if instance_dict is not None:
+        instance_dict[DIGEST_CACHE_ATTR] = result
+        instance_dict[HAS_CACHE_FLAG] = True
+    return result

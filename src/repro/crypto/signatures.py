@@ -19,7 +19,7 @@ import hmac
 from dataclasses import dataclass
 from typing import Any, Dict
 
-from repro.crypto.digest import digest
+from repro.crypto.digest import digest_of
 
 
 class InvalidSignatureError(Exception):
@@ -59,13 +59,29 @@ class Signer:
         return self._node_id
 
     def sign(self, message: Any) -> Signature:
-        """Sign an arbitrary message value (hashed canonically first)."""
-        payload_digest = digest(message)
-        return Signature(
+        """Sign an arbitrary message value (hashed canonically first).
+
+        Protocol messages reuse their content-addressed digest cache, so a
+        message is canonicalized at most once across sign and every verify.
+        """
+        return self.sign_digest(digest_of(message))
+
+    def sign_digest(self, payload_digest: str) -> Signature:
+        """Sign an already-computed canonical content digest.
+
+        The fresh signature is born with a warm verification memo for the
+        signing secret: ``verify_digest`` would recompute exactly the HMAC
+        produced here and compare it to itself, so the ``True`` entry is
+        correct by construction.  Forged or corrupted signatures are built
+        directly (never through here) and always pay the real HMAC check.
+        """
+        signature = Signature(
             signer_id=self._node_id,
             payload_digest=payload_digest,
             tag=_compute_tag(self._secret, payload_digest),
         )
+        signature.__dict__["_tag_ok_by_secret"] = {self._secret: True}
+        return signature
 
     def forge(self, message: Any, claimed_signer: str) -> Signature:
         """Produce a *bogus* signature claiming to be from ``claimed_signer``.
@@ -73,7 +89,7 @@ class Signer:
         Used only by Byzantine attack strategies.  The tag is computed with
         this node's own secret, so any correct verifier rejects it.
         """
-        payload_digest = digest(message)
+        payload_digest = digest_of(message)
         return Signature(
             signer_id=claimed_signer,
             payload_digest=payload_digest,
@@ -89,14 +105,34 @@ class Verifier:
 
     def verify(self, message: Any, signature: Signature) -> bool:
         """Return ``True`` iff ``signature`` is a valid tag by its claimed signer."""
+        return self.verify_digest(digest_of(message), signature)
+
+    def verify_digest(self, payload_digest: str, signature: Signature) -> bool:
+        """Verify a signature against an already-computed content digest.
+
+        The HMAC check is memoized on the (immutable) signature object,
+        keyed by the claimed signer's secret: a multicast message carries
+        one ``Signature`` that every receiver re-verifies, and the tag
+        comparison is a pure function of ``(secret, payload_digest, tag)``
+        — all frozen — so recomputing it per receiver is pure waste.  The
+        content-vs-digest comparison above the cache still runs per call,
+        so a mismatched message is always rejected.
+        """
         secret = self._secrets.get(signature.signer_id)
         if secret is None:
             return False
-        payload_digest = digest(message)
         if payload_digest != signature.payload_digest:
             return False
-        expected = _compute_tag(secret, payload_digest)
-        return hmac.compare_digest(expected, signature.tag)
+        cache = signature.__dict__.get("_tag_ok_by_secret")
+        if cache is None:
+            cache = {}
+            signature.__dict__["_tag_ok_by_secret"] = cache
+        ok = cache.get(secret)
+        if ok is None:
+            expected = _compute_tag(secret, payload_digest)
+            ok = hmac.compare_digest(expected, signature.tag)
+            cache[secret] = ok
+        return ok
 
     def require_valid(self, message: Any, signature: Signature) -> None:
         """Raise :class:`InvalidSignatureError` unless the signature verifies."""

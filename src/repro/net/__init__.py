@@ -19,7 +19,6 @@ from repro.net.latency import (
     LatencyModel,
     UniformLatencyModel,
 )
-from repro.net.message import Envelope
 from repro.net.conditions import NetworkConditions
 from repro.net.costs import NodeCostModel
 from repro.net.network import Network
@@ -31,7 +30,6 @@ __all__ = [
     "LatencyModel",
     "UniformLatencyModel",
     "CloudAwareLatencyModel",
-    "Envelope",
     "NetworkConditions",
     "NodeCostModel",
     "Network",

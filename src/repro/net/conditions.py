@@ -25,27 +25,45 @@ class NetworkConditions:
         self._extra_delay: Dict[Tuple[str, str], float] = {}
         self._partitions: list[FrozenSet[str]] = []
         self._duplicated_links: Set[Tuple[str, str]] = set()
+        # Fast-path flag: the delivery loop skips the per-message pathology
+        # checks entirely while no condition is configured (the overwhelming
+        # steady state).  Every mutator refreshes it.
+        self.quiet = True
+
+    def _refresh_quiet(self) -> None:
+        self.quiet = not (
+            self._partitions
+            or self._drop_probability
+            or self._default_drop_probability > 0.0
+            or self._extra_delay
+            or self._duplicated_links
+        )
 
     def set_default_drop_probability(self, probability: float) -> None:
         self._validate_probability(probability)
         self._default_drop_probability = probability
+        self._refresh_quiet()
 
     def set_drop_probability(self, src: str, dst: str, probability: float) -> None:
         self._validate_probability(probability)
         self._drop_probability[(src, dst)] = probability
+        self._refresh_quiet()
 
     def set_extra_delay(self, src: str, dst: str, delay: float) -> None:
         """Add a fixed extra delay on a directed link (adversarial slowness)."""
         if delay < 0:
             raise ValueError(f"extra delay cannot be negative: {delay}")
         self._extra_delay[(src, dst)] = delay
+        self._refresh_quiet()
 
     def clear_extra_delays(self) -> None:
         self._extra_delay.clear()
+        self._refresh_quiet()
 
     def duplicate_link(self, src: str, dst: str) -> None:
         """Deliver every message on this link twice (duplication pathology)."""
         self._duplicated_links.add((src, dst))
+        self._refresh_quiet()
 
     def partition(self, *groups: Set[str]) -> None:
         """Partition the network into the given groups.
@@ -55,9 +73,11 @@ class NetworkConditions:
         everyone (useful for partial partitions).
         """
         self._partitions = [frozenset(group) for group in groups]
+        self._refresh_quiet()
 
     def heal_partition(self) -> None:
         self._partitions = []
+        self._refresh_quiet()
 
     def should_drop(self, src: str, dst: str, rng: random.Random) -> bool:
         """Decide whether a message on ``src -> dst`` is lost."""

@@ -11,6 +11,7 @@ latency-throughput curves of Figures 2 and 3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 from repro.crypto.costs import CryptoCostModel
 
@@ -39,6 +40,14 @@ class NodeCostModel:
     execute_cost: float = 2e-6
     bandwidth_bytes_per_second: float = 1.25e9
     crypto: CryptoCostModel = field(default_factory=CryptoCostModel)
+    # Memo for the pure cost functions, keyed by their int/bool arguments.
+    # A steady-state run sees only a handful of distinct message sizes, so
+    # the arithmetic (and crypto sub-model calls) would otherwise repeat on
+    # every delivery.  A plain instance dict beats ``functools.lru_cache``
+    # here: the lru would re-hash this (frozen, nested) dataclass per call.
+    _cost_memo: Dict[Tuple, float] = field(
+        default_factory=dict, init=False, compare=False, repr=False
+    )
 
     def receive_cost(self, size_bytes: int, signed: bool, verify_signatures: int = 1) -> float:
         """CPU cost to accept one incoming message.
@@ -50,12 +59,17 @@ class NodeCostModel:
             verify_signatures: how many signatures must be verified (e.g. a
                 new-view message embeds several).
         """
+        key = (size_bytes, signed, verify_signatures)
+        cached = self._cost_memo.get(key)
+        if cached is not None:
+            return cached
         cost = self.handle_base_cost + self.handle_per_byte * size_bytes
         cost += self.crypto.digest_cost(size_bytes)
         if signed:
             cost += self.crypto.verify_cost * max(1, verify_signatures)
         else:
             cost += self.crypto.mac_cost
+        self._cost_memo[key] = cost
         return cost
 
     def send_cost(self, size_bytes: int, signed: bool) -> float:
@@ -65,11 +79,16 @@ class NodeCostModel:
         responsible for charging it only once per multicast (a replica signs
         the message once and sends the same bytes to everyone).
         """
+        key = (size_bytes, signed)
+        cached = self._cost_memo.get(key)
+        if cached is not None:
+            return cached
         cost = self.send_base_cost + self.send_per_byte * size_bytes
         if signed:
             cost += self.crypto.sign_cost
         else:
             cost += self.crypto.mac_cost
+        self._cost_memo[key] = cost
         return cost
 
     def transmission_delay(self, size_bytes: int) -> float:

@@ -40,7 +40,8 @@ class UniformLatencyModel(LatencyModel):
     jitter: float = 0.00005
 
     def sample(self, src: str, dst: str, rng: random.Random) -> float:
-        return self.base + rng.uniform(0.0, self.jitter)
+        # One underlying draw, same value as ``rng.uniform(0.0, jitter)``.
+        return self.base + rng.random() * self.jitter
 
 
 @dataclass
@@ -61,6 +62,12 @@ class CloudAwareLatencyModel(LatencyModel):
     client_link: float = 0.0003
     jitter_fraction: float = 0.1
 
+    def __post_init__(self) -> None:
+        # Placement is immutable for the lifetime of a deployment, so the
+        # base latency of each directed link is computed once; sampling a
+        # latency per delivery then costs one dict probe and one RNG draw.
+        self._base_cache: dict = {}
+
     def classify(self, src: str, dst: str) -> str:
         """Return the link class: ``intra``, ``cross`` or ``client``."""
         src_cloud = self.placement.cloud_of(src)
@@ -72,16 +79,22 @@ class CloudAwareLatencyModel(LatencyModel):
         return "cross"
 
     def base_for(self, src: str, dst: str) -> float:
-        link_class = self.classify(src, dst)
-        if link_class == "client":
-            return self.client_link
-        if link_class == "intra":
-            return self.intra_cloud
-        return self.cross_cloud
+        cached = self._base_cache.get((src, dst))
+        if cached is None:
+            link_class = self.classify(src, dst)
+            if link_class == "client":
+                cached = self.client_link
+            elif link_class == "intra":
+                cached = self.intra_cloud
+            else:
+                cached = self.cross_cloud
+            self._base_cache[(src, dst)] = cached
+        return cached
 
     def sample(self, src: str, dst: str, rng: random.Random) -> float:
-        base = self.base_for(src, dst)
-        return base * (1.0 + rng.uniform(0.0, self.jitter_fraction))
+        # Same value and same single underlying draw as
+        # ``rng.uniform(0.0, jitter_fraction)``, without the extra frame.
+        return self.base_for(src, dst) * (1.0 + rng.random() * self.jitter_fraction)
 
 
 def lan_latency(placement: Placement, cross_cloud: Optional[float] = None) -> CloudAwareLatencyModel:

@@ -13,12 +13,12 @@ from __future__ import annotations
 
 import random
 from collections import Counter
+from functools import partial
 from typing import Any, Dict, Optional
 
 from repro.net.conditions import NetworkConditions
 from repro.net.costs import NodeCostModel
 from repro.net.latency import LatencyModel, UniformLatencyModel
-from repro.net.message import Envelope
 from repro.net.node import Node
 from repro.sim.simulator import Simulator
 
@@ -40,12 +40,19 @@ class Network:
         self.cost_model = cost_model or NodeCostModel()
         self._rng = random.Random(seed)
         self._nodes: Dict[str, Node] = {}
+        # Precomputed reciprocal: transmission delay is size * this, and a
+        # method call per delivery into the (frozen) cost model is wasted.
+        bandwidth = self.cost_model.bandwidth_bytes_per_second
+        self._seconds_per_byte = 1.0 / bandwidth if bandwidth > 0 else 0.0
 
         self.messages_offered = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_delivered = 0
-        self.message_type_counts: Counter = Counter()
+        # Keyed by message *class* on the hot path (hashing a class is
+        # cheaper than building its __name__ string per delivery); exposed
+        # by name via :attr:`message_type_counts` / :meth:`stats`.
+        self._type_counts: Counter = Counter()
 
     # -- membership -------------------------------------------------------
 
@@ -80,48 +87,57 @@ class Network:
         removed by an experiment).
         """
         self.messages_offered += 1
-        self.message_type_counts[type(payload).__name__] += 1
+        self._type_counts[type(payload)] += 1
 
         destination = self._nodes.get(dst)
         if destination is None:
             self.messages_dropped += 1
             return
-        if self.conditions.should_drop(src, dst, self._rng):
-            self.messages_dropped += 1
+
+        # Per-delivery bookkeeping is batched into one closure: no envelope
+        # object or f-string label on the hot path (labels only matter for
+        # debugging traces; the src/dst live in the closure).  The
+        # pathology checks collapse to a single flag read while no drop /
+        # partition / delay / duplication condition is configured.
+        conditions = self.conditions
+        if conditions.quiet:
+            delay = self._total_delay(src, dst, size_bytes)
+            self.simulator.defer(delay, partial(self._arrive, src, dst, payload, size_bytes))
             return
 
-        envelope = Envelope(
-            src=src,
-            dst=dst,
-            payload=payload,
-            size_bytes=size_bytes,
-            sent_at=self.simulator.now,
-        )
+        if conditions.should_drop(src, dst, self._rng):
+            self.messages_dropped += 1
+            return
         delay = self._total_delay(src, dst, size_bytes)
-        self.simulator.call_later(delay, lambda: self._arrive(envelope), label=f"net:{src}->{dst}")
-
-        if self.conditions.is_duplicated(src, dst):
+        self.simulator.defer(delay, partial(self._arrive, src, dst, payload, size_bytes))
+        if conditions.is_duplicated(src, dst):
             duplicate_delay = self._total_delay(src, dst, size_bytes)
-            self.simulator.call_later(
-                duplicate_delay, lambda: self._arrive(envelope), label=f"net-dup:{src}->{dst}"
+            self.simulator.defer(
+                duplicate_delay, partial(self._arrive, src, dst, payload, size_bytes)
             )
 
     def _total_delay(self, src: str, dst: str, size_bytes: int) -> float:
         latency = self.latency_model.sample(src, dst, self._rng)
-        transmission = self.cost_model.transmission_delay(size_bytes)
-        extra = self.conditions.extra_delay(src, dst)
-        return latency + transmission + extra
+        transmission = size_bytes * self._seconds_per_byte
+        if self.conditions.quiet:
+            return latency + transmission
+        return latency + transmission + self.conditions.extra_delay(src, dst)
 
-    def _arrive(self, envelope: Envelope) -> None:
-        destination = self._nodes.get(envelope.dst)
+    def _arrive(self, src: str, dst: str, payload: Any, size_bytes: int) -> None:
+        destination = self._nodes.get(dst)
         if destination is None:
             self.messages_dropped += 1
             return
         self.messages_delivered += 1
-        self.bytes_delivered += envelope.size_bytes
-        destination.deliver(envelope.src, envelope.payload, envelope.size_bytes)
+        self.bytes_delivered += size_bytes
+        destination.deliver(src, payload, size_bytes)
 
     # -- statistics -------------------------------------------------------
+
+    @property
+    def message_type_counts(self) -> Counter:
+        """Offered-message counts keyed by message type *name*."""
+        return Counter({cls.__name__: count for cls, count in self._type_counts.items()})
 
     def stats(self) -> Dict[str, Any]:
         """Snapshot of delivery counters (useful in benches and tests)."""

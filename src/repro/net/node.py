@@ -15,8 +15,10 @@ Message accounting follows the paper's deployment:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Iterable, Optional, TYPE_CHECKING
 
+from repro.crypto.digest import WIRE_SIZE_CACHE_ATTR
 from repro.net.costs import NodeCostModel
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator, Timer
@@ -29,8 +31,20 @@ def wire_size_of(payload: Any) -> int:
     """Serialized size in bytes of a protocol message.
 
     Messages may expose ``wire_size()``; otherwise we approximate with the
-    length of the repr, which is stable enough for cost purposes.
+    length of the repr, which is stable enough for cost purposes.  Protocol
+    messages cache the estimate (batch sizes walk every inner request, and
+    the same object is re-sized on every retransmission and relay); the
+    cache is dropped by ``copy.copy`` together with the digest caches.
     """
+    try:
+        cached = payload.__dict__.get(WIRE_SIZE_CACHE_ATTR)
+    except AttributeError:
+        cached = None
+    if cached is not None:
+        return cached
+    cached_fn = getattr(payload, "cached_wire_size", None)
+    if callable(cached_fn):
+        return cached_fn()
     size_fn = getattr(payload, "wire_size", None)
     if callable(size_fn):
         return int(size_fn())
@@ -103,11 +117,12 @@ class Node:
 
     def send(self, dst: str, payload: Any) -> None:
         """Send one message to one destination, charging send-side CPU."""
-        if self.crashed:
+        process = self.process
+        if process.crashed:
             return
         size = wire_size_of(payload)
         cost = self.cost_model.send_cost(size, is_signed(payload))
-        self.process.submit(cost, lambda: self._transmit(dst, payload, size))
+        process.submit(cost, partial(self._transmit, dst, payload, size))
 
     def multicast(self, destinations: Iterable[str], payload: Any) -> None:
         """Send the same message to many destinations.
@@ -115,7 +130,7 @@ class Node:
         The content is signed once; each destination then costs only the
         per-message serialization and channel MAC.
         """
-        if self.crashed:
+        if self.process.crashed:
             return
         targets = [dst for dst in destinations if dst != self.node_id]
         if not targets:
@@ -133,7 +148,7 @@ class Node:
         self.process.submit(total_cost, transmit_all)
 
     def _transmit(self, dst: str, payload: Any, size: int) -> None:
-        if self.crashed:
+        if self.process.crashed:
             return
         self.messages_sent += 1
         self.bytes_sent += size
@@ -147,13 +162,20 @@ class Node:
         The message waits in the CPU queue and is handled once the CPU has
         paid its receive cost.  Crashed nodes drop everything.
         """
-        if self.crashed:
+        process = self.process
+        if process.crashed:
             return
-        cost = self.cost_model.receive_cost(size, is_signed(payload), signature_count_of(payload))
-        self.process.submit(cost, lambda: self._handle(src, payload))
+        # Inlined is_signed / signature_count_of: two getattrs and a call
+        # frame per delivery add up at hundreds of thousands of messages.
+        if getattr(payload, "signed", False):
+            count = getattr(payload, "signature_count", None)
+            cost = self.cost_model.receive_cost(size, True, 1 if count is None else int(count))
+        else:
+            cost = self.cost_model.receive_cost(size, False, 0)
+        process.submit(cost, partial(self._handle, src, payload))
 
     def _handle(self, src: str, payload: Any) -> None:
-        if self.crashed:
+        if self.process.crashed:
             return
         self.messages_handled += 1
         self.handle_message(src, payload)

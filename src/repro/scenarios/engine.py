@@ -203,6 +203,11 @@ class ScenarioResult:
     events_applied: List[Tuple[float, str]] = field(default_factory=list)
     invariant_violations: Dict[str, List[str]] = field(default_factory=dict)
     expectation_failures: List[str] = field(default_factory=list)
+    # Engine telemetry for the perf harness — scalars, not the deployment
+    # itself, so results can be aggregated without pinning every replica
+    # graph and event heap in memory.
+    events_processed: int = 0
+    simulated_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -364,6 +369,8 @@ def run_scenario(
         events_applied=events_applied,
         invariant_violations=violations,
         expectation_failures=expectation_failures,
+        events_processed=simulator.events_processed,
+        simulated_seconds=simulator.now,
     )
 
 

@@ -4,16 +4,31 @@ Events are ordered by ``(time, sequence)`` where ``sequence`` is a strictly
 increasing insertion counter.  Ties on time therefore resolve in FIFO order,
 which keeps the simulation deterministic regardless of dict/set iteration
 order in higher layers.
+
+Two hot-path design points:
+
+* the heap stores ``(time, seq, event)`` tuples, so ordering is resolved by
+  C-level tuple comparison instead of a Python ``__lt__`` per sift step —
+  the event loop compares millions of entries per simulated second;
+* cancelled events stay in the heap (cancellation is O(1)) but the queue
+  counts them and **auto-compacts** once they exceed half the heap, so
+  timer-heavy runs (every request arms and disarms a view-change timer) no
+  longer grow the heap until someone calls :meth:`EventQueue.discard_cancelled`
+  by hand.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Auto-compaction floor: tiny heaps are never worth rebuilding.
+_COMPACT_MIN_HEAP = 64
+#: Auto-compaction trigger: cancelled fraction of the heap above which a
+#: :meth:`EventQueue.discard_cancelled` pass runs automatically.
+_COMPACT_FRACTION = 0.5
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
@@ -26,24 +41,51 @@ class Event:
         label: optional human-readable tag used in traces and debugging.
     """
 
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "seq", "action", "cancelled", "label", "fired", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[], None],
+        cancelled: bool = False,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = cancelled
+        self.label = label
+        self.fired = False
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
-        """Mark the event so the simulator skips it when popped."""
-        self.cancelled = True
+        """Mark the event so the simulator skips it when popped.
+
+        Routes through the owning queue so live/cancelled accounting (and
+        auto-compaction) stays exact no matter which cancel API a caller
+        uses; idempotent, and a no-op once the event has fired.
+        """
+        queue = self._queue
+        if queue is not None:
+            queue.cancel(self)
+        else:
+            self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time}, seq={self.seq}, {state}, label={self.label!r})"
 
 
 class EventQueue:
     """Min-heap of :class:`Event` objects keyed by (time, seq)."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Entries are ``(time, seq, Event | bare callable)``; see push_action.
+        self._heap: List[Tuple[float, int, Any]] = []
         self._counter = 0
         self._live = 0
+        self._cancelled_in_heap = 0
 
     def __len__(self) -> int:
         return self._live
@@ -51,37 +93,136 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    @property
+    def cancelled_in_heap(self) -> int:
+        """Cancelled entries still occupying heap slots (for diagnostics)."""
+        return self._cancelled_in_heap
+
+    @property
+    def heap_size(self) -> int:
+        """Total heap entries, live and cancelled (for diagnostics)."""
+        return len(self._heap)
+
     def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Insert a new event and return it (so callers may cancel it)."""
         event = Event(time=time, seq=self._counter, action=action, label=label)
+        event._queue = self
         self._counter += 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, event.seq, event))
         return event
 
+    def push_action(self, time: float, action: Callable[[], None]) -> None:
+        """Insert a fire-and-forget callback without the :class:`Event` shell.
+
+        The overwhelming majority of events — CPU work completions, network
+        arrivals — are never cancelled and never inspected, so the heap
+        stores their bare callable.  Use :meth:`push` whenever the caller
+        may need to cancel.
+        """
+        self._counter += 1
+        self._live += 1
+        heapq.heappush(self._heap, (time, self._counter - 1, action))
+
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
+        """Remove and return the earliest non-cancelled event, or ``None``.
+
+        Bare callbacks pushed via :meth:`push_action` are wrapped in a
+        fired :class:`Event` so every caller sees one interface.
+        """
+        heap = self._heap
+        while heap:
+            time, seq, payload = heapq.heappop(heap)
+            if payload.__class__ is Event:
+                if payload.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                payload.fired = True
+                self._live -= 1
+                return payload
             self._live -= 1
+            event = Event(time=time, seq=seq, action=payload)
+            event.fired = True
             return event
+        return None
+
+    def pop_due(self, until: Optional[float]) -> Optional[Tuple[float, Callable[[], None]]]:
+        """Pop the earliest live ``(time, action)`` firing at or before ``until``.
+
+        Returns ``None`` when the queue is empty *or* the next live event
+        fires after ``until`` (callers distinguish via :meth:`peek_time`,
+        which is O(1) right after this returns ``None``).  This is the event
+        loop's single heap operation per iteration — a separate
+        peek-then-pop would sift the heap twice per event.
+        """
+        heap = self._heap
+        while heap:
+            time, _, payload = heap[0]
+            if payload.__class__ is Event:
+                if payload.cancelled:
+                    heapq.heappop(heap)
+                    self._cancelled_in_heap -= 1
+                    continue
+                if until is not None and time > until:
+                    return None
+                heapq.heappop(heap)
+                payload.fired = True
+                self._live -= 1
+                return (time, payload.action)
+            if until is not None and time > until:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return (time, payload)
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            payload = heap[0][2]
+            if payload.__class__ is Event and payload.cancelled:
+                heapq.heappop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            return heap[0][0]
+        return None
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel ``event`` with exact live-count accounting.
+
+        Safe against double cancellation and against cancelling an event
+        that already fired: both are no-ops.  Returns whether the event was
+        actually cancelled by this call.
+        """
+        if event.cancelled or event.fired:
+            return False
+        event.cancelled = True  # direct flag write; Event.cancel would recurse
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        self._maybe_compact()
+        return True
 
     def discard_cancelled(self) -> None:
         """Compact the heap by dropping cancelled entries (occasional GC)."""
-        self._heap = [event for event in self._heap if not event.cancelled]
+        self._heap = [
+            entry
+            for entry in self._heap
+            if entry[2].__class__ is not Event or not entry[2].cancelled
+        ]
         heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def note_cancelled(self) -> None:
-        """Record that one live event was cancelled externally."""
-        self._live -= 1
+        """Backward-compatibility no-op.
+
+        Accounting now happens inside :meth:`cancel` (which
+        :meth:`Event.cancel` routes through), so the legacy two-step
+        protocol — ``event.cancel(); queue.note_cancelled()`` — must not
+        decrement a second time.
+        """
+
+    def _maybe_compact(self) -> None:
+        heap_size = len(self._heap)
+        if heap_size >= _COMPACT_MIN_HEAP and self._cancelled_in_heap > heap_size * _COMPACT_FRACTION:
+            self.discard_cancelled()

@@ -43,9 +43,16 @@ class Process:
         self._name = name
         self._queue: Deque[Tuple[float, Callable[[], None]]] = deque()
         self._busy = False
-        self._state = ProcessState.RUNNING
+        # ``crashed`` is a plain attribute (not a property) because every
+        # send/deliver/handle on the owning node reads it.
+        self.crashed = False
         self._busy_time = 0.0
         self._items_processed = 0
+        # Hot-path preallocations: one completion event fires per work item,
+        # so the callback is a single pre-bound method (the running handler
+        # parks in ``_current``) instead of a fresh closure per item.
+        self._current: Optional[Callable[[], None]] = None
+        self._finish_current = self._finish
 
     @property
     def name(self) -> str:
@@ -53,11 +60,7 @@ class Process:
 
     @property
     def state(self) -> ProcessState:
-        return self._state
-
-    @property
-    def crashed(self) -> bool:
-        return self._state is ProcessState.CRASHED
+        return ProcessState.CRASHED if self.crashed else ProcessState.RUNNING
 
     @property
     def queue_depth(self) -> int:
@@ -81,7 +84,7 @@ class Process:
         """
         if cost < 0:
             raise ValueError(f"work cost cannot be negative: {cost}")
-        if self._state is ProcessState.CRASHED:
+        if self.crashed:
             return
         self._queue.append((cost, handler))
         if not self._busy:
@@ -89,24 +92,27 @@ class Process:
 
     def crash(self) -> None:
         """Fail-stop the process: drop queued work and refuse new work."""
-        self._state = ProcessState.CRASHED
+        self.crashed = True
         self._queue.clear()
 
     def recover(self) -> None:
         """Bring a crashed process back (used by crash-recover experiments)."""
-        self._state = ProcessState.RUNNING
+        self.crashed = False
 
     def _start_next(self) -> None:
-        if self._state is ProcessState.CRASHED or not self._queue:
+        if self.crashed or not self._queue:
             self._busy = False
             return
         self._busy = True
         cost, handler = self._queue.popleft()
         self._busy_time += cost
-        self._simulator.call_later(cost, lambda: self._finish(handler), label=f"{self._name}:work")
+        self._current = handler
+        self._simulator.defer(cost, self._finish_current)
 
-    def _finish(self, handler: Callable[[], None]) -> None:
-        if self._state is not ProcessState.CRASHED:
+    def _finish(self) -> None:
+        handler = self._current
+        self._current = None
+        if not self.crashed and handler is not None:
             self._items_processed += 1
             handler()
         self._busy = False

@@ -50,8 +50,12 @@ class Timer:
         self.start(delay)
 
     def stop(self) -> None:
-        """Disarm the timer if it is active."""
-        if self._event is not None and not self._event.cancelled:
+        """Disarm the timer if it is active.
+
+        Safe to call repeatedly: cancellation accounting is guarded in the
+        event queue itself, so double stops never double-count.
+        """
+        if self._event is not None:
             self._simulator.cancel(self._event)
         self._event = None
 
@@ -95,6 +99,18 @@ class Simulator:
             raise ValueError(f"cannot schedule an event in the past: delay={delay}")
         return self._queue.push(self._clock.now + delay, action, label=label)
 
+    def defer(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule a fire-and-forget ``action`` ``delay`` seconds from now.
+
+        Like :meth:`call_later` but returns nothing and allocates no
+        :class:`Event`: the hot paths (CPU completions, network arrivals)
+        schedule hundreds of thousands of callbacks that are never
+        cancelled or inspected.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past: delay={delay}")
+        self._queue.push_action(self._clock._now + delay, action)
+
     def call_at(self, timestamp: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` to run at absolute simulated time ``timestamp``."""
         if timestamp < self._clock.now:
@@ -104,10 +120,13 @@ class Simulator:
         return self._queue.push(timestamp, action, label=label)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event."""
-        if not event.cancelled:
-            event.cancel()
-            self._queue.note_cancelled()
+        """Cancel a previously scheduled event.
+
+        Idempotent, and a no-op for events that already fired: the queue
+        tracks live/cancelled counts exactly, so repeated ``Timer.stop``
+        calls (or a stop racing a fire) can never skew the accounting.
+        """
+        self._queue.cancel(event)
 
     def timer(self, callback: Callable[[], None], label: str = "") -> Timer:
         """Create an unarmed :class:`Timer` bound to this simulator."""
@@ -127,19 +146,21 @@ class Simulator:
         """
         self._running = True
         processed_this_call = 0
+        # Local bindings shave attribute lookups off the per-event path —
+        # this loop is the single hottest code in the repository.
+        queue = self._queue
+        clock = self._clock
         try:
             while self._running:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                entry = queue.pop_due(until)
+                if entry is None:
+                    if until is not None and queue.peek_time() is not None:
+                        # Live events remain, but all after the horizon.
+                        self._clock.advance_to(until)
                     break
-                if until is not None and next_time > until:
-                    self._clock.advance_to(until)
-                    break
-                event = self._queue.pop()
-                if event is None:
-                    break
-                self._clock.advance_to(event.time)
-                event.action()
+                time, action = entry
+                clock.advance_to(time)
+                action()
                 self._events_processed += 1
                 processed_this_call += 1
                 if max_events is not None and processed_this_call >= max_events:

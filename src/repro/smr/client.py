@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
 
-from repro.crypto.digest import digest
 from repro.crypto.signatures import Signer, Verifier
 from repro.net.costs import NodeCostModel
 from repro.net.node import Node
@@ -202,7 +201,11 @@ class Client(Node):
         )
         targets = self.config.request_targets(self.known_view, self.known_mode)
         self._send_request(targets, request)
-        self._schedule_timer()
+        # A newly issued request's deadline (now + timeout) can never be
+        # earlier than the armed deadline (the min over older requests), so
+        # an active timer needs no re-arming — only arm from cold.
+        if not self._timer.active:
+            self._schedule_timer()
         return True
 
     def _send_request(self, targets: Sequence[str], request: Request) -> None:
@@ -222,10 +225,14 @@ class Client(Node):
         if not self._pending or self._stopped:
             self._timer.stop()
             return
-        next_deadline = (
-            min(pending.last_sent_at for pending in self._pending.values())
-            + self.config.request_timeout
-        )
+        # Plain loop: this runs on every completion, and a genexpr frame per
+        # window entry is measurable at high request rates.
+        oldest = None
+        for pending in self._pending.values():
+            sent_at = pending.last_sent_at
+            if oldest is None or sent_at < oldest:
+                oldest = sent_at
+        next_deadline = oldest + self.config.request_timeout
         self._timer.start(max(0.0, next_deadline - self.now))
 
     def _on_timeout(self) -> None:
@@ -264,7 +271,7 @@ class Client(Node):
             # A replica relaying someone else's reply is not acceptable.
             return
 
-        result_key = digest(reply.signing_content()["result_digest"])
+        result_key = reply.result_digest()
         voters = pending.votes.setdefault(result_key, set())
         voters.add(reply.replica_id)
 

@@ -19,6 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.crypto.digest import (
+    DIGEST_CACHE_ATTR,
+    HAS_CACHE_FLAG,
+    WIRE_SIZE_CACHE_ATTR,
+    digest_of,
+)
 from repro.crypto.signatures import Signature, Signer, Verifier
 from repro.smr.state_machine import Operation
 
@@ -26,9 +32,53 @@ _HEADER_BYTES = 48
 _SIGNATURE_BYTES = 64
 _DIGEST_BYTES = 32
 
+#: Instance-``__dict__`` keys holding derived wire-form state.  They are
+#: dropped by ``copy.copy`` (see ``ProtocolMessage.__copy__``) so a copied
+#: message — the first step of every mutate-and-resend Byzantine twist —
+#: always recomputes its canonical form, digest, and size.
+_WIRE_CACHE_ATTRS = (
+    DIGEST_CACHE_ATTR,
+    "_wire_form",
+    WIRE_SIZE_CACHE_ATTR,
+    "_result_digest",
+    HAS_CACHE_FLAG,
+)
+
+#: Field separator in flat ``signing_bytes`` canonical forms.  The ASCII
+#: unit separator never appears in node ids, digests, or numbers; values
+#: that may contain arbitrary text (operation args) are ``repr``-escaped.
+_SEP = "\x1f"
+
 
 class ProtocolMessage:
-    """Mixin with the signing helpers every protocol message uses."""
+    """Mixin with the signing helpers every protocol message uses.
+
+    Messages freeze their *wire form*: the canonical signing-content dict,
+    its SHA-256 digest, and the serialized size estimate are each computed
+    at most once per object lifetime and cached on the instance.  Because
+    the simulator passes message objects by reference, every replica that
+    touches a request, batch, or vote reuses the same cached forms instead
+    of re-canonicalizing per hop.  The cache invalidates two ways:
+
+    * assigning any field other than ``signature`` (which no message ever
+      covers with its own signing content) drops the cached forms, so a
+      top-level in-place tamper is re-canonicalized and detected;
+    * ``copy.copy`` drops every cached form, so the copy-then-mutate
+      pattern of the Byzantine twists never inherits a digest the mutated
+      content no longer matches — even when the mutation happens *inside* a
+      nested payload, where ``__setattr__`` on the outer message cannot see
+      it.
+
+    The contract deliberately does NOT cover mutating a *container* held by
+    an already-canonicalized message in place (``batch.requests[0] = ...``,
+    ``reply.result["ok"] = ...``): no field assignment fires and the stale
+    digest would still verify.  Messages are frozen by convention once
+    built; code that must mutate nested state on a live message (none in
+    this repository does) has to call :meth:`invalidate_wire_caches`
+    explicitly — attack helpers instead copy the message *and* rebuild the
+    nested payload, which is also what a real attacker serializing fresh
+    bytes would do.
+    """
 
     signed: bool = False
     signature: Optional[Signature] = None
@@ -37,23 +87,78 @@ class ProtocolMessage:
         """Canonical dict covered by this message's signature."""
         raise NotImplementedError
 
+    def wire_form(self) -> Dict[str, Any]:
+        """The frozen signing content: computed once, cached on the message.
+
+        Callers must treat the returned dict as immutable.
+        """
+        cached = self.__dict__.get("_wire_form")
+        if cached is None:
+            cached = self.signing_content()
+            self.__dict__["_wire_form"] = cached
+            self.__dict__[HAS_CACHE_FLAG] = True
+        return cached
+
+    def content_digest(self) -> str:
+        """Content-addressed digest of :meth:`wire_form` (``D(µ)``), cached."""
+        return digest_of(self)
+
+    def invalidate_wire_caches(self) -> None:
+        """Drop every cached wire form (for deliberate in-place mutation)."""
+        for attr in _WIRE_CACHE_ATTRS:
+            self.__dict__.pop(attr, None)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Mutating any content field invalidates the frozen wire form.
+        # ``signature`` is exempt: signatures cover content, never
+        # themselves, and :meth:`sign` runs right after the digest is
+        # cached — invalidating there would defeat the cache entirely.
+        # The guard-flag probe keeps the no-cache case (field assignment
+        # during dataclass ``__init__``) to a single dict lookup.
+        instance_dict = self.__dict__
+        if HAS_CACHE_FLAG in instance_dict and name != "signature" and not name.startswith("_"):
+            for attr in _WIRE_CACHE_ATTRS:
+                if attr in instance_dict:
+                    del instance_dict[attr]
+        instance_dict[name] = value
+
+    def __copy__(self) -> "ProtocolMessage":
+        clone = self.__class__.__new__(self.__class__)
+        clone.__dict__.update(self.__dict__)
+        for attr in _WIRE_CACHE_ATTRS:
+            clone.__dict__.pop(attr, None)
+        return clone
+
     def sign(self, signer: Signer) -> "ProtocolMessage":
         """Attach a signature by ``signer`` over :meth:`signing_content`."""
-        self.signature = signer.sign(self.signing_content())
+        # Inline cache probe: sign/verify are the two hottest digest users.
+        content_digest = self.__dict__.get(DIGEST_CACHE_ATTR) or digest_of(self)
+        self.signature = signer.sign_digest(content_digest)
         return self
 
     def verify(self, verifier: Verifier, expected_signer: Optional[str] = None) -> bool:
         """Check the attached signature (and optionally who produced it)."""
         if not self.signed:
             return True
-        if self.signature is None:
+        signature = self.signature
+        if signature is None:
             return False
-        if expected_signer is not None and self.signature.signer_id != expected_signer:
+        if expected_signer is not None and signature.signer_id != expected_signer:
             return False
-        return verifier.verify(self.signing_content(), self.signature)
+        content_digest = self.__dict__.get(DIGEST_CACHE_ATTR) or digest_of(self)
+        return verifier.verify_digest(content_digest, signature)
 
     def wire_size(self) -> int:
         raise NotImplementedError
+
+    def cached_wire_size(self) -> int:
+        """:meth:`wire_size`, computed once and cached on the message."""
+        cached = self.__dict__.get(WIRE_SIZE_CACHE_ATTR)
+        if cached is None:
+            cached = int(self.wire_size())
+            self.__dict__[WIRE_SIZE_CACHE_ATTR] = cached
+            self.__dict__[HAS_CACHE_FLAG] = True
+        return cached
 
 
 @dataclass
@@ -73,6 +178,19 @@ class Request(ProtocolMessage):
             "timestamp": self.timestamp,
             "client": self.client_id,
         }
+
+    def signing_bytes(self) -> bytes:
+        """Flat canonical form equivalent to :meth:`signing_content`.
+
+        Operation args are ``repr``-escaped so arbitrary argument text can
+        never collide with the field separators.
+        """
+        operation = self.operation
+        args_text = "\x1e".join(map(repr, operation.args))
+        return (
+            f"REQUEST{_SEP}{self.timestamp}{_SEP}{self.client_id}{_SEP}"
+            f"{operation.kind}{_SEP}{args_text}{_SEP}{len(operation.payload)}"
+        ).encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + self.operation.wire_size()
@@ -102,6 +220,26 @@ class Reply(ProtocolMessage):
             "result_digest": _result_digest(self.result),
         }
 
+    def signing_bytes(self) -> bytes:
+        return (
+            f"REPLY{_SEP}{self.mode}{_SEP}{self.view}{_SEP}{self.timestamp}{_SEP}"
+            f"{self.client_id}{_SEP}{self.replica_id}{_SEP}{self.result_digest()}"
+        ).encode("utf-8")
+
+    def result_digest(self) -> str:
+        """Digest of the execution result (what clients match replies on).
+
+        Cached on the reply (computed at sign time, reused by the client);
+        invalidated with the other wire caches on mutation or copy.
+        """
+        instance_dict = self.__dict__
+        cached = instance_dict.get("_result_digest")
+        if cached is None:
+            cached = _result_digest(self.result)
+            instance_dict["_result_digest"] = cached
+            instance_dict[HAS_CACHE_FLAG] = True
+        return cached
+
     def result_payload_size(self) -> int:
         if isinstance(self.result, dict):
             payload = self.result.get("payload", "")
@@ -113,9 +251,72 @@ class Reply(ProtocolMessage):
         return _HEADER_BYTES + _SIGNATURE_BYTES + 16 + self.result_payload_size()
 
 
+# Execution results repeat heavily — every no-op of an x/y micro-benchmark
+# returns the *same object* (see ``NullStateMachine``), and key-value reads
+# repeat values — so result digests are memoized at two levels:
+#
+# * by object identity, but ONLY for results explicitly registered via
+#   :func:`register_stable_result` — the StateMachine interface does not
+#   promise immutable results, so pinning a digest to an arbitrary dict's
+#   id would go stale if a state machine returned (and later mutated) an
+#   internally held dict.  Registered entries hold a strong reference, so
+#   an id can never be reused while cached.
+# * by value, for everything else with hashable contents.  The type name
+#   rides along in the key because ``True`` and ``1`` hash identically but
+#   canonicalize differently.
+#
+# Both memos are bounded: once full, uncommon results just fall through to
+# a fresh digest.
+_RESULT_DIGEST_BY_ID: Dict[int, tuple] = {}
+_RESULT_DIGEST_MEMO: Dict[tuple, str] = {}
+_RESULT_DIGEST_MEMO_MAX = 4096
+
+
+def register_stable_result(result: Any) -> str:
+    """Pin a conventionally-immutable result object's digest by identity.
+
+    Callers promise never to mutate ``result`` after registration (state
+    machines that return one shared result object per apply, like
+    ``NullStateMachine``).  Returns the digest.
+    """
+    digest_value = _result_digest(result)
+    if len(_RESULT_DIGEST_BY_ID) < _RESULT_DIGEST_MEMO_MAX:
+        _RESULT_DIGEST_BY_ID[id(result)] = (result, digest_value)
+    return digest_value
+
+
 def _result_digest(result: Any) -> str:
     from repro.crypto.digest import digest
 
+    if isinstance(result, dict):
+        by_id = _RESULT_DIGEST_BY_ID.get(id(result))
+        if by_id is not None:
+            return by_id[1]
+        try:
+            items = sorted(result.items())
+        except TypeError:
+            return digest(result)
+        key_items = []
+        for name, value in items:
+            # Only flat scalar values are memo-keyable: inside a container,
+            # equal-but-differently-canonicalized elements ((1,) vs (True,))
+            # would collide.  Floats key by repr so 0.0 and -0.0 (equal,
+            # same hash, different canonical JSON) stay distinct.  Anything
+            # else skips the memo.
+            value_type = type(value)
+            if value_type is float:
+                key_items.append((name, "float", repr(value)))
+            elif value is None or value_type in (str, int, bool):
+                key_items.append((name, value_type.__name__, value))
+            else:
+                return digest(result)
+        key = tuple(key_items)
+        cached = _RESULT_DIGEST_MEMO.get(key)
+        if cached is None:
+            cached = digest(result)
+            if len(_RESULT_DIGEST_MEMO) < _RESULT_DIGEST_MEMO_MAX:
+                _RESULT_DIGEST_MEMO[key] = cached
+        return cached
     return digest(result)
 
 
@@ -157,16 +358,21 @@ class Batch(ProtocolMessage):
         return self.requests[0].timestamp
 
     def signing_content(self) -> Dict[str, Any]:
-        from repro.crypto.digest import digest
-
+        # Inner digests go through the content-addressed cache: a request
+        # that already crossed the wire on its own is not re-canonicalized
+        # when it is batched, and vice versa.
         return {
             "type": "BATCH",
             "count": len(self.requests),
-            "digests": [digest(request.signing_content()) for request in self.requests],
+            "digests": [digest_of(request) for request in self.requests],
         }
 
+    def signing_bytes(self) -> bytes:
+        digests = _SEP.join(digest_of(request) for request in self.requests)
+        return f"BATCH{_SEP}{len(self.requests)}{_SEP}{digests}".encode("utf-8")
+
     def wire_size(self) -> int:
-        return _HEADER_BYTES + sum(request.wire_size() for request in self.requests)
+        return _HEADER_BYTES + sum(request.cached_wire_size() for request in self.requests)
 
 
 def requests_of(payload: Any) -> List[Request]:

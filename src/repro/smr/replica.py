@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Type
 
-from repro.crypto.digest import digest
+from repro.crypto.digest import digest_of
 from repro.crypto.signatures import Signer, Verifier
 from repro.net.costs import NodeCostModel
 from repro.net.node import Node
@@ -24,8 +24,12 @@ from repro.smr.state_machine import StateMachine
 
 
 def request_digest(request) -> str:
-    """Canonical digest of a slot payload (``D(µ)``): a request or a batch."""
-    return digest(request.signing_content())
+    """Canonical digest of a slot payload (``D(µ)``): a request or a batch.
+
+    Delegates to the content-addressed cache, so each payload object is
+    canonicalized and hashed once — not once per replica per hop.
+    """
+    return digest_of(request)
 
 
 class ReplicaBase(Node):
@@ -116,8 +120,12 @@ class ReplicaBase(Node):
             The executions performed as a result of this commit.
         """
         inner = requests_of(request)
+        known = self._known_requests
+        entries = []
         for each in inner:
-            self.remember_request(each)
+            client_id, timestamp = each.client_id, each.timestamp
+            known[(client_id, timestamp)] = each
+            entries.append((client_id, timestamp, each.operation))
         self.ledger.record(
             LedgerEntry(
                 sequence=sequence,
@@ -129,9 +137,7 @@ class ReplicaBase(Node):
         )
         slot = self.slots.slot(sequence)
         slot.committed = True
-        executions = self.executor.commit_batch(
-            sequence, [(each.client_id, each.timestamp, each.operation) for each in inner]
-        )
+        executions = self.executor.commit_batch(sequence, entries)
         for execution in executions:
             executed_slot = self.slots.existing_slot(execution.sequence)
             if executed_slot is not None:

@@ -32,6 +32,10 @@ class Slot:
     votes: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     committed: bool = False
     executed: bool = False
+    # Generation of the replica's client-bookkeeping maps when this slot's
+    # payload was last walked (see SeeMoReReplica.prepare_slot); lets the
+    # commit path skip re-recording a batch it already recorded.
+    bookkept_generation: int = -1
 
     @property
     def request_count(self) -> int:
@@ -58,11 +62,19 @@ class Slot:
 
     def vote_count(self, phase: str) -> int:
         """Number of distinct voters for ``phase`` whose digest matches the slot."""
-        phase_votes = self.votes.get(phase, {})
-        if self.digest is None:
+        phase_votes = self.votes.get(phase)
+        if not phase_votes:
+            return 0
+        slot_digest = self.digest
+        if slot_digest is None:
             return len(phase_votes)
-        return sum(1 for _, vote_digest in phase_votes.values()
-                   if vote_digest is None or vote_digest == self.digest)
+        # Plain loop, not a genexpr: this runs on every vote received and
+        # the per-element generator frame shows up in profiles.
+        count = 0
+        for _, vote_digest in phase_votes.values():
+            if vote_digest is None or vote_digest == slot_digest:
+                count += 1
+        return count
 
     def voters(self, phase: str) -> List[str]:
         """Distinct voter ids whose digest matches the slot digest."""
@@ -121,6 +133,25 @@ class SlotLog:
 
     def uncommitted_slots(self) -> List[Slot]:
         return [self._slots[seq] for seq in sorted(self._slots) if not self._slots[seq].committed]
+
+    def has_pending_proposal(self) -> bool:
+        """Whether any slot holds an ordered-but-uncommitted proposal.
+
+        Equivalent to scanning :meth:`uncommitted_slots` for a slot with a
+        request and an ordering message, but without sorting or building a
+        list — the request-timer update runs this on every commit.  Scans
+        newest-first: under pipelining the youngest slots are almost always
+        the in-flight ones, so the typical probe is O(1) instead of walking
+        the long committed prefix awaiting checkpoint GC.
+        """
+        for slot in reversed(self._slots.values()):
+            if (
+                not slot.committed
+                and slot.request is not None
+                and slot.ordering_message is not None
+            ):
+                return True
+        return False
 
     def highest_sequence(self) -> int:
         return max(self._slots) if self._slots else self._low_watermark

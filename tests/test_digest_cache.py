@@ -1,0 +1,268 @@
+"""Regression tests for the content-addressed digest/signature caches.
+
+The hot-path overhaul freezes a message's *wire form* (canonical content,
+digest, size) on first use.  Byzantine behaviour injection mutates copies
+of live messages, so these tests pin the two invalidation guarantees the
+caches must keep:
+
+* ``copy.copy`` never inherits a cached digest — every ``make_*`` twist in
+  :mod:`repro.faults.byzantine` starts with a copy, so a twisted message
+  applied to a *warm* cache must still hash to its own (different) content;
+* assigning any content field in place drops the cached forms, so even a
+  twist that skipped the copy would be re-canonicalized.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.core import messages as core_msgs
+from repro.core.batching import BatchPolicy
+from repro.core.modes import Mode
+from repro.crypto.digest import digest, digest_bytes, digest_of
+from repro.crypto.keys import KeyStore
+from repro.crypto.signatures import Signature
+from repro.faults.byzantine import tampered_payload, tampered_request
+from repro.smr.messages import Batch, Reply, Request
+from repro.smr.replica import request_digest
+from repro.smr.state_machine import Operation
+
+
+@pytest.fixture
+def keys():
+    store = KeyStore()
+    for node in ("p0", "r1", "byz", "client-0"):
+        store.register(node)
+    return store
+
+
+def make_request(timestamp: int = 1, client: str = "client-0") -> Request:
+    return Request(
+        operation=Operation(kind="put", args=("k", "v"), payload="xy"),
+        timestamp=timestamp,
+        client_id=client,
+    )
+
+
+def make_batch(count: int = 4) -> Batch:
+    return Batch(requests=[make_request(timestamp=i + 1) for i in range(count)])
+
+
+class TestDigestCaching:
+    def test_cached_digest_equals_uncached(self):
+        # Request defines a flat signing_bytes canonical form.
+        request = make_request()
+        cold = digest_bytes(request.signing_bytes())
+        warm = digest_of(request)
+        assert warm == cold
+        # Second call must serve the cache and agree.
+        assert digest_of(request) == cold
+
+    def test_cached_digest_equals_uncached_json_form(self):
+        # ViewChange has no signing_bytes: the JSON canonicalization of its
+        # signing content is the reference form.
+        view_change = core_msgs.ViewChange(
+            new_view=1, mode=1, replica_id="p0", checkpoint_sequence=0,
+            checkpoint_digest="c" * 64,
+        )
+        cold = digest(view_change.signing_content())
+        assert digest_of(view_change) == cold
+        assert digest_of(view_change) == cold  # cache hit agrees
+
+    def test_cache_is_object_local(self):
+        first, second = make_request(1), make_request(2)
+        assert digest_of(first) != digest_of(second)
+
+    def test_copy_drops_cached_digest(self):
+        request = make_request()
+        warm = digest_of(request)  # warm the cache
+        clone = copy.copy(request)
+        assert "_content_digest" not in clone.__dict__
+        clone.operation = Operation(kind="put", args=("k", "other"))
+        assert digest_of(clone) != warm
+
+    def test_in_place_mutation_invalidates(self):
+        request = make_request()
+        warm = digest_of(request)
+        request.timestamp = 999
+        assert digest_of(request) != warm
+
+    def test_signature_assignment_keeps_content_cache(self, keys):
+        request = make_request()
+        request.sign(keys.signer_for("client-0"))
+        warm = request.__dict__.get("_content_digest")
+        assert warm is not None  # sign() warmed it
+        request.signature = None
+        assert request.__dict__.get("_content_digest") == warm
+
+    def test_wire_size_cache_dropped_on_copy_and_mutation(self):
+        batch = make_batch()
+        size = batch.cached_wire_size()
+        clone = copy.copy(batch)
+        assert "_wire_size" not in clone.__dict__
+        clone.requests = batch.requests[:1]
+        assert clone.cached_wire_size() < size
+
+
+class TestByzantineTwistsAgainstWarmCaches:
+    """Every make_* twist must produce a digest mismatch despite warm caches."""
+
+    def test_tampered_request_differs_with_warm_cache(self):
+        request = make_request()
+        warm = request_digest(request)
+        twisted = tampered_request(request)
+        assert request_digest(twisted) != warm
+        # The original's cache is untouched and still correct.
+        assert request_digest(request) == warm == digest_bytes(request.signing_bytes())
+
+    def test_tampered_batch_differs_with_warm_cache(self):
+        batch = make_batch()
+        warm = request_digest(batch)
+        for inner in batch.requests:
+            digest_of(inner)  # warm every inner request too
+        twisted = tampered_payload(batch)
+        assert request_digest(twisted) != warm
+        # Untampered inner requests may share digests; the tampered one must not.
+        assert digest_of(twisted.requests[0]) != digest_of(batch.requests[0])
+
+    @pytest.mark.parametrize("mode", [Mode.LION, Mode.DOG, Mode.PEACOCK])
+    def test_equivocating_copy_is_self_consistent_but_conflicting(self, keys, mode):
+        """The conflicting_copy logic of make_equivocating, against warm caches."""
+        batch = make_batch()
+        ordering_cls = core_msgs.PrePrepare if mode is Mode.PEACOCK else core_msgs.Prepare
+        honest = ordering_cls(
+            view=0, sequence=1, digest=request_digest(batch), request=batch, mode=int(mode)
+        )
+        honest.sign(keys.signer_for("byz"))
+        assert honest.verify(keys.verifier(), expected_signer="byz")
+
+        # Exactly what make_equivocating's conflicting_copy does.
+        twisted = copy.copy(honest)
+        twisted.request = tampered_payload(honest.request)
+        twisted.digest = request_digest(twisted.request)
+        twisted.sign(keys.signer_for("byz"))
+
+        # Self-consistent: a correct replica's checks pass in isolation ...
+        assert twisted.digest == request_digest(twisted.request)
+        assert twisted.verify(keys.verifier(), expected_signer="byz")
+        # ... yet it genuinely conflicts with the honest proposal.
+        assert twisted.digest != honest.digest
+        # And the honest message's cached forms were not disturbed.
+        assert honest.digest == request_digest(honest.request)
+        assert honest.verify(keys.verifier(), expected_signer="byz")
+
+    def test_lying_reply_with_warm_cache_diverges(self, keys):
+        honest = Reply(
+            mode=1, view=0, timestamp=1, client_id="client-0", replica_id="byz",
+            result={"ok": True, "value": 1},
+        )
+        honest.sign(keys.signer_for("byz"))
+        warm_key = honest.result_digest()
+
+        lie = copy.copy(honest)
+        lie.result = {"ok": False, "value": "forged-by-byz"}
+        lie.sign(keys.signer_for("byz"))
+        # The lie verifies (the Byzantine replica signs its own lie) but the
+        # result digest clients vote on is different — quorum matching wins.
+        assert lie.verify(keys.verifier(), expected_signer="byz")
+        assert lie.result_digest() != warm_key
+
+    def test_corrupt_signature_with_warm_verify_cache_is_rejected(self, keys):
+        message = core_msgs.Commit(
+            view=0, sequence=1, digest="d" * 64, replica_id="byz", mode=1
+        )
+        message.sign(keys.signer_for("byz"))
+        # Warm both the digest cache and the signature's verify memo.
+        assert message.verify(keys.verifier(), expected_signer="byz")
+
+        twisted = copy.copy(message)
+        twisted.signature = Signature(
+            signer_id=message.signature.signer_id,
+            payload_digest=message.signature.payload_digest,
+            tag="0" * 64,
+        )
+        assert not twisted.verify(keys.verifier(), expected_signer="byz")
+        # The original is still accepted.
+        assert message.verify(keys.verifier(), expected_signer="byz")
+
+    def test_forged_signature_never_verifies(self, keys):
+        request = make_request()
+        forged = keys.signer_for("byz").forge(request.signing_content(), "p0")
+        request.signature = forged
+        assert not request.verify(keys.verifier(), expected_signer="p0")
+
+
+class TestResultDigestMemo:
+    def test_equal_hashing_but_distinct_canonical_values_do_not_collide(self):
+        """(1,) == (True,) hash-equal but canonicalize differently; the memo
+        must not conflate results embedding them."""
+        from repro.smr.messages import _result_digest
+
+        first = _result_digest({"ok": True, "value": (1,)})
+        second = _result_digest({"ok": True, "value": (True,)})
+        assert first == digest({"ok": True, "value": (1,)})
+        assert second == digest({"ok": True, "value": (True,)})
+        assert first != second
+
+    def test_scalar_bool_vs_int_values_do_not_collide(self):
+        from repro.smr.messages import _result_digest
+
+        assert _result_digest({"ok": 1}) != _result_digest({"ok": True})
+        assert _result_digest({"ok": 1}) == digest({"ok": 1})
+
+    def test_signed_zero_floats_do_not_collide(self):
+        from repro.smr.messages import _result_digest
+
+        assert _result_digest({"v": 0.0}) == digest({"v": 0.0})
+        assert _result_digest({"v": -0.0}) == digest({"v": -0.0})
+        assert _result_digest({"v": 0.0}) != _result_digest({"v": -0.0})
+
+
+class TestForcedSlotBookkeeping:
+    def test_force_superseding_payload_rerecords_assignments(self):
+        """A certified payload that force-replaces a stale tentative one must
+        re-record known-request and sequence-assignment entries, even within
+        the same assignment generation (regression for the bookkept-
+        generation fast path)."""
+        from repro.cluster import build_seemore
+        from repro.smr.replica import request_digest as rd
+
+        deployment = build_seemore(mode=Mode.LION, num_clients=1)
+        replica = next(iter(deployment.replicas.values()))
+
+        tentative = make_request(timestamp=1, client="client-A")
+        certified = make_request(timestamp=2, client="client-B")
+        replica.prepare_slot(1, rd(tentative), tentative, None)
+        assert replica.already_assigned(tentative)
+
+        replica.prepare_slot(1, rd(certified), certified, None, force=True)
+        assert replica.already_assigned(certified)
+        assert replica.known_request("client-B", 2) is certified
+
+
+@pytest.mark.integration
+@pytest.mark.parametrize("mode", [Mode.LION, Mode.DOG, Mode.PEACOCK])
+@pytest.mark.parametrize("strategy", ["equivocate", "lie", "corrupt"])
+def test_byzantine_strategy_safe_with_digest_cache_and_batching(mode, strategy):
+    """End-to-end: each twist, each mode, max_batch > 1, caches enabled.
+
+    Runs long enough for caches to be warm on every replica before the twist
+    fires, then asserts the PR 2 invariants (no fork, no forged results)
+    still hold.
+    """
+    from repro.scenarios.engine import Scenario, run_scenario
+    from repro.scenarios.events import Byzantine
+
+    scenario = Scenario(
+        name=f"cache-{strategy}",
+        description="byzantine twist against warm digest caches",
+        batch_policy=BatchPolicy(max_batch=4, linger=0.001),
+        client_window=2,
+        events=(Byzantine(at=0.15, target="public-primary", strategy=strategy),),
+        duration=0.5,
+        settle=0.15,
+        min_completed=10,
+    )
+    run_scenario(scenario, mode).assert_ok()

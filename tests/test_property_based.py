@@ -126,6 +126,89 @@ class TestDigestProperties:
             assert not verifier.verify(tampered, signature)
 
 
+class TestDigestCacheProperties:
+    """``digest_of`` with caching must equal the uncached canonical digest."""
+
+    @given(
+        kind=st.sampled_from(["put", "get", "noop", "scan"]),
+        args=st.lists(st.text(max_size=12), max_size=4),
+        payload=st.text(max_size=32),
+        timestamp=st.integers(min_value=1, max_value=10**9),
+        client=st.from_regex(r"client-[0-9]{1,4}", fullmatch=True),
+    )
+    def test_request_digest_cache_matches_cold_recompute(
+        self, kind, args, payload, timestamp, client
+    ):
+        from repro.crypto.digest import digest_bytes, digest_of
+        from repro.smr.messages import Request
+
+        request = Request(
+            operation=Operation(kind=kind, args=tuple(args), payload=payload),
+            timestamp=timestamp,
+            client_id=client,
+        )
+        warm = digest_of(request)
+        assert warm == digest_of(request)  # cache hit
+        assert warm == digest_bytes(request.signing_bytes())  # cold canonical form
+        # An identical, freshly built message (cold cache) agrees.
+        twin = Request(
+            operation=Operation(kind=kind, args=tuple(args), payload=payload),
+            timestamp=timestamp,
+            client_id=client,
+        )
+        assert digest_of(twin) == warm
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4),
+    )
+    def test_batch_digest_cache_matches_cold_recompute(self, sizes):
+        from repro.crypto.digest import digest_bytes, digest_of
+        from repro.smr.messages import Batch, Request
+
+        def build():
+            return Batch(
+                requests=[
+                    Request(
+                        operation=Operation("put", ("k", "v" * size)),
+                        timestamp=index + 1,
+                        client_id="client-0",
+                    )
+                    for index, size in enumerate(sizes)
+                ]
+            )
+
+        warm_batch = build()
+        warm = digest_of(warm_batch)
+        assert warm == digest_bytes(warm_batch.signing_bytes())
+        assert digest_of(build()) == warm  # cold twin agrees
+
+    @given(
+        entries=st.dictionaries(
+            st.sampled_from(["checkpoint_digest", "x", "y", "z"]),
+            st.integers(),
+            max_size=4,
+        )
+    )
+    def test_json_fallback_is_key_order_insensitive(self, entries):
+        """Messages without signing_bytes canonicalize dicts order-free.
+
+        This pins the dict-key-order guarantee for the JSON path that
+        view-change messages (and any raw dict) still use.
+        """
+        from repro.crypto.digest import digest_of
+
+        class RawMessage:
+            def __init__(self, content):
+                self._content = content
+
+            def signing_content(self):
+                return self._content
+
+        forward = RawMessage(dict(entries))
+        backward = RawMessage(dict(reversed(list(entries.items()))))
+        assert digest_of(forward) == digest_of(backward) == digest(entries)
+
+
 class TestSimulatorProperties:
     @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
     @settings(max_examples=50)
