@@ -5,7 +5,11 @@ Usage::
     python benchmarks/perf/compare.py CURRENT.json BASELINE.json \
         [--max-regression 0.25] [--no-calibration]
 
-Cases are matched by name.  When both documents carry a
+Cases are matched by name; when the two documents do not carry the same
+case set (e.g. the candidate added sharded cases the committed baseline
+predates), the difference is printed as a warning and the comparison —
+and the regression gate — covers only the intersection.  The gate never
+fails because of cases the baseline lacks.  When both documents carry a
 ``host.calibration_ops_per_second`` score (a fixed sha256 + heap-churn
 workload measured by the harness on the machine that produced the
 document), each side's events/sec is divided by its own score first, so a
@@ -50,6 +54,20 @@ def compare(
     if not shared:
         print("error: the two documents share no case names", file=sys.stderr)
         return 2
+    only_current = sorted(set(current) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(current))
+    if only_current:
+        print(
+            f"warning: {len(only_current)} case(s) missing from the baseline "
+            f"(not gated): {', '.join(only_current)}"
+        )
+    if only_baseline:
+        print(
+            f"warning: {len(only_baseline)} baseline case(s) missing from the "
+            f"current run (ignored): {', '.join(only_baseline)}"
+        )
+    if only_current or only_baseline:
+        print(f"comparing the {len(shared)} shared case(s)\n")
 
     normalize = use_calibration and current_cal and baseline_cal
     if normalize:

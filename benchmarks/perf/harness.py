@@ -68,9 +68,14 @@ import tracemalloc
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.cluster import builder_for, run_deployment
+from repro.cluster import (
+    build_sharded_seemore,
+    builder_for,
+    run_deployment,
+    run_sharded_deployment,
+)
 from repro.core import BatchPolicy, Mode
-from repro.workload import microbenchmark
+from repro.workload import microbenchmark, sharded_kv_workload
 
 SCHEMA_VERSION = 1
 
@@ -102,6 +107,13 @@ class PerfCase:
     warmup: float = 0.1
     seed: int = 3
     fault_scenario: Optional[str] = None  # name in the PR 2 scenario library
+    # Sharded cases (protocol "seemore-sharded"): shard count and the
+    # fraction of operations running the cross-shard two-phase path.  The
+    # client count scales with the shard count so each shard sees the same
+    # offered load as the single-cluster cases — the committed-ops/sim-second
+    # ratio between sharded-Nx and sharded-1x is the scale-out headline.
+    num_shards: int = 1
+    cross_shard_fraction: float = 0.0
 
     def batch_policy(self) -> Optional[BatchPolicy]:
         if not self.batched:
@@ -119,6 +131,7 @@ SMOKE_CASE_NAMES = (
     "dog-f1-batched",
     "peacock-f1-batched",
     "lion-f1-batched-primary-crash",
+    "sharded-4x-f1-batched",
 )
 
 
@@ -153,6 +166,25 @@ def standard_cases(smoke: bool = False) -> List[PerfCase]:
                 duration=0.7,
             )
         )
+
+    # Sharded scale-out cases: 1-shard as the single-cluster reference
+    # (same per-shard knobs, so the Nx/1x committed-ops/sim-second ratio
+    # is the scale-out factor), 4 shards on pure single-shard traffic,
+    # and 4 shards with 10% cross-shard transactions (the 2PC overhead).
+    for num_shards, cross_fraction, suffix in (
+        (1, 0.0, "sharded-1x-f1-batched"),
+        (4, 0.0, "sharded-4x-f1-batched"),
+        (4, 0.1, "sharded-4x-f1-xshard10"),
+    ):
+        cases.append(
+            PerfCase(
+                name=suffix,
+                protocol="seemore-sharded",
+                num_shards=num_shards,
+                cross_shard_fraction=cross_fraction,
+                num_clients=6 * num_shards,
+            )
+        )
     return cases
 
 
@@ -175,6 +207,31 @@ def _run_once(case: PerfCase) -> Dict[str, Any]:
             "events": result.events_processed,
             "completed": result.completed,
             "sim_seconds": result.simulated_seconds,
+        }
+
+    if case.protocol == "seemore-sharded":
+        deployment = build_sharded_seemore(
+            num_shards=case.num_shards,
+            crash_tolerance=case.crash_tolerance,
+            byzantine_tolerance=case.byzantine_tolerance,
+            num_clients=case.num_clients,
+            workload=sharded_kv_workload(
+                seed=case.seed, cross_shard_fraction=case.cross_shard_fraction
+            ),
+            seed=case.seed,
+            batch_policy=case.batch_policy(),
+            client_window=case.client_window,
+        )
+        start = time.perf_counter()
+        sharded_result = run_sharded_deployment(
+            deployment, duration=case.duration, warmup=case.warmup
+        )
+        wall = time.perf_counter() - start
+        return {
+            "wall": wall,
+            "events": deployment.simulator.events_processed,
+            "completed": sharded_result.aggregate.completed,
+            "sim_seconds": deployment.simulator.now,
         }
 
     builder = builder_for(case.protocol)
@@ -237,6 +294,7 @@ def run_case(case: PerfCase, repeats: int = 3, measure_heap: bool = True) -> Dic
         "byzantine_tolerance": case.byzantine_tolerance,
         "batched": case.batched,
         "fault_scenario": case.fault_scenario,
+        "num_shards": case.num_shards,
         "sim_duration": case.duration,
         "completed_requests": reference["completed"],
         "events_processed": reference["events"],

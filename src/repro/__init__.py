@@ -27,17 +27,35 @@ from repro.planner import (
 from repro.cluster import (
     Deployment,
     RunResult,
+    ShardedRunResult,
     build_paxos,
     build_pbft,
     build_seemore,
+    build_sharded_seemore,
     build_upright,
     builder_for,
     run_deployment,
+    run_sharded_deployment,
     run_timeline,
     sweep_clients,
 )
-from repro.workload import MetricsCollector, Workload, kv_workload, microbenchmark
-from repro.scenarios import SCENARIOS, Scenario, run_scenario, run_scenario_matrix
+from repro.shard import ShardedDeployment, ShardRouter, ShardSpec
+from repro.workload import (
+    MetricsCollector,
+    Workload,
+    kv_workload,
+    microbenchmark,
+    sharded_kv_workload,
+)
+from repro.scenarios import (
+    SCENARIOS,
+    SHARDED_SCENARIOS,
+    Scenario,
+    ShardedScenario,
+    run_scenario,
+    run_scenario_matrix,
+    run_sharded_scenario,
+)
 
 __version__ = "1.1.0"
 
@@ -53,11 +71,21 @@ __all__ = [
     "Deployment",
     "RunResult",
     "build_seemore",
+    "build_sharded_seemore",
     "build_paxos",
     "build_pbft",
     "build_upright",
     "builder_for",
     "run_deployment",
+    "run_sharded_deployment",
+    "ShardedRunResult",
+    "ShardedDeployment",
+    "ShardRouter",
+    "ShardSpec",
+    "sharded_kv_workload",
+    "SHARDED_SCENARIOS",
+    "ShardedScenario",
+    "run_sharded_scenario",
     "sweep_clients",
     "run_timeline",
     "Workload",

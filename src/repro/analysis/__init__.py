@@ -19,6 +19,7 @@ from repro.analysis.report import (
     format_results_table,
     format_scenario_results,
     format_series,
+    format_sharded_results,
     format_timeline,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "format_results_table",
     "format_scenario_results",
     "format_series",
+    "format_sharded_results",
     "format_timeline",
 ]

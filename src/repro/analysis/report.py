@@ -7,7 +7,7 @@ consistent, diff-able layout in ``bench_output.txt``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 def format_results_table(rows: Iterable[Dict], columns: Sequence[str] = ()) -> str:
@@ -59,6 +59,33 @@ def format_scenario_results(results: Iterable, title: str = "Fault scenarios") -
         lines.extend(f"  {failure}" for failure in result.failures())
     passed = len(results) - len(failing)
     lines.append(f"\n{passed}/{len(results)} scenario runs passed")
+    return "\n".join(lines)
+
+
+def format_sharded_results(
+    shard_rows: Sequence[Dict],
+    aggregate_row: Optional[Dict] = None,
+    transactions: Optional[Dict] = None,
+    title: str = "Sharded deployment",
+) -> str:
+    """Summarise a sharded run: one row per shard, aggregate, and 2PC counters.
+
+    ``shard_rows`` are the flat dicts of
+    :meth:`repro.workload.metrics.ShardLoadSummary.as_row` (or any rows
+    sharing their columns); ``aggregate_row`` is the whole-deployment row;
+    ``transactions`` is the coordinator counter dict
+    (``started`` / ``committed`` / ``aborted``).
+    """
+    lines = [title, format_results_table(shard_rows)]
+    if aggregate_row is not None:
+        lines.append("aggregate: " + "  ".join(f"{k}={v}" for k, v in aggregate_row.items()))
+    if transactions is not None:
+        lines.append(
+            "cross-shard transactions: "
+            f"{transactions.get('committed', 0)} committed, "
+            f"{transactions.get('aborted', 0)} aborted, "
+            f"{transactions.get('started', 0)} started"
+        )
     return "\n".join(lines)
 
 

@@ -19,20 +19,31 @@ from repro.cluster.builders import (
     build_paxos,
     build_pbft,
     build_seemore,
+    build_sharded_seemore,
     build_upright,
     builder_for,
 )
-from repro.cluster.runner import RunResult, run_deployment, run_timeline, sweep_clients
+from repro.cluster.runner import (
+    RunResult,
+    ShardedRunResult,
+    run_deployment,
+    run_sharded_deployment,
+    run_timeline,
+    sweep_clients,
+)
 
 __all__ = [
     "Deployment",
     "build_seemore",
+    "build_sharded_seemore",
     "build_paxos",
     "build_pbft",
     "build_upright",
     "builder_for",
     "RunResult",
+    "ShardedRunResult",
     "run_deployment",
+    "run_sharded_deployment",
     "sweep_clients",
     "run_timeline",
 ]

@@ -17,7 +17,7 @@ sweep them uniformly:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.baselines import (
     PaxosConfig,
@@ -36,10 +36,23 @@ from repro.net.costs import NodeCostModel
 from repro.net.latency import CloudAwareLatencyModel
 from repro.net.network import Network
 from repro.net.topology import Cloud, Placement
+from repro.shard import (
+    ShardedClientPool,
+    ShardedDeployment,
+    ShardRouter,
+    ShardSession,
+    ShardSpec,
+    make_partitioner,
+)
 from repro.sim.simulator import Simulator
 from repro.smr.client import ClientConfig
 from repro.workload.client_pool import ClientPool
-from repro.workload.generator import Workload, microbenchmark
+from repro.workload.generator import (
+    ShardedKeyValueWorkload,
+    Workload,
+    microbenchmark,
+    sharded_kv_workload,
+)
 from repro.workload.metrics import MetricsCollector
 
 DEFAULT_INTRA_CLOUD_LATENCY = 0.0002
@@ -110,6 +123,47 @@ def _finish_deployment(
 # -- SeeMoRe ---------------------------------------------------------------------
 
 
+def _spawn_seemore_cluster(
+    config: SeeMoReConfig,
+    mode: Mode,
+    simulator: Simulator,
+    network: Network,
+    keystore: KeyStore,
+    placement: Placement,
+    workload: Workload,
+    cost_model: Optional[NodeCostModel],
+) -> Dict[str, SeeMoReReplica]:
+    """Place, key, and register one SeeMoRe replica group on a shared fabric.
+
+    Shared by the single-cluster builder and the sharded builder: the
+    latter calls it once per shard with shard-prefixed replica ids, so N
+    independently configured clusters coexist on one simulator, network,
+    placement, and keystore.
+    """
+    placement.assign_many(config.private_replicas, Cloud.PRIVATE)
+    placement.assign_many(config.public_replicas, Cloud.PUBLIC)
+    for replica_id in config.all_replicas:
+        keystore.register(replica_id)
+    verifier = keystore.verifier()
+
+    state_machine_factory = workload.state_machine_factory()
+    replicas: Dict[str, SeeMoReReplica] = {}
+    for replica_id in config.all_replicas:
+        replica = SeeMoReReplica(
+            node_id=replica_id,
+            simulator=simulator,
+            config=config,
+            signer=keystore.signer_for(replica_id),
+            verifier=verifier,
+            state_machine=state_machine_factory(),
+            initial_mode=mode,
+            cost_model=cost_model,
+        )
+        network.register(replica)
+        replicas[replica_id] = replica
+    return replicas
+
+
 def build_seemore(
     crash_tolerance: int = 1,
     byzantine_tolerance: int = 1,
@@ -144,30 +198,11 @@ def build_seemore(
         batch_policy=batch_policy or BatchPolicy(),
     )
     placement = Placement()
-    placement.assign_many(config.private_replicas, Cloud.PRIVATE)
-    placement.assign_many(config.public_replicas, Cloud.PUBLIC)
-
     simulator, network = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
     keystore = KeyStore(seed=f"seemore-{seed}")
-    for replica_id in config.all_replicas:
-        keystore.register(replica_id)
-    verifier = keystore.verifier()
-
-    state_machine_factory = workload.state_machine_factory()
-    replicas = {}
-    for replica_id in config.all_replicas:
-        replica = SeeMoReReplica(
-            node_id=replica_id,
-            simulator=simulator,
-            config=config,
-            signer=keystore.signer_for(replica_id),
-            verifier=verifier,
-            state_machine=state_machine_factory(),
-            initial_mode=mode,
-            cost_model=cost_model,
-        )
-        network.register(replica)
-        replicas[replica_id] = replica
+    replicas = _spawn_seemore_cluster(
+        config, mode, simulator, network, keystore, placement, workload, cost_model
+    )
 
     client_config = client_config_for_mode(config, mode, request_timeout=client_timeout)
     return _finish_deployment(
@@ -182,6 +217,177 @@ def build_seemore(
         num_clients=num_clients,
         extras={"config": config, "mode": mode},
         client_window=client_window,
+    )
+
+
+# -- sharded SeeMoRe --------------------------------------------------------------------
+
+
+def _reject_per_shard_spawn(*args, **kwargs):
+    raise RuntimeError(
+        "per-shard pools of a sharded deployment cannot spawn clients: an "
+        "unrouted client would send every key to one shard; spawn through "
+        "ShardedDeployment.add_clients so operations are routed"
+    )
+
+
+def build_sharded_seemore(
+    num_shards: int = 2,
+    shard_specs: Optional[Sequence[ShardSpec]] = None,
+    workload: Optional[Workload] = None,
+    num_clients: int = 2,
+    seed: int = 0,
+    cross_cloud_latency: Optional[float] = None,
+    partition_policy: str = "hash",
+    range_boundaries: Optional[Sequence[str]] = None,
+    crash_tolerance: int = 1,
+    byzantine_tolerance: int = 1,
+    mode: Mode = Mode.LION,
+    checkpoint_period: int = 128,
+    request_timeout: float = 0.02,
+    client_timeout: float = 0.2,
+    client_window: Optional[int] = None,
+    txn_timeout: Optional[float] = None,
+    batch_policy: Optional[BatchPolicy] = None,
+    cost_model: Optional[NodeCostModel] = None,
+) -> ShardedDeployment:
+    """Build N SeeMoRe clusters sharing one simulated fabric.
+
+    ``shard_specs`` configures each shard individually (mode, ``c``, ``m``,
+    checkpointing, batching); when omitted, ``num_shards`` uniform shards
+    are built from the scalar knobs — the same defaults as
+    :func:`build_seemore`, so a one-shard sharded deployment is directly
+    comparable to a single cluster.
+
+    The keyspace is split by ``partition_policy`` (``"hash"`` or
+    ``"range"`` with explicit ``range_boundaries``).  The default workload
+    is a sharded key-value mix with 10% cross-shard transactions; a
+    :class:`~repro.workload.generator.ShardedKeyValueWorkload` passed
+    without a partitioner is attached to the deployment's partitioner so
+    its cross-shard transactions really span shards.
+
+    ``txn_timeout`` bounds how long a client coordinator waits for
+    prepare votes before aborting a cross-shard transaction (``None``
+    waits indefinitely — classic blocking 2PC).
+    """
+    if shard_specs is not None:
+        specs = tuple(shard_specs)
+    else:
+        specs = tuple(
+            ShardSpec(
+                mode=mode,
+                crash_tolerance=crash_tolerance,
+                byzantine_tolerance=byzantine_tolerance,
+                checkpoint_period=checkpoint_period,
+                request_timeout=request_timeout,
+                batch_policy=batch_policy,
+            )
+            for _ in range(num_shards)
+        )
+    if not specs:
+        raise ValueError("a sharded deployment needs at least one shard")
+
+    partitioner = make_partitioner(partition_policy, len(specs), range_boundaries)
+    router = ShardRouter(partitioner)
+
+    if workload is None:
+        workload = sharded_kv_workload(seed=seed, partitioner=partitioner)
+    elif isinstance(workload, ShardedKeyValueWorkload) and workload.partitioner is None:
+        workload = workload.with_partitioner(partitioner)
+
+    placement = Placement()
+    simulator, network = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
+    keystore = KeyStore(seed=f"seemore-sharded-{seed}")
+
+    shards: List[Deployment] = []
+    shard_configs: Dict[int, SeeMoReConfig] = {}
+    shard_client_configs: Dict[int, ClientConfig] = {}
+    shard_metrics: Dict[int, MetricsCollector] = {}
+    for index, spec in enumerate(specs):
+        config = SeeMoReConfig.build(
+            spec.crash_tolerance,
+            spec.byzantine_tolerance,
+            name_prefix=f"s{index}-",
+            checkpoint_period=spec.checkpoint_period,
+            request_timeout=spec.request_timeout,
+            batch_policy=spec.batch_policy or BatchPolicy(),
+        )
+        replicas = _spawn_seemore_cluster(
+            config, spec.mode, simulator, network, keystore, placement, workload, cost_model
+        )
+        metrics = MetricsCollector()
+        client_config = client_config_for_mode(config, spec.mode, request_timeout=client_timeout)
+        # The per-shard pool exists only to satisfy the single-cluster
+        # Deployment surface (metrics / timeout accessors).  It must never
+        # spawn clients: an unrouted single-cluster client would send every
+        # key to this one shard, silently breaking the keyspace partition —
+        # surge load through ShardedDeployment.add_clients instead.
+        pool = ClientPool(
+            simulator=simulator,
+            network=network,
+            keystore=keystore,
+            placement=placement,
+            client_config=client_config,
+            workload=workload,
+            metrics=metrics,
+            name_prefix=f"s{index}-client",
+        )
+        pool.spawn = _reject_per_shard_spawn  # type: ignore[method-assign]
+        shards.append(
+            Deployment(
+                protocol=f"seemore-{spec.mode.name.lower()}-s{index}",
+                simulator=simulator,
+                network=network,
+                placement=placement,
+                keystore=keystore,
+                replicas=replicas,
+                client_pool=pool,
+                metrics=metrics,
+                extras={"config": config, "mode": spec.mode, "shard_index": index},
+            )
+        )
+        shard_configs[index] = config
+        shard_client_configs[index] = client_config
+        shard_metrics[index] = metrics
+
+    def session_factory() -> Dict[int, ShardSession]:
+        return {
+            index: ShardSession(
+                shard_id=index,
+                config=shard_client_configs[index],
+                members=frozenset(shard_configs[index].all_replicas),
+            )
+            for index in shard_configs
+        }
+
+    aggregate_metrics = MetricsCollector()
+    pool = ShardedClientPool(
+        simulator=simulator,
+        network=network,
+        keystore=keystore,
+        placement=placement,
+        session_factory=session_factory,
+        router=router,
+        workload=workload,
+        metrics=aggregate_metrics,
+        shard_recorders=shard_metrics,
+        txn_timeout=txn_timeout,
+    )
+    pool.spawn(num_clients, window=client_window)
+
+    return ShardedDeployment(
+        protocol=f"seemore-sharded-{len(specs)}x",
+        simulator=simulator,
+        network=network,
+        placement=placement,
+        keystore=keystore,
+        shards=shards,
+        specs=specs,
+        partitioner=partitioner,
+        router=router,
+        client_pool=pool,
+        metrics=aggregate_metrics,
+        extras={"partition_policy": partition_policy},
     )
 
 

@@ -14,10 +14,13 @@ These functions implement the measurement methodology of Section 6:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.deployment import Deployment
-from repro.workload.metrics import LatencySummary
+from repro.workload.metrics import LatencySummary, ShardLoadSummary, per_shard_load
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (shard -> cluster)
+    from repro.shard.deployment import ShardedDeployment
 
 
 @dataclass(frozen=True)
@@ -56,6 +59,43 @@ class RunResult:
         }
 
 
+def _run_measurement_window(deployment, duration: float, warmup: float) -> Tuple[float, float]:
+    """Start clients, burn the warm-up, run the measured window, stop clients.
+
+    Shared by the single-cluster and sharded runners so the warm-up
+    discipline can never drift between them.  Returns the measurement
+    window bounds in simulated time.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive: {duration}")
+    simulator = deployment.simulator
+    deployment.start_clients()
+    start = simulator.now
+    simulator.run(until=start + warmup)
+    measure_start = simulator.now
+    simulator.run(until=measure_start + duration)
+    measure_end = simulator.now
+    deployment.stop_clients()
+    return measure_start, measure_end
+
+
+def _assemble_run_result(
+    deployment, measure_start: float, measure_end: float, safety_violations: int
+) -> RunResult:
+    """Build a :class:`RunResult` from a deployment's metrics over one window."""
+    metrics = deployment.metrics
+    return RunResult(
+        protocol=deployment.protocol,
+        clients=len(deployment.clients),
+        duration=measure_end - measure_start,
+        completed=metrics.completed,
+        throughput=metrics.throughput(start=measure_start, end=measure_end),
+        latency=metrics.latency(start=measure_start, end=measure_end),
+        client_timeouts=deployment.client_pool.total_timeouts,
+        safety_violations=safety_violations,
+    )
+
+
 def run_deployment(
     deployment: Deployment,
     duration: float = 2.0,
@@ -70,34 +110,69 @@ def run_deployment(
         warmup: simulated seconds of load discarded before measuring.
         check_safety: verify that correct replicas' ledgers agree afterwards.
     """
-    if duration <= 0:
-        raise ValueError(f"duration must be positive: {duration}")
-    simulator = deployment.simulator
-    deployment.start_clients()
-    start = simulator.now
-    simulator.run(until=start + warmup)
-    measure_start = simulator.now
-    simulator.run(until=measure_start + duration)
-    measure_end = simulator.now
-    deployment.stop_clients()
-
-    metrics = deployment.metrics
-    throughput = metrics.throughput(start=measure_start, end=measure_end)
-    latency = metrics.latency(start=measure_start, end=measure_end)
+    measure_start, measure_end = _run_measurement_window(deployment, duration, warmup)
     violations = deployment.safety_violations() if check_safety else []
     if check_safety and violations:
         raise AssertionError(
             f"{deployment.protocol}: safety violated during the run: {violations[:3]}"
         )
-    return RunResult(
-        protocol=deployment.protocol,
-        clients=len(deployment.clients),
-        duration=measure_end - measure_start,
-        completed=metrics.completed,
-        throughput=throughput,
-        latency=latency,
-        client_timeouts=deployment.client_pool.total_timeouts,
-        safety_violations=len(violations),
+    return _assemble_run_result(deployment, measure_start, measure_end, len(violations))
+
+
+@dataclass(frozen=True)
+class ShardedRunResult:
+    """Outcome of one measured run of a sharded deployment.
+
+    ``aggregate`` covers every completion (single-shard operations *and*
+    cross-shard transactions, each counted once at the client that issued
+    it); ``per_shard`` covers the single-shard operations each shard
+    served, so shard balance is visible next to the total.
+    """
+
+    aggregate: RunResult
+    per_shard: Tuple[ShardLoadSummary, ...]
+    transactions: Dict[str, int]
+    atomicity_violations: int
+
+    def shard_rows(self) -> List[Dict[str, object]]:
+        """Flat per-shard rows for :func:`repro.analysis.report.format_sharded_results`."""
+        return [summary.as_row() for summary in self.per_shard]
+
+
+def run_sharded_deployment(
+    deployment: "ShardedDeployment",
+    duration: float = 2.0,
+    warmup: float = 0.2,
+    check_safety: bool = True,
+) -> ShardedRunResult:
+    """Run a sharded deployment under load; measure aggregate and per-shard.
+
+    Shares :func:`run_deployment`'s measurement window (same warm-up
+    discipline, same units) and additionally verifies the sharded safety
+    story: every shard's ledger agreement plus cross-shard atomicity.
+    """
+    measure_start, measure_end = _run_measurement_window(deployment, duration, warmup)
+    violations = deployment.safety_violations() if check_safety else []
+    atomicity = deployment.atomicity_violations() if check_safety else []
+    if check_safety and (violations or atomicity):
+        raise AssertionError(
+            f"{deployment.protocol}: safety violated during the run: "
+            f"{violations[:3] if violations else atomicity[:3]}"
+        )
+    aggregate = _assemble_run_result(
+        deployment, measure_start, measure_end, len(violations) + len(atomicity)
+    )
+    return ShardedRunResult(
+        aggregate=aggregate,
+        per_shard=tuple(
+            per_shard_load(
+                [shard.metrics for shard in deployment.shards],
+                start=measure_start,
+                end=measure_end,
+            )
+        ),
+        transactions=deployment.transaction_stats(),
+        atomicity_violations=len(atomicity),
     )
 
 

@@ -101,20 +101,24 @@ class SeeMoReConfig:
         byzantine_tolerance: int,
         private_size: int = 0,
         public_size: int = 0,
+        name_prefix: str = "",
         **overrides,
     ) -> "SeeMoReConfig":
         """Create a config with generated replica names.
 
         By default uses the paper's evaluation layout: ``2c`` replicas in
         the private cloud and ``3m+1`` in the public cloud, for a total of
-        exactly ``3m + 2c + 1``.
+        exactly ``3m + 2c + 1``.  ``name_prefix`` namespaces the generated
+        replica ids (e.g. ``"s0-"``) so several independently configured
+        clusters — the shards of a sharded deployment — can share one
+        simulator, network, and keystore without id collisions.
         """
         if private_size <= 0:
             private_size = max(1, 2 * crash_tolerance)
         if public_size <= 0:
             public_size = 3 * byzantine_tolerance + 1
-        private = tuple(f"private-{index}" for index in range(private_size))
-        public = tuple(f"public-{index}" for index in range(public_size))
+        private = tuple(f"{name_prefix}private-{index}" for index in range(private_size))
+        public = tuple(f"{name_prefix}public-{index}" for index in range(public_size))
         return cls(
             private_replicas=private,
             public_replicas=public,

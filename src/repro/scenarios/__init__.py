@@ -64,8 +64,41 @@ from repro.scenarios.invariants import (
     default_checkers,
 )
 from repro.scenarios.library import SCENARIOS, scenario_by_name, scenario_names
+from repro.scenarios.sharded import (
+    SHARDED_SCENARIOS,
+    CrossShardAtomicity,
+    HealShards,
+    IsolateShard,
+    OnShard,
+    PerShardInvariants,
+    SurgeShardedClients,
+    ShardedInvariantChecker,
+    ShardedNoForgedReplies,
+    ShardedScenario,
+    ShardedScenarioResult,
+    build_sharded_scenario_deployment,
+    default_sharded_checkers,
+    run_sharded_scenario,
+    run_sharded_scenario_matrix,
+)
 
 __all__ = [
+    # sharded
+    "SHARDED_SCENARIOS",
+    "ShardedScenario",
+    "ShardedScenarioResult",
+    "run_sharded_scenario",
+    "run_sharded_scenario_matrix",
+    "build_sharded_scenario_deployment",
+    "ShardedInvariantChecker",
+    "PerShardInvariants",
+    "CrossShardAtomicity",
+    "ShardedNoForgedReplies",
+    "default_sharded_checkers",
+    "OnShard",
+    "IsolateShard",
+    "HealShards",
+    "SurgeShardedClients",
     # engine
     "Scenario",
     "ScenarioResult",

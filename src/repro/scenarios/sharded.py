@@ -1,0 +1,585 @@
+"""Fault scenarios for sharded deployments.
+
+The single-cluster scenario engine exercises one SeeMoRe group; this
+module lifts the same declarative style to
+:class:`~repro.shard.deployment.ShardedDeployment`:
+
+* **events** — :class:`OnShard` replays any single-cluster event (crash,
+  Byzantine strategy, mode switch, ...) against one shard;
+  :class:`IsolateShard` partitions a whole shard's replica group away from
+  every other node (clients included), the coarse failure a sharded system
+  must absorb;
+* **checkers** — every shard runs the standard single-cluster invariant
+  checkers, and two sharded checkers run globally:
+  :class:`CrossShardAtomicity` (no shard commits a transaction another
+  shard aborted — the two-phase protocol's contract) and
+  :class:`ShardedNoForgedReplies` (a client accepts only results some
+  correct replica of the *owning* shard produced);
+* **engine** — :func:`run_sharded_scenario` builds the deployment, drives
+  the events on the simulator clock, samples the checkers continuously,
+  and returns a result with a pass/fail verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.builders import build_sharded_seemore
+from repro.core.batching import BatchPolicy
+from repro.core.modes import Mode
+from repro.scenarios.events import Byzantine, Crash, ModeSwitch, Recover, ScenarioEvent
+from repro.scenarios.invariants import InvariantChecker, default_checkers
+from repro.shard.deployment import ShardedDeployment, ShardSpec
+from repro.workload.generator import sharded_kv_workload
+
+# -- events -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardedScenarioEvent:
+    """Base class: one timed action against a running sharded deployment."""
+
+    at: float
+
+    def apply(self, deployment: ShardedDeployment) -> None:
+        raise NotImplementedError
+
+    @property
+    def label(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class OnShard(ShardedScenarioEvent):
+    """Apply a single-cluster scenario event to one shard.
+
+    The wrapped event's own ``at`` is ignored — the wrapper's ``at`` is the
+    schedule — so any event from :mod:`repro.scenarios.events` composes
+    unchanged (targets resolve against the shard's config, e.g.
+    ``"primary"`` is *that shard's* current primary).
+    """
+
+    shard: int = 0
+    event: Optional[ScenarioEvent] = None
+
+    def apply(self, deployment: ShardedDeployment) -> None:
+        if self.event is None:
+            raise ValueError("OnShard needs a wrapped event")
+        self.event.apply(deployment.shards[self.shard])
+
+    @property
+    def label(self) -> str:
+        inner = self.event.label if self.event is not None else "?"
+        return f"s{self.shard}:{inner}"
+
+
+@dataclass(frozen=True)
+class IsolateShard(ShardedScenarioEvent):
+    """Cut one shard's replicas off from every other node, clients included.
+
+    Cross-shard transactions touching the shard stall in prepare (and, with
+    a coordinator timeout, abort); single-shard traffic for the other
+    shards must keep flowing.  Replaces any existing partition.
+    """
+
+    shard: int = 0
+
+    def apply(self, deployment: ShardedDeployment) -> None:
+        isolated = set(deployment.shards[self.shard].replicas)
+        everyone_else = set(deployment.all_node_ids()) - isolated
+        deployment.network.conditions.partition(isolated, everyone_else)
+
+    @property
+    def label(self) -> str:
+        return f"isolate-shard({self.shard})"
+
+
+@dataclass(frozen=True)
+class HealShards(ShardedScenarioEvent):
+    """Remove every partition."""
+
+    def apply(self, deployment: ShardedDeployment) -> None:
+        deployment.network.conditions.heal_partition()
+
+    @property
+    def label(self) -> str:
+        return "heal-shards"
+
+
+@dataclass(frozen=True)
+class SurgeShardedClients(ShardedScenarioEvent):
+    """Ramp load by spawning extra *sharded* (router-aware) clients.
+
+    The single-cluster ``ClientSurge`` must not be used through
+    ``OnShard`` — an unrouted client would aim every key at one shard —
+    so sharded scenarios surge through the deployment's own pool.
+    """
+
+    count: int = 2
+    window: Optional[int] = None
+
+    def apply(self, deployment: ShardedDeployment) -> None:
+        deployment.add_clients(self.count, window=self.window)
+
+    @property
+    def label(self) -> str:
+        return f"sharded-client-surge(+{self.count})"
+
+
+# -- checkers ---------------------------------------------------------------------
+
+
+class ShardedInvariantChecker:
+    """Base class: the sharded counterpart of ``InvariantChecker``."""
+
+    name = "sharded-invariant"
+
+    def attach(self, deployment: ShardedDeployment) -> None:
+        """Instrument the deployment before clients start."""
+
+    def check(self, deployment: ShardedDeployment) -> List[str]:
+        return []
+
+    def finalize(self, deployment: ShardedDeployment) -> List[str]:
+        return self.check(deployment)
+
+
+class PerShardInvariants(ShardedInvariantChecker):
+    """Run the full single-cluster checker set independently on every shard.
+
+    Committed-prefix agreement, exactly-once execution, and checkpoint
+    agreement are all *per-shard* properties — each shard is its own
+    replicated state machine — so each shard gets a fresh checker set and
+    violations are reported with the shard index.
+    """
+
+    name = "per-shard-invariants"
+
+    def __init__(self, checker_factory=default_checkers) -> None:
+        self._checker_factory = checker_factory
+        self._checkers: Dict[int, List[InvariantChecker]] = {}
+
+    def attach(self, deployment: ShardedDeployment) -> None:
+        for index, shard in enumerate(deployment.shards):
+            self._checkers[index] = list(self._checker_factory())
+            for checker in self._checkers[index]:
+                checker.attach(shard)
+
+    def _collect(self, deployment: ShardedDeployment, final: bool) -> List[str]:
+        violations = []
+        for index, shard in enumerate(deployment.shards):
+            for checker in self._checkers.get(index, ()):
+                found = checker.finalize(shard) if final else checker.check(shard)
+                violations.extend(f"shard {index} [{checker.name}] {v}" for v in found)
+        return violations
+
+    def check(self, deployment: ShardedDeployment) -> List[str]:
+        return self._collect(deployment, final=False)
+
+    def finalize(self, deployment: ShardedDeployment) -> List[str]:
+        return self._collect(deployment, final=True)
+
+
+class CrossShardAtomicity(ShardedInvariantChecker):
+    """No shard commits a cross-shard transaction another shard aborted.
+
+    Checked continuously — a transient split-decision that some later
+    repair would paper over is still caught at the sample closest to the
+    moment it happened.
+    """
+
+    name = "cross-shard-atomicity"
+
+    def check(self, deployment: ShardedDeployment) -> List[str]:
+        return deployment.atomicity_violations()
+
+
+class ShardedNoForgedReplies(ShardedInvariantChecker):
+    """Accepted results must come from the owning shard's correct replicas.
+
+    Wraps every sharded client's completion path to record, per accepted
+    reply, which shard served it and what result was accepted; at the end
+    of the run each accepted result is validated against the reply caches
+    of that shard's correct replicas.
+    """
+
+    name = "sharded-no-forged-replies"
+
+    def __init__(self) -> None:
+        # (client_id, timestamp) -> (shard_id, accepted result)
+        self._accepted: Dict[Tuple[str, int], Tuple[int, Any]] = {}
+
+    def attach(self, deployment: ShardedDeployment) -> None:
+        for client in deployment.clients:
+            self._instrument(client)
+        pool = deployment.client_pool
+        original_spawn = pool.spawn
+
+        def spawning(*args, **kwargs):
+            created = original_spawn(*args, **kwargs)
+            for client in created:
+                self._instrument(client)
+            return created
+
+        pool.spawn = spawning  # type: ignore[method-assign]
+
+    def _instrument(self, client) -> None:
+        original_complete = client._complete
+
+        def completing(reply, pending):
+            timestamp = pending.request.timestamp
+            meta = client._meta.get(timestamp)
+            if meta is not None:
+                self._accepted[(client.node_id, timestamp)] = (meta.shard_id, reply.result)
+            original_complete(reply, pending)
+
+        client._complete = completing  # type: ignore[method-assign]
+
+    def finalize(self, deployment: ShardedDeployment) -> List[str]:
+        violations = []
+        correct_by_shard = {
+            index: shard.correct_replicas() for index, shard in enumerate(deployment.shards)
+        }
+        for (client_id, timestamp), (shard_id, accepted) in sorted(self._accepted.items()):
+            executed = [
+                replica.executor.cached_reply(client_id, timestamp)
+                for replica in correct_by_shard[shard_id]
+                if replica.executor.already_executed(client_id, timestamp)
+            ]
+            if not executed:
+                violations.append(
+                    f"client {client_id} accepted a reply for timestamp {timestamp} "
+                    f"that no correct replica of shard {shard_id} ever executed"
+                )
+            elif not any(result == accepted for result in executed):
+                violations.append(
+                    f"client {client_id} accepted a forged result for timestamp "
+                    f"{timestamp}: no correct replica of shard {shard_id} produced it"
+                )
+        return violations
+
+
+def default_sharded_checkers() -> List[ShardedInvariantChecker]:
+    """A fresh instance of every standard sharded checker."""
+    return [PerShardInvariants(), CrossShardAtomicity(), ShardedNoForgedReplies()]
+
+
+# -- the scenario -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardedScenario:
+    """One named, declarative fault scenario over a sharded deployment.
+
+    ``modes`` assigns each shard its SeeMoRe mode (and implicitly the shard
+    count); uniform fault thresholds keep the definition compact.  The
+    workload is always the sharded key-value mix, with
+    ``cross_shard_fraction`` of operations running the two-phase path.
+    """
+
+    name: str
+    description: str
+    modes: Tuple[Mode, ...] = (Mode.LION, Mode.LION)
+    events: Tuple[ShardedScenarioEvent, ...] = ()
+    duration: float = 1.0
+    settle: float = 0.3
+    num_clients: int = 3
+    client_window: int = 2
+    crash_tolerance: int = 1
+    byzantine_tolerance: int = 1
+    checkpoint_period: int = 128
+    batch_policy: Optional[BatchPolicy] = None
+    cross_shard_fraction: float = 0.2
+    read_fraction: float = 0.5
+    key_space: int = 200
+    key_distribution: str = "uniform"
+    partition_policy: str = "hash"
+    txn_timeout: Optional[float] = 0.3
+    seed: int = 7
+    client_timeout: float = 0.1
+    min_completed: int = 10
+    min_committed_txns: int = 1
+    expect_aborts: bool = False
+    check_interval: float = 0.05
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.modes)
+
+
+@dataclass
+class ShardedScenarioResult:
+    """Everything one sharded scenario run produced, with a verdict."""
+
+    scenario: str
+    protocol: str
+    shard_modes: Tuple[str, ...]
+    duration: float
+    completed: int
+    per_shard_completed: Tuple[int, ...]
+    transactions: Dict[str, int]
+    client_timeouts: int
+    events_applied: List[Tuple[float, str]] = field(default_factory=list)
+    invariant_violations: Dict[str, List[str]] = field(default_factory=dict)
+    expectation_failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.invariant_violations and not self.expectation_failures
+
+    def failures(self) -> List[str]:
+        lines = []
+        for checker, violations in sorted(self.invariant_violations.items()):
+            lines.extend(f"[{checker}] {violation}" for violation in violations)
+        lines.extend(f"[expectation] {failure}" for failure in self.expectation_failures)
+        return lines
+
+    def assert_ok(self) -> None:
+        if not self.ok:
+            details = "\n  ".join(self.failures())
+            raise AssertionError(
+                f"sharded scenario {self.scenario!r}: "
+                f"{len(self.failures())} failure(s):\n  {details}"
+            )
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "shards": "/".join(mode.lower() for mode in self.shard_modes),
+            "completed": self.completed,
+            "txns_committed": self.transactions.get("committed", 0),
+            "txns_aborted": self.transactions.get("aborted", 0),
+            "timeouts": self.client_timeouts,
+            "failures": len(self.failures()),
+            "verdict": "ok" if self.ok else "FAIL",
+        }
+
+
+# -- running ----------------------------------------------------------------------
+
+
+def build_sharded_scenario_deployment(scenario: ShardedScenario, **overrides) -> ShardedDeployment:
+    """Stand up the deployment one sharded scenario runs against."""
+    specs = tuple(
+        ShardSpec(
+            mode=mode,
+            crash_tolerance=scenario.crash_tolerance,
+            byzantine_tolerance=scenario.byzantine_tolerance,
+            checkpoint_period=scenario.checkpoint_period,
+            batch_policy=scenario.batch_policy,
+        )
+        for mode in scenario.modes
+    )
+    workload = sharded_kv_workload(
+        key_space=scenario.key_space,
+        read_fraction=scenario.read_fraction,
+        seed=scenario.seed,
+        cross_shard_fraction=scenario.cross_shard_fraction,
+        key_distribution=scenario.key_distribution,
+    )
+    build_kwargs = dict(
+        shard_specs=specs,
+        workload=workload,
+        num_clients=scenario.num_clients,
+        seed=scenario.seed,
+        partition_policy=scenario.partition_policy,
+        client_timeout=scenario.client_timeout,
+        client_window=scenario.client_window,
+        txn_timeout=scenario.txn_timeout,
+    )
+    build_kwargs.update(overrides)
+    return build_sharded_seemore(**build_kwargs)
+
+
+def run_sharded_scenario(
+    scenario: ShardedScenario,
+    checkers: Optional[List[ShardedInvariantChecker]] = None,
+    **overrides,
+) -> ShardedScenarioResult:
+    """Run one sharded scenario and return its result (no assertion)."""
+    deployment = build_sharded_scenario_deployment(scenario, **overrides)
+    active_checkers = list(checkers) if checkers is not None else default_sharded_checkers()
+    for checker in active_checkers:
+        checker.attach(deployment)
+
+    simulator = deployment.simulator
+    start = simulator.now
+    end = start + scenario.duration
+
+    events_applied: List[Tuple[float, str]] = []
+    for event in scenario.events:
+        if event.at > scenario.duration:
+            raise ValueError(
+                f"sharded scenario {scenario.name!r}: event {event.label} at "
+                f"t={event.at} never fires (duration is {scenario.duration})"
+            )
+
+        def fire(event: ShardedScenarioEvent = event) -> None:
+            events_applied.append((round(simulator.now - start, 6), event.label))
+            event.apply(deployment)
+
+        simulator.call_at(start + event.at, fire, label=f"sharded-scenario:{event.label}")
+
+    violations: Dict[str, List[str]] = {}
+    seen: set = set()
+
+    def record(checker_name: str, messages: List[str]) -> None:
+        for message in messages:
+            if (checker_name, message) not in seen:
+                seen.add((checker_name, message))
+                violations.setdefault(checker_name, []).append(message)
+
+    def sample() -> None:
+        for checker in active_checkers:
+            record(checker.name, checker.check(deployment))
+        if simulator.now < end:
+            simulator.call_later(scenario.check_interval, sample, label="sharded-scenario:check")
+
+    simulator.call_later(scenario.check_interval, sample, label="sharded-scenario:check")
+
+    deployment.start_clients()
+    simulator.run(until=end)
+    deployment.stop_clients()
+    simulator.run(until=end + scenario.settle)
+
+    for checker in active_checkers:
+        record(checker.name, checker.finalize(deployment))
+    deployment.collect_batch_sizes()
+
+    transactions = deployment.transaction_stats()
+    expectation_failures: List[str] = []
+    if deployment.metrics.completed < scenario.min_completed:
+        expectation_failures.append(
+            f"only {deployment.metrics.completed} requests completed over the whole "
+            f"run (liveness floor {scenario.min_completed})"
+        )
+    if transactions["committed"] < scenario.min_committed_txns:
+        expectation_failures.append(
+            f"only {transactions['committed']} cross-shard transactions committed "
+            f"(expected >= {scenario.min_committed_txns})"
+        )
+    if scenario.expect_aborts and transactions["aborted"] < 1:
+        expectation_failures.append(
+            "the scenario expected at least one aborted cross-shard transaction"
+        )
+
+    return ShardedScenarioResult(
+        scenario=scenario.name,
+        protocol=deployment.protocol,
+        shard_modes=tuple(mode.name for mode in scenario.modes),
+        duration=scenario.duration,
+        completed=deployment.metrics.completed,
+        per_shard_completed=tuple(deployment.per_shard_completed()),
+        transactions=transactions,
+        client_timeouts=deployment.client_pool.total_timeouts,
+        events_applied=events_applied,
+        invariant_violations=violations,
+        expectation_failures=expectation_failures,
+    )
+
+
+def run_sharded_scenario_matrix(
+    scenarios: Optional[List[ShardedScenario]] = None, **overrides
+) -> List[ShardedScenarioResult]:
+    """Run every (or the given) library scenario; returns all results."""
+    if scenarios is None:
+        scenarios = list(SHARDED_SCENARIOS.values())
+    return [run_sharded_scenario(scenario, **overrides) for scenario in scenarios]
+
+
+# -- the library ------------------------------------------------------------------
+
+
+SHARD_PRIMARY_CRASH = ShardedScenario(
+    name="shard-primary-crash-mid-traffic",
+    description="One shard's primary crashes under mixed single/cross-shard load; "
+    "that shard must view-change while the others keep serving, and every "
+    "cross-shard transaction must stay atomic.",
+    modes=(Mode.LION, Mode.LION, Mode.LION),
+    events=(OnShard(at=0.15, shard=1, event=Crash(at=0.0, target="primary")),),
+    duration=0.9,
+    min_committed_txns=3,
+)
+
+SHARD_ISOLATED_THEN_HEALS = ShardedScenario(
+    name="shard-isolated-then-heals",
+    description="A whole shard is partitioned away mid-traffic; transactions "
+    "touching it abort on the coordinator timeout (atomically), the rest of "
+    "the keyspace keeps serving, and the shard rejoins after the heal.",
+    modes=(Mode.LION, Mode.LION),
+    events=(IsolateShard(at=0.15, shard=1), HealShards(at=0.45)),
+    duration=1.0,
+    settle=0.4,
+    cross_shard_fraction=0.3,
+    txn_timeout=0.12,
+    expect_aborts=True,
+)
+
+MIXED_MODE_SHARDS = ShardedScenario(
+    name="mixed-mode-shards-under-load",
+    description="Three shards running Lion, Dog, and Peacock serve one keyspace; "
+    "cross-shard transactions span trust domains and must commit atomically.",
+    modes=(Mode.LION, Mode.DOG, Mode.PEACOCK),
+    cross_shard_fraction=0.25,
+    duration=0.8,
+    min_committed_txns=5,
+)
+
+SHARD_BYZANTINE_BACKUP = ShardedScenario(
+    name="shard-byzantine-backup-lies",
+    description="A public-cloud replica of one shard forges results under load; "
+    "no client may accept a reply its shard's correct replicas did not produce.",
+    modes=(Mode.LION, Mode.LION),
+    events=(
+        OnShard(at=0.12, shard=0, event=Byzantine(at=0.0, target="public-backup", strategy="lie")),
+    ),
+    duration=0.7,
+)
+
+SHARD_CRASH_RECOVER_WITH_MODE_SWITCH = ShardedScenario(
+    name="shard-crash-recover-mode-switch",
+    description="One shard loses a private backup and recovers it while another "
+    "shard switches modes mid-traffic; both local repairs must stay invisible "
+    "to cross-shard atomicity.",
+    modes=(Mode.LION, Mode.LION),
+    events=(
+        OnShard(at=0.1, shard=0, event=Crash(at=0.0, target="private:1")),
+        OnShard(at=0.2, shard=1, event=ModeSwitch(at=0.0, new_mode="next")),
+        OnShard(at=0.35, shard=0, event=Recover(at=0.0, target="private:1")),
+    ),
+    duration=0.9,
+)
+
+
+#: The sharded scenario library, in presentation order.
+SHARDED_SCENARIOS: Dict[str, ShardedScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        SHARD_PRIMARY_CRASH,
+        SHARD_ISOLATED_THEN_HEALS,
+        MIXED_MODE_SHARDS,
+        SHARD_BYZANTINE_BACKUP,
+        SHARD_CRASH_RECOVER_WITH_MODE_SWITCH,
+    )
+}
+
+
+__all__ = [
+    "ShardedScenarioEvent",
+    "OnShard",
+    "IsolateShard",
+    "HealShards",
+    "SurgeShardedClients",
+    "ShardedInvariantChecker",
+    "PerShardInvariants",
+    "CrossShardAtomicity",
+    "ShardedNoForgedReplies",
+    "default_sharded_checkers",
+    "ShardedScenario",
+    "ShardedScenarioResult",
+    "build_sharded_scenario_deployment",
+    "run_sharded_scenario",
+    "run_sharded_scenario_matrix",
+    "SHARDED_SCENARIOS",
+]

@@ -1,0 +1,194 @@
+"""Client-side cross-shard transaction coordination.
+
+The coordinator drives a deterministic two-phase protocol in which every
+record is an ordinary client operation *ordered by the participating
+shard's own SeeMoRe instance* — cross-shard atomicity therefore inherits
+each shard's agreement guarantees instead of trusting any single machine:
+
+1. **Prepare** — ``txn_prepare(txn_id, writes)`` goes to every participant.
+   Each shard orders the prepare, stages the writes, and replies with a
+   vote through the normal reply-quorum path (so the coordinator believes
+   a vote only with the same confidence it believes any result).
+2. **Decide** — once every vote is in (all yes → ``commit``; any no, or
+   the optional coordinator timeout → ``abort``) the same
+   ``txn_decide(txn_id, outcome)`` record goes to every participant.  The
+   decision is made exactly once and never changes, which is the whole
+   atomicity argument: a shard can only apply the one outcome the
+   coordinator distributed.
+
+A participant that already ordered an abort tombstone votes *no* on a late
+prepare (see ``TransactionalKeyValueStore``), closing the classic race
+where a timed-out coordinator aborts while a retransmitted prepare is
+still working its way through a slow shard.
+
+The coordinator is transport-agnostic: it submits operations through a
+``submit(shard, operation, on_result)`` callable and schedules its
+timeout through ``schedule(delay, action)``, so it is unit-testable
+without a network and reusable by any client implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.smr.state_machine import TXN_ABORT, TXN_COMMIT, Operation
+
+SubmitFn = Callable[[int, Operation, Callable[[Any], None]], None]
+ScheduleFn = Callable[[float, Callable[[], None]], None]
+
+
+@dataclass
+class TransactionRecord:
+    """Lifecycle state of one in-flight cross-shard transaction."""
+
+    txn_id: str
+    participants: Tuple[int, ...]
+    writes_by_shard: Dict[int, Tuple[Tuple[Any, ...], ...]]
+    started_at: float
+    votes: Dict[int, bool] = field(default_factory=dict)
+    decision: Optional[str] = None
+    decides_pending: Set[int] = field(default_factory=set)
+
+    @property
+    def decided(self) -> bool:
+        return self.decision is not None
+
+
+@dataclass
+class CoordinatorStats:
+    """Counters exposed to metrics and scenario reports."""
+
+    started: int = 0
+    committed: int = 0
+    aborted: int = 0
+
+    @property
+    def decided(self) -> int:
+        return self.committed + self.aborted
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"started": self.started, "committed": self.committed, "aborted": self.aborted}
+
+
+class CrossShardCoordinator:
+    """Drives two-phase commits for one client.
+
+    Args:
+        submit: sends one operation to one shard; ``on_result`` fires with
+            the operation's (quorum-accepted) execution result.
+        schedule: schedules ``action`` after ``delay`` simulated seconds
+            (used only when ``txn_timeout`` is set).
+        now: returns the current simulated time.
+        on_complete: fires once per transaction, after every participant
+            acknowledged the decision — the moment the transaction is
+            durable everywhere and the client's window slot frees up.
+        txn_timeout: optional coordinator patience: a transaction whose
+            votes are not all in after this many seconds is aborted.
+            ``None`` (the default) waits indefinitely, the classic blocking
+            2PC — participants keep retransmitting until the shard answers.
+    """
+
+    def __init__(
+        self,
+        submit: SubmitFn,
+        schedule: ScheduleFn,
+        now: Callable[[], float],
+        on_complete: Optional[Callable[[TransactionRecord], None]] = None,
+        txn_timeout: Optional[float] = None,
+    ) -> None:
+        self._submit = submit
+        self._schedule = schedule
+        self._now = now
+        self._on_complete = on_complete
+        self.txn_timeout = txn_timeout
+        self.stats = CoordinatorStats()
+        self._active: Dict[str, TransactionRecord] = {}
+
+    @property
+    def active_transactions(self) -> int:
+        return len(self._active)
+
+    def begin(
+        self, txn_id: str, writes_by_shard: Dict[int, Tuple[Tuple[Any, ...], ...]]
+    ) -> TransactionRecord:
+        """Start the prepare phase of one cross-shard transaction."""
+        if txn_id in self._active:
+            raise ValueError(f"transaction {txn_id!r} is already in flight")
+        if len(writes_by_shard) < 2:
+            raise ValueError(
+                f"transaction {txn_id!r} touches {len(writes_by_shard)} shard(s); "
+                f"single-shard transactions take the atomic 'txn' fast path"
+            )
+        record = TransactionRecord(
+            txn_id=txn_id,
+            participants=tuple(sorted(writes_by_shard)),
+            writes_by_shard=dict(writes_by_shard),
+            started_at=self._now(),
+        )
+        self._active[txn_id] = record
+        self.stats.started += 1
+        for shard in record.participants:
+            operation = Operation("txn_prepare", (txn_id, record.writes_by_shard[shard]))
+            self._submit(
+                shard,
+                operation,
+                lambda result, shard=shard: self._on_vote(txn_id, shard, result),
+            )
+        if self.txn_timeout is not None:
+            self._schedule(self.txn_timeout, lambda: self._deadline(txn_id))
+        return record
+
+    # -- phase transitions --------------------------------------------------
+
+    def _on_vote(self, txn_id: str, shard: int, result: Any) -> None:
+        record = self._active.get(txn_id)
+        if record is None or record.decided:
+            # Late vote after the decision (typically after a timeout
+            # abort): the decide already went to every participant.
+            return
+        vote = (
+            isinstance(result, dict)
+            and bool(result.get("ok"))
+            and result.get("vote") == "yes"
+        )
+        record.votes[shard] = vote
+        if not vote:
+            self._decide(record, TXN_ABORT)
+        elif len(record.votes) == len(record.participants):
+            self._decide(record, TXN_COMMIT)
+
+    def _deadline(self, txn_id: str) -> None:
+        record = self._active.get(txn_id)
+        if record is not None and not record.decided:
+            self._decide(record, TXN_ABORT)
+
+    def _decide(self, record: TransactionRecord, outcome: str) -> None:
+        record.decision = outcome
+        if outcome == TXN_COMMIT:
+            self.stats.committed += 1
+        else:
+            self.stats.aborted += 1
+        # The decision goes to EVERY participant — including those whose
+        # prepare has not answered yet (crashed or partitioned shards): the
+        # decide record retransmits until the shard orders it, and a
+        # participant that sees the abort before its prepare records the
+        # tombstone that makes the late prepare vote no.
+        record.decides_pending = set(record.participants)
+        for shard in record.participants:
+            operation = Operation("txn_decide", (record.txn_id, outcome))
+            self._submit(
+                shard,
+                operation,
+                lambda result, shard=shard: self._on_decided(record.txn_id, shard, result),
+            )
+
+    def _on_decided(self, txn_id: str, shard: int, result: Any) -> None:
+        record = self._active.get(txn_id)
+        if record is None:
+            return
+        record.decides_pending.discard(shard)
+        if not record.decides_pending:
+            del self._active[txn_id]
+            if self._on_complete is not None:
+                self._on_complete(record)

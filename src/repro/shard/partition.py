@@ -1,0 +1,96 @@
+"""Deterministic keyspace partitioning policies.
+
+A partitioner maps every application key to exactly one shard.  Both
+policies are pure functions of ``(key, configuration)`` — no process state,
+no Python ``hash()`` (which is salted per interpreter run) — so every
+client, test, and replay of a simulation routes a key identically.
+
+* :class:`HashPartitioner` — uniform spreading via a keyed BLAKE2b digest;
+  the right default for point-access workloads because hot keys land on
+  unrelated shards.
+* :class:`RangePartitioner` — ordered split points; keys keep their sort
+  order within a shard, the classic choice when scans matter or when an
+  operator wants explicit control over which keys co-locate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+
+class Partitioner:
+    """Interface: a total, deterministic ``key -> shard index`` map."""
+
+    num_shards: int
+
+    def shard_of_key(self, key: str) -> int:
+        raise NotImplementedError
+
+    def validate(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(f"a keyspace needs at least one shard: {self.num_shards}")
+
+
+@dataclass(frozen=True)
+class HashPartitioner(Partitioner):
+    """``shard = BLAKE2b(key) mod num_shards`` — stable across runs and hosts."""
+
+    num_shards: int
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def shard_of_key(self, key: str) -> int:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.num_shards
+
+
+@dataclass(frozen=True)
+class RangePartitioner(Partitioner):
+    """Split the (lexicographically ordered) keyspace at explicit boundaries.
+
+    ``boundaries`` holds ``num_shards - 1`` strictly increasing split keys;
+    shard ``i`` owns keys in ``[boundaries[i-1], boundaries[i])`` with the
+    first and last ranges open-ended.  A key equal to a boundary belongs to
+    the shard *after* it.
+    """
+
+    boundaries: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        ordered = list(self.boundaries)
+        if ordered != sorted(set(ordered)):
+            raise ValueError(f"range boundaries must be strictly increasing: {self.boundaries}")
+        self.validate()
+
+    @property
+    def num_shards(self) -> int:  # type: ignore[override]
+        return len(self.boundaries) + 1
+
+    def shard_of_key(self, key: str) -> int:
+        return bisect_right(self.boundaries, key)
+
+
+def make_partitioner(
+    policy: str,
+    num_shards: int,
+    boundaries: Optional[Sequence[str]] = None,
+) -> Partitioner:
+    """Build a partitioner from deployment knobs.
+
+    ``policy`` is ``"hash"`` or ``"range"``; a range policy needs exactly
+    ``num_shards - 1`` boundaries.
+    """
+    if policy == "hash":
+        return HashPartitioner(num_shards=num_shards)
+    if policy == "range":
+        if boundaries is None or len(boundaries) != num_shards - 1:
+            raise ValueError(
+                f"a range policy over {num_shards} shards needs {num_shards - 1} "
+                f"boundaries, got {boundaries!r}"
+            )
+        return RangePartitioner(boundaries=tuple(boundaries))
+    raise ValueError(f"unknown partition policy {policy!r}; choose 'hash' or 'range'")

@@ -1,0 +1,74 @@
+"""Client-side shard routing.
+
+The router is the only component that knows which cluster owns which key.
+It inspects an :class:`~repro.smr.state_machine.Operation`, extracts the
+key(s) it touches, and maps them through the deployment's partitioner:
+
+* single-key operations (``put`` / ``get`` / ``delete``) route to the one
+  shard owning the key;
+* multi-write transactions (``kind == "txn"``, args are ``(kind, key[,
+  value])`` write tuples) route to every shard owning one of the written
+  keys — one shard means the single-shard fast path (an atomic local
+  multi-write), several mean the cross-shard two-phase protocol;
+* keyless operations (``noop``, ``scan``, the micro-benchmark payloads)
+  have no owner and route to shard 0 by convention — sharded experiments
+  are expected to drive keyed workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.shard.partition import Partitioner
+from repro.smr.state_machine import Operation
+
+#: Operation kinds whose first argument is the key they touch.
+_SINGLE_KEY_KINDS = frozenset({"put", "get", "delete"})
+
+#: The shard that receives operations touching no key at all.
+DEFAULT_SHARD = 0
+
+
+class ShardRouter:
+    """Deterministic ``Operation -> shard(s)`` mapping for one deployment."""
+
+    def __init__(self, partitioner: Partitioner) -> None:
+        self.partitioner = partitioner
+
+    @property
+    def num_shards(self) -> int:
+        return self.partitioner.num_shards
+
+    def shard_of_key(self, key: str) -> int:
+        return self.partitioner.shard_of_key(key)
+
+    def keys_of_operation(self, operation: Operation) -> Tuple[str, ...]:
+        """The key(s) an operation touches (empty for keyless operations)."""
+        if operation.kind in _SINGLE_KEY_KINDS:
+            return (operation.args[0],)
+        if operation.kind == "txn":
+            return tuple(write[1] for write in operation.args)
+        return ()
+
+    def shards_of_operation(self, operation: Operation) -> Tuple[int, ...]:
+        """Owning shards, sorted and deduplicated; ``(DEFAULT_SHARD,)`` if keyless."""
+        keys = self.keys_of_operation(operation)
+        if not keys:
+            return (DEFAULT_SHARD,)
+        return tuple(sorted({self.partitioner.shard_of_key(key) for key in keys}))
+
+    def is_cross_shard(self, operation: Operation) -> bool:
+        return len(self.shards_of_operation(operation)) > 1
+
+    def split_writes(self, operation: Operation) -> Dict[int, Tuple[Tuple[Any, ...], ...]]:
+        """Group a ``txn`` operation's writes by owning shard.
+
+        Write order within each shard is preserved, so every participant
+        applies its slice of the transaction in the order the client issued.
+        """
+        if operation.kind != "txn":
+            raise ValueError(f"only 'txn' operations split into writes: {operation.kind!r}")
+        grouped: Dict[int, list] = {}
+        for write in operation.args:
+            grouped.setdefault(self.partitioner.shard_of_key(write[1]), []).append(tuple(write))
+        return {shard: tuple(writes) for shard, writes in grouped.items()}

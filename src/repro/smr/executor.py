@@ -52,6 +52,16 @@ class OrderedExecutor:
         self._checkpoint_interval: Optional[int] = None
         self._checkpoint_callback: Optional[Any] = None
 
+    @property
+    def state_machine(self) -> StateMachine:
+        """The replicated application this executor drives.
+
+        Exposed read-only for invariant checkers (e.g. the cross-shard
+        atomicity checker inspects transaction decisions recorded by a
+        :class:`~repro.smr.state_machine.TransactionalKeyValueStore`).
+        """
+        return self._state_machine
+
     def set_checkpoint_hook(self, interval: int, callback) -> None:
         """Invoke ``callback(sequence)`` the moment execution crosses each
         ``interval`` boundary.

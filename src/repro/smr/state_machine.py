@@ -105,6 +105,122 @@ class KeyValueStore(StateMachine):
         self._data = dict(snapshot)
 
 
+#: Transaction decision outcomes recorded by the participant state machine.
+TXN_COMMIT = "commit"
+TXN_ABORT = "abort"
+
+
+class TransactionalKeyValueStore(KeyValueStore):
+    """A key-value store that can participate in cross-shard transactions.
+
+    On top of the plain put/get/delete/scan operations it understands the
+    records of the deterministic two-phase commit used by the sharded
+    deployment.  All three records are ordinary client operations, so each
+    shard *orders them through its own consensus instance* — atomicity
+    across shards therefore inherits each shard's agreement guarantees:
+
+    * ``txn`` — an atomic multi-write confined to this shard (the
+      single-shard fast path: no coordination needed, the writes apply in
+      one deterministic step);
+    * ``txn_prepare(txn_id, writes)`` — stage the transaction's writes for
+      this shard and vote.  The vote is *no* when a decision for the
+      transaction is already recorded — the abort-before-prepare tombstone:
+      a coordinator that timed out and aborted may have its abort ordered
+      before a retransmitted prepare, and that late prepare must not
+      resurrect the transaction;
+    * ``txn_decide(txn_id, outcome)`` — record the coordinator's decision.
+      ``commit`` applies the staged writes; ``abort`` discards them.  The
+      first decision for a transaction wins; duplicates are reported as
+      such and change nothing (re-proposals are additionally absorbed by
+      the executor's reply cache).
+
+    Staged writes and decisions are part of :meth:`snapshot`, so a replica
+    that catches up via state transfer resumes with the same transaction
+    state every other correct replica has.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._staged: Dict[str, Tuple[Tuple[Any, ...], ...]] = {}
+        self.txn_decisions: Dict[str, str] = {}
+        self.txns_committed = 0
+        self.txns_aborted = 0
+
+    def _apply_write(self, write: Tuple[Any, ...]) -> None:
+        kind = write[0]
+        if kind == "put":
+            _, key, value = write
+            self._data[key] = value
+        elif kind == "delete":
+            self._data.pop(write[1], None)
+        else:
+            raise ValueError(f"unsupported transactional write: {kind!r}")
+
+    def apply(self, operation: Operation) -> Any:
+        kind = operation.kind
+        if kind == "txn":
+            self.operations_applied += 1
+            for write in operation.args:
+                self._apply_write(tuple(write))
+            return {"ok": True, "writes": len(operation.args)}
+        if kind == "txn_prepare":
+            self.operations_applied += 1
+            txn_id, writes = operation.args
+            if txn_id in self.txn_decisions:
+                return {"ok": True, "txn": txn_id, "vote": "no"}
+            self._staged[txn_id] = tuple(tuple(write) for write in writes)
+            return {"ok": True, "txn": txn_id, "vote": "yes"}
+        if kind == "txn_decide":
+            self.operations_applied += 1
+            txn_id, outcome = operation.args
+            previous = self.txn_decisions.get(txn_id)
+            if previous is not None:
+                return {"ok": True, "txn": txn_id, "outcome": previous, "duplicate": True}
+            if outcome not in (TXN_COMMIT, TXN_ABORT):
+                raise ValueError(f"unsupported transaction outcome: {outcome!r}")
+            self.txn_decisions[txn_id] = outcome
+            staged = self._staged.pop(txn_id, None)
+            if outcome == TXN_COMMIT:
+                self.txns_committed += 1
+                if staged is None:
+                    # Should be unreachable under the coordinator protocol
+                    # (commit is only decided after every participant voted
+                    # yes, and the vote is ordered before the decision);
+                    # reported rather than raised so the atomicity checker
+                    # surfaces it as an invariant violation.
+                    return {"ok": False, "txn": txn_id, "outcome": outcome,
+                            "error": "commit-without-prepare"}
+                for write in staged:
+                    self._apply_write(write)
+            else:
+                self.txns_aborted += 1
+            return {"ok": True, "txn": txn_id, "outcome": outcome}
+        return super().apply(operation)
+
+    def staged_transactions(self) -> List[str]:
+        """Transaction ids prepared on this shard but not yet decided."""
+        return sorted(self._staged)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "data": dict(self._data),
+            "staged": {txn_id: list(map(list, writes)) for txn_id, writes in self._staged.items()},
+            "decisions": dict(self.txn_decisions),
+            "committed": self.txns_committed,
+            "aborted": self.txns_aborted,
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        self._data = dict(snapshot["data"])
+        self._staged = {
+            txn_id: tuple(tuple(write) for write in writes)
+            for txn_id, writes in snapshot["staged"].items()
+        }
+        self.txn_decisions = dict(snapshot["decisions"])
+        self.txns_committed = snapshot["committed"]
+        self.txns_aborted = snapshot["aborted"]
+
+
 class Counter(StateMachine):
     """A single replicated integer supporting add/read."""
 

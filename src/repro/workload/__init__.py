@@ -13,16 +13,34 @@ This package provides those pieces:
   closed-loop clients sharing a collector.
 """
 
-from repro.workload.generator import Workload, kv_workload, microbenchmark
-from repro.workload.metrics import BatchSizeSummary, MetricsCollector, LatencySummary
+from repro.workload.generator import (
+    KeyValueWorkload,
+    ShardedKeyValueWorkload,
+    Workload,
+    kv_workload,
+    microbenchmark,
+    sharded_kv_workload,
+)
+from repro.workload.metrics import (
+    BatchSizeSummary,
+    LatencySummary,
+    MetricsCollector,
+    ShardLoadSummary,
+    per_shard_load,
+)
 from repro.workload.client_pool import ClientPool
 
 __all__ = [
     "Workload",
+    "KeyValueWorkload",
+    "ShardedKeyValueWorkload",
     "microbenchmark",
     "kv_workload",
+    "sharded_kv_workload",
     "MetricsCollector",
     "LatencySummary",
     "BatchSizeSummary",
+    "ShardLoadSummary",
+    "per_shard_load",
     "ClientPool",
 ]

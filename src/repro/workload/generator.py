@@ -9,10 +9,20 @@ replies the service returns.  The paper's micro-benchmarks are named
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.smr.state_machine import KeyValueStore, NullStateMachine, Operation, StateMachine
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (shard -> workload)
+    from repro.shard.partition import Partitioner
+
+from repro.smr.state_machine import (
+    KeyValueStore,
+    NullStateMachine,
+    Operation,
+    StateMachine,
+    TransactionalKeyValueStore,
+)
 
 KILOBYTE = 1024
 
@@ -88,20 +98,52 @@ class KeyValueWorkload(Workload):
     """A key-value workload: a mix of puts and gets over a keyspace.
 
     Used by the examples to exercise the replicated key-value store rather
-    than the no-op micro-benchmark service.
+    than the no-op micro-benchmark service.  Key choice is either uniform
+    or Zipfian (``key_distribution="zipfian"``): real key-value traffic is
+    skewed, and a hot key stresses whichever shard owns it — the scenario
+    the sharded deployments need to reproduce.  Both distributions are
+    seed-deterministic.
     """
 
     key_space: int = 1000
     value_size: int = 64
     read_fraction: float = 0.5
     seed: int = 0
+    key_distribution: str = "uniform"
+    zipf_theta: float = 0.99
+
+    def _key_sampler(self, rng: random.Random) -> Callable[[], str]:
+        """A deterministic ``() -> key`` sampler for this workload's distribution."""
+        if self.key_distribution == "uniform":
+            return lambda: f"key-{rng.randrange(self.key_space)}"
+        if self.key_distribution == "zipfian":
+            # Classic Zipf over ranks 1..key_space with exponent theta:
+            # P(rank r) ∝ r^-theta.  Rank 0 maps to key-0 (the hottest key);
+            # inversion samples the precomputed cumulative weights.
+            if self.zipf_theta <= 0:
+                raise ValueError(f"zipf theta must be positive: {self.zipf_theta}")
+            cumulative = []
+            total = 0.0
+            for rank in range(self.key_space):
+                total += (rank + 1) ** -self.zipf_theta
+                cumulative.append(total)
+
+            def sample() -> str:
+                return f"key-{bisect_right(cumulative, rng.random() * total)}"
+
+            return sample
+        raise ValueError(
+            f"unknown key distribution {self.key_distribution!r}; "
+            f"choose 'uniform' or 'zipfian'"
+        )
 
     def operation_factory(self, client_seed: int = 0) -> Callable[[int], Operation]:
         rng = random.Random(self.seed * 100_003 + client_seed)
         value = "v" * self.value_size
+        sample_key = self._key_sampler(rng)
 
         def factory(timestamp: int) -> Operation:
-            key = f"key-{rng.randrange(self.key_space)}"
+            key = sample_key()
             if rng.random() < self.read_fraction:
                 return Operation("get", (key,))
             return Operation("put", (key, value))
@@ -117,6 +159,8 @@ def kv_workload(
     value_size: int = 64,
     read_fraction: float = 0.5,
     seed: int = 0,
+    key_distribution: str = "uniform",
+    zipf_theta: float = 0.99,
 ) -> KeyValueWorkload:
     """Convenience constructor for a key-value workload."""
     if not 0.0 <= read_fraction <= 1.0:
@@ -129,4 +173,103 @@ def kv_workload(
         value_size=value_size,
         read_fraction=read_fraction,
         seed=seed,
+        key_distribution=key_distribution,
+        zipf_theta=zipf_theta,
+    )
+
+
+@dataclass(frozen=True)
+class ShardedKeyValueWorkload(KeyValueWorkload):
+    """A key-value workload aware of the deployment's keyspace partition.
+
+    Single-key operations route wherever their key lives; a configurable
+    fraction of operations are multi-write transactions
+    (``Operation("txn", ...)``) whose keys — when a ``partitioner`` is
+    attached — are deterministically re-drawn until they span at least two
+    shards, so ``cross_shard_fraction`` really is the fraction of traffic
+    exercising the two-phase commit path.  With ``partitioner=None`` the
+    transactions still run, but key placement is left to chance.
+
+    The state machine is the transactional store, so every shard can order
+    prepare/decide records through its own consensus.
+    """
+
+    cross_shard_fraction: float = 0.0
+    txn_size: int = 2
+    partitioner: Optional[Partitioner] = None
+
+    #: Bounded deterministic re-draws when forcing a transaction to span shards.
+    _SPAN_ATTEMPTS = 64
+
+    def with_partitioner(self, partitioner: Partitioner) -> "ShardedKeyValueWorkload":
+        """Copy of this workload generating transactions that span ``partitioner``'s shards."""
+        return replace(self, partitioner=partitioner)
+
+    def operation_factory(self, client_seed: int = 0) -> Callable[[int], Operation]:
+        if self.txn_size < 2:
+            raise ValueError(f"transactions need at least two writes: {self.txn_size}")
+        rng = random.Random(self.seed * 100_003 + client_seed)
+        value = "v" * self.value_size
+        sample_key = self._key_sampler(rng)
+
+        def sample_transaction() -> Operation:
+            keys = [sample_key()]
+            attempts = 0
+            while len(keys) < self.txn_size and attempts < self._SPAN_ATTEMPTS:
+                attempts += 1
+                candidate = sample_key()
+                if candidate not in keys:
+                    keys.append(candidate)
+            if self.partitioner is not None:
+                shard_of = self.partitioner.shard_of_key
+                home = shard_of(keys[0])
+                if all(shard_of(key) == home for key in keys):
+                    for _ in range(self._SPAN_ATTEMPTS):
+                        candidate = sample_key()
+                        if candidate not in keys and shard_of(candidate) != home:
+                            keys[-1] = candidate
+                            break
+            return Operation("txn", tuple(("put", key, value) for key in keys))
+
+        def factory(timestamp: int) -> Operation:
+            if self.cross_shard_fraction > 0 and rng.random() < self.cross_shard_fraction:
+                return sample_transaction()
+            key = sample_key()
+            if rng.random() < self.read_fraction:
+                return Operation("get", (key,))
+            return Operation("put", (key, value))
+
+        return factory
+
+    def state_machine_factory(self) -> Callable[[], StateMachine]:
+        return TransactionalKeyValueStore
+
+
+def sharded_kv_workload(
+    key_space: int = 1000,
+    value_size: int = 64,
+    read_fraction: float = 0.5,
+    seed: int = 0,
+    cross_shard_fraction: float = 0.1,
+    txn_size: int = 2,
+    key_distribution: str = "uniform",
+    zipf_theta: float = 0.99,
+    partitioner: Optional[Partitioner] = None,
+) -> ShardedKeyValueWorkload:
+    """Convenience constructor for a sharded key-value workload."""
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(f"read fraction must be in [0, 1]: {read_fraction}")
+    if not 0.0 <= cross_shard_fraction <= 1.0:
+        raise ValueError(f"cross-shard fraction must be in [0, 1]: {cross_shard_fraction}")
+    return ShardedKeyValueWorkload(
+        name=f"kv-sharded-{int(cross_shard_fraction * 100)}x",
+        key_space=key_space,
+        value_size=value_size,
+        read_fraction=read_fraction,
+        seed=seed,
+        key_distribution=key_distribution,
+        zipf_theta=zipf_theta,
+        cross_shard_fraction=cross_shard_fraction,
+        txn_size=txn_size,
+        partitioner=partitioner,
     )

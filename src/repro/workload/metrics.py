@@ -91,6 +91,49 @@ def _percentile(sorted_values: List[float], fraction: float) -> float:
     return sorted_values[index]
 
 
+@dataclass(frozen=True)
+class ShardLoadSummary:
+    """Throughput/latency of one shard over a measurement window.
+
+    Sharded deployments keep one collector per shard (fed with the
+    single-shard completions the shard served) next to the aggregate
+    collector, so reports can show both the per-shard balance and the
+    whole-deployment numbers.
+    """
+
+    shard: int
+    completed: int
+    throughput: float
+    latency: "LatencySummary"
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict in the benchmark tables' units (kreq/s, ms)."""
+        return {
+            "shard": self.shard,
+            "completed": self.completed,
+            "throughput_kreqs_per_s": round(self.throughput / 1000.0, 3),
+            "mean_latency_ms": round(self.latency.mean * 1000.0, 3),
+            "p99_latency_ms": round(self.latency.p99 * 1000.0, 3),
+        }
+
+
+def per_shard_load(
+    collectors: List["MetricsCollector"],
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> List[ShardLoadSummary]:
+    """Summarise each shard's collector over one shared window."""
+    return [
+        ShardLoadSummary(
+            shard=index,
+            completed=len(collector._in_window(start, end)),
+            throughput=collector.throughput(start=start, end=end),
+            latency=collector.latency(start=start, end=end),
+        )
+        for index, collector in enumerate(collectors)
+    ]
+
+
 class MetricsCollector:
     """Accumulates completion records from every client in a deployment."""
 

@@ -1,0 +1,214 @@
+"""Unit tests for keyspace partitioning, shard routing, and 2PC coordination."""
+
+import pytest
+
+from repro.shard import (
+    CrossShardCoordinator,
+    HashPartitioner,
+    RangePartitioner,
+    ShardRouter,
+    make_partitioner,
+)
+from repro.smr.state_machine import Operation
+
+pytestmark = pytest.mark.shard
+
+
+class TestHashPartitioner:
+    def test_deterministic_across_instances(self):
+        first = HashPartitioner(num_shards=4)
+        second = HashPartitioner(num_shards=4)
+        keys = [f"key-{index}" for index in range(200)]
+        assert [first.shard_of_key(k) for k in keys] == [second.shard_of_key(k) for k in keys]
+
+    def test_stable_golden_values(self):
+        # Pinned placements: a partitioner change silently re-homing every
+        # key would make runs incomparable across versions.
+        partitioner = HashPartitioner(num_shards=4)
+        assert [partitioner.shard_of_key(f"key-{i}") for i in range(8)] == [
+            3, 3, 2, 1, 0, 0, 3, 2,
+        ]
+
+    def test_spreads_keys_over_every_shard(self):
+        partitioner = HashPartitioner(num_shards=4)
+        owners = {partitioner.shard_of_key(f"key-{index}") for index in range(100)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_roughly_uniform(self):
+        partitioner = HashPartitioner(num_shards=4)
+        counts = [0, 0, 0, 0]
+        for index in range(2000):
+            counts[partitioner.shard_of_key(f"key-{index}")] += 1
+        assert min(counts) > 2000 / 4 * 0.7
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(num_shards=0)
+
+
+class TestRangePartitioner:
+    def test_boundaries_split_the_keyspace(self):
+        partitioner = RangePartitioner(boundaries=("h", "p"))
+        assert partitioner.num_shards == 3
+        assert partitioner.shard_of_key("apple") == 0
+        assert partitioner.shard_of_key("h") == 1  # boundary belongs to the right
+        assert partitioner.shard_of_key("mango") == 1
+        assert partitioner.shard_of_key("zebra") == 2
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(boundaries=("p", "h"))
+        with pytest.raises(ValueError):
+            RangePartitioner(boundaries=("h", "h"))
+
+    def test_factory_builds_both_policies(self):
+        assert isinstance(make_partitioner("hash", 4), HashPartitioner)
+        ranged = make_partitioner("range", 3, boundaries=("g", "r"))
+        assert isinstance(ranged, RangePartitioner)
+        with pytest.raises(ValueError):
+            make_partitioner("range", 3, boundaries=("g",))  # needs n-1 boundaries
+        with pytest.raises(ValueError):
+            make_partitioner("consistent", 3)
+
+
+class TestShardRouter:
+    def _router(self, num_shards=3):
+        return ShardRouter(RangePartitioner(boundaries=("h", "p")[: num_shards - 1]))
+
+    def test_single_key_operations_route_to_owner(self):
+        router = self._router()
+        assert router.shards_of_operation(Operation("put", ("apple", "v"))) == (0,)
+        assert router.shards_of_operation(Operation("get", ("mango",))) == (1,)
+        assert router.shards_of_operation(Operation("delete", ("zebra",))) == (2,)
+
+    def test_keyless_operations_route_to_default_shard(self):
+        router = self._router()
+        assert router.shards_of_operation(Operation("noop", ())) == (0,)
+
+    def test_transaction_routes_to_every_owner(self):
+        router = self._router()
+        txn = Operation("txn", (("put", "apple", "v"), ("put", "zebra", "v")))
+        assert router.shards_of_operation(txn) == (0, 2)
+        assert router.is_cross_shard(txn)
+
+    def test_single_shard_transaction_is_not_cross_shard(self):
+        router = self._router()
+        txn = Operation("txn", (("put", "apple", "v"), ("put", "berry", "v")))
+        assert router.shards_of_operation(txn) == (0,)
+        assert not router.is_cross_shard(txn)
+
+    def test_split_writes_groups_by_shard_preserving_order(self):
+        router = self._router()
+        txn = Operation(
+            "txn",
+            (("put", "apple", "1"), ("put", "zebra", "2"), ("delete", "berry")),
+        )
+        split = router.split_writes(txn)
+        assert split == {
+            0: (("put", "apple", "1"), ("delete", "berry")),
+            2: (("put", "zebra", "2"),),
+        }
+
+    def test_split_writes_rejects_non_transactions(self):
+        with pytest.raises(ValueError):
+            self._router().split_writes(Operation("put", ("apple", "v")))
+
+
+class _FakeTransport:
+    """Synchronous in-memory transport driving the coordinator in tests."""
+
+    def __init__(self):
+        self.submitted = []  # (shard, operation, callback)
+        self.scheduled = []  # (delay, action)
+        self.clock = 0.0
+
+    def submit(self, shard, operation, on_result):
+        self.submitted.append((shard, operation, on_result))
+
+    def schedule(self, delay, action):
+        self.scheduled.append((delay, action))
+
+    def answer(self, index, result):
+        self.submitted[index][2](result)
+
+
+class TestCrossShardCoordinator:
+    def _coordinator(self, transport, completed, txn_timeout=None):
+        return CrossShardCoordinator(
+            submit=transport.submit,
+            schedule=transport.schedule,
+            now=lambda: transport.clock,
+            on_complete=completed.append,
+            txn_timeout=txn_timeout,
+        )
+
+    def _writes(self):
+        return {0: (("put", "a", "1"),), 2: (("put", "z", "2"),)}
+
+    def test_all_yes_votes_commit_everywhere(self):
+        transport, completed = _FakeTransport(), []
+        coordinator = self._coordinator(transport, completed)
+        coordinator.begin("c:1", self._writes())
+        prepares = transport.submitted[:2]
+        assert [shard for shard, _, _ in prepares] == [0, 2]
+        assert all(op.kind == "txn_prepare" for _, op, _ in prepares)
+        transport.answer(0, {"ok": True, "vote": "yes"})
+        assert len(transport.submitted) == 2  # no decision until all votes
+        transport.answer(1, {"ok": True, "vote": "yes"})
+        decides = transport.submitted[2:]
+        assert [(shard, op.args[1]) for shard, op, _ in decides] == [(0, "commit"), (2, "commit")]
+        transport.answer(2, {"ok": True})
+        assert not completed  # both acknowledgements required
+        transport.answer(3, {"ok": True})
+        assert completed[0].txn_id == "c:1" and completed[0].decision == "commit"
+        assert coordinator.stats.as_dict() == {"started": 1, "committed": 1, "aborted": 0}
+
+    def test_any_no_vote_aborts_every_participant(self):
+        transport, completed = _FakeTransport(), []
+        coordinator = self._coordinator(transport, completed)
+        coordinator.begin("c:1", self._writes())
+        transport.answer(0, {"ok": True, "vote": "no"})
+        decides = transport.submitted[2:]
+        # The abort goes to BOTH participants even though shard 2 has not
+        # voted yet — its eventual prepare must find the tombstone.
+        assert [(shard, op.args[1]) for shard, op, _ in decides] == [(0, "abort"), (2, "abort")]
+        transport.answer(1, {"ok": True, "vote": "yes"})  # late vote: ignored
+        assert len(transport.submitted) == 4
+        transport.answer(2, {"ok": True})
+        transport.answer(3, {"ok": True})
+        assert completed[0].decision == "abort"
+        assert coordinator.stats.aborted == 1
+
+    def test_timeout_aborts_an_undecided_transaction(self):
+        transport, completed = _FakeTransport(), []
+        coordinator = self._coordinator(transport, completed, txn_timeout=0.5)
+        coordinator.begin("c:1", self._writes())
+        (delay, deadline) = transport.scheduled[0]
+        assert delay == 0.5
+        transport.answer(0, {"ok": True, "vote": "yes"})
+        deadline()  # shard 2 never answered in time
+        decides = transport.submitted[2:]
+        assert [op.args[1] for _, op, _ in decides] == ["abort", "abort"]
+
+    def test_timeout_after_decision_is_a_no_op(self):
+        transport, completed = _FakeTransport(), []
+        coordinator = self._coordinator(transport, completed, txn_timeout=0.5)
+        coordinator.begin("c:1", self._writes())
+        transport.answer(0, {"ok": True, "vote": "yes"})
+        transport.answer(1, {"ok": True, "vote": "yes"})
+        (_, deadline) = transport.scheduled[0]
+        deadline()
+        assert coordinator.stats.as_dict() == {"started": 1, "committed": 1, "aborted": 0}
+
+    def test_single_shard_transactions_are_rejected(self):
+        transport = _FakeTransport()
+        coordinator = self._coordinator(transport, [])
+        with pytest.raises(ValueError):
+            coordinator.begin("c:1", {0: (("put", "a", "1"),)})
+
+    def test_duplicate_txn_id_is_rejected(self):
+        transport = _FakeTransport()
+        coordinator = self._coordinator(transport, [])
+        coordinator.begin("c:1", self._writes())
+        with pytest.raises(ValueError):
+            coordinator.begin("c:1", self._writes())

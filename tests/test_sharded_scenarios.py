@@ -1,0 +1,89 @@
+"""The sharded fault-scenario library, plus checker-detection tests."""
+
+import pytest
+
+from repro.scenarios.sharded import (
+    SHARDED_SCENARIOS,
+    CrossShardAtomicity,
+    IsolateShard,
+    OnShard,
+    run_sharded_scenario,
+)
+from repro.scenarios.events import Crash
+
+pytestmark = [pytest.mark.shard, pytest.mark.integration]
+
+
+@pytest.fixture(scope="module")
+def matrix_results():
+    """Run the whole library once; every matrix test asserts on the cache."""
+    return {name: run_sharded_scenario(scenario) for name, scenario in SHARDED_SCENARIOS.items()}
+
+
+class TestShardedScenarioMatrix:
+    @pytest.mark.parametrize("name", sorted(SHARDED_SCENARIOS))
+    def test_library_scenario_upholds_every_invariant(self, matrix_results, name):
+        result = matrix_results[name]
+        result.assert_ok()
+        # The atomicity contract is the point of the library: every one of
+        # these runs must leave a consistent cross-shard decision history.
+        assert "cross-shard-atomicity" not in result.invariant_violations
+
+    def test_single_shard_crash_scenario_exercises_a_view_change(self, matrix_results):
+        result = matrix_results["shard-primary-crash-mid-traffic"]
+        assert any("crash" in label for _, label in result.events_applied)
+        assert result.transactions["committed"] >= 3
+
+    def test_isolation_scenario_really_aborts_transactions(self, matrix_results):
+        result = matrix_results["shard-isolated-then-heals"]
+        assert result.transactions["aborted"] >= 1
+        assert any("isolate" in label for _, label in result.events_applied)
+
+
+class TestShardedCheckersDetect:
+    def test_atomicity_checker_flags_a_split_decision(self):
+        from repro.scenarios.sharded import build_sharded_scenario_deployment, ShardedScenario
+
+        scenario = ShardedScenario(name="probe", description="", duration=0.2)
+        deployment = build_sharded_scenario_deployment(scenario)
+        # Forge a split decision directly in the state machines: shard 0
+        # committed a transaction shard 1 aborted.
+        shard0_store = deployment.shards[0].correct_replicas()[0].executor.state_machine
+        shard1_store = deployment.shards[1].correct_replicas()[0].executor.state_machine
+        shard0_store.txn_decisions["evil:1"] = "commit"
+        shard1_store.txn_decisions["evil:1"] = "abort"
+
+        checker = CrossShardAtomicity()
+        violations = checker.check(deployment)
+        assert len(violations) == 1
+        assert "evil:1" in violations[0]
+        assert "committed" in violations[0] and "aborted" in violations[0]
+
+    def test_scenario_events_must_fire_within_the_duration(self):
+        from repro.scenarios.sharded import ShardedScenario
+
+        scenario = ShardedScenario(
+            name="late-event",
+            description="",
+            duration=0.2,
+            events=(OnShard(at=0.5, shard=0, event=Crash(at=0.0, target="primary")),),
+        )
+        with pytest.raises(ValueError):
+            run_sharded_scenario(scenario)
+
+    def test_isolate_shard_partitions_replicas_from_clients(self):
+        from repro.scenarios.sharded import ShardedScenario, build_sharded_scenario_deployment
+
+        scenario = ShardedScenario(name="probe", description="", duration=0.2)
+        deployment = build_sharded_scenario_deployment(scenario)
+        IsolateShard(at=0.0, shard=1).apply(deployment)
+        conditions = deployment.network.conditions
+        isolated = sorted(deployment.shards[1].replicas)
+        client = deployment.clients[0].node_id
+        other = sorted(deployment.shards[0].replicas)[0]
+        import random
+
+        rng = random.Random(0)
+        assert conditions.should_drop(client, isolated[0], rng)
+        assert conditions.should_drop(isolated[0], client, rng)
+        assert not conditions.should_drop(client, other, rng)

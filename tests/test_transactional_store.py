@@ -1,0 +1,116 @@
+"""Unit tests for the transactional key-value state machine (2PC participant)."""
+
+import pytest
+
+from repro.smr.state_machine import Operation, TransactionalKeyValueStore
+
+pytestmark = pytest.mark.shard
+
+
+def _prepare(txn_id, *writes):
+    return Operation("txn_prepare", (txn_id, tuple(writes)))
+
+
+def _decide(txn_id, outcome):
+    return Operation("txn_decide", (txn_id, outcome))
+
+
+class TestTransactionLifecycle:
+    def test_prepare_stages_without_applying(self):
+        store = TransactionalKeyValueStore()
+        result = store.apply(_prepare("t1", ("put", "k", "v")))
+        assert result == {"ok": True, "txn": "t1", "vote": "yes"}
+        assert store.get("k") is None
+        assert store.staged_transactions() == ["t1"]
+
+    def test_commit_applies_staged_writes(self):
+        store = TransactionalKeyValueStore()
+        store.apply(Operation("put", ("doomed", "x")))
+        store.apply(_prepare("t1", ("put", "k", "v"), ("delete", "doomed")))
+        result = store.apply(_decide("t1", "commit"))
+        assert result["ok"] is True
+        assert store.get("k") == "v"
+        assert store.get("doomed") is None
+        assert store.staged_transactions() == []
+        assert store.txns_committed == 1
+
+    def test_abort_discards_staged_writes(self):
+        store = TransactionalKeyValueStore()
+        store.apply(_prepare("t1", ("put", "k", "v")))
+        store.apply(_decide("t1", "abort"))
+        assert store.get("k") is None
+        assert store.txns_aborted == 1
+        assert store.staged_transactions() == []
+
+    def test_abort_before_prepare_leaves_a_tombstone(self):
+        # A timed-out coordinator's abort can be ordered before the
+        # retransmitted prepare; the late prepare must vote no and stage
+        # nothing, or a second decide could commit a half-transaction.
+        store = TransactionalKeyValueStore()
+        store.apply(_decide("t1", "abort"))
+        result = store.apply(_prepare("t1", ("put", "k", "v")))
+        assert result["vote"] == "no"
+        assert store.staged_transactions() == []
+        assert store.get("k") is None
+
+    def test_first_decision_wins_and_duplicates_are_flagged(self):
+        store = TransactionalKeyValueStore()
+        store.apply(_prepare("t1", ("put", "k", "v")))
+        store.apply(_decide("t1", "commit"))
+        duplicate = store.apply(_decide("t1", "abort"))
+        assert duplicate == {"ok": True, "txn": "t1", "outcome": "commit", "duplicate": True}
+        assert store.get("k") == "v"
+        assert store.txns_committed == 1
+        assert store.txns_aborted == 0
+
+    def test_commit_without_prepare_is_reported_not_raised(self):
+        store = TransactionalKeyValueStore()
+        result = store.apply(_decide("t1", "commit"))
+        assert result["ok"] is False
+        assert result["error"] == "commit-without-prepare"
+
+    def test_unknown_outcome_rejected(self):
+        store = TransactionalKeyValueStore()
+        with pytest.raises(ValueError):
+            store.apply(_decide("t1", "maybe"))
+
+
+class TestAtomicMultiWrite:
+    def test_txn_applies_all_writes_in_one_step(self):
+        store = TransactionalKeyValueStore()
+        result = store.apply(Operation("txn", (("put", "a", "1"), ("put", "b", "2"))))
+        assert result == {"ok": True, "writes": 2}
+        assert store.get("a") == "1" and store.get("b") == "2"
+
+    def test_plain_kv_operations_still_work(self):
+        store = TransactionalKeyValueStore()
+        store.apply(Operation("put", ("k", "v")))
+        assert store.apply(Operation("get", ("k",))) == {"ok": True, "value": "v"}
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_carries_staged_and_decisions(self):
+        store = TransactionalKeyValueStore()
+        store.apply(Operation("put", ("k", "v")))
+        store.apply(_prepare("pending", ("put", "p", "1")))
+        store.apply(_prepare("done", ("put", "d", "2")))
+        store.apply(_decide("done", "commit"))
+
+        restored = TransactionalKeyValueStore()
+        restored.restore(store.snapshot())
+        assert restored.get("k") == "v" and restored.get("d") == "2"
+        assert restored.staged_transactions() == ["pending"]
+        assert restored.txn_decisions == {"done": "commit"}
+        # The restored replica honours the tombstone/staging exactly like
+        # the original: committing the pending transaction applies it.
+        restored.apply(_decide("pending", "commit"))
+        assert restored.get("p") == "1"
+
+    def test_snapshot_digests_identically_across_replicas(self):
+        from repro.crypto.digest import digest
+
+        first, second = TransactionalKeyValueStore(), TransactionalKeyValueStore()
+        for store in (first, second):
+            store.apply(_prepare("t1", ("put", "k", "v")))
+            store.apply(_decide("t1", "commit"))
+        assert digest(first.snapshot()) == digest(second.snapshot())
