@@ -26,9 +26,10 @@ compare = _load("compare")
 
 REQUIRED_CASE_KEYS = {
     "name", "protocol", "crash_tolerance", "byzantine_tolerance", "batched",
-    "fault_scenario", "sim_duration", "completed_requests", "events_processed",
-    "wall_seconds", "events_per_second", "sim_seconds_per_wall_second",
-    "throughput_requests_per_second", "peak_heap_bytes", "deterministic",
+    "fault_scenario", "num_shards", "sim_duration", "completed_requests",
+    "events_processed", "wall_seconds", "events_per_second",
+    "sim_seconds_per_wall_second", "throughput_requests_per_second",
+    "peak_heap_bytes", "deterministic",
 }
 
 
@@ -103,6 +104,32 @@ class TestCompareGate:
         baseline = self._write(tmp_path, "base.json", {"a": 100.0})
         current = self._write(tmp_path, "cur.json", {"b": 100.0})
         assert compare.compare(current, baseline, max_regression=0.25) == 2
+
+    def test_new_cases_warn_but_never_gate(self, tmp_path, capsys):
+        # A candidate that *added* cases (e.g. the sharded matrix) compares
+        # only the intersection: the new cases are reported, not gated on.
+        baseline = self._write(tmp_path, "base.json", {"a": 100.0, "b": 200.0})
+        current = self._write(
+            tmp_path, "cur.json", {"a": 100.0, "b": 200.0, "sharded-4x": 1.0}
+        )
+        assert compare.compare(current, baseline, max_regression=0.25) == 0
+        out = capsys.readouterr().out
+        assert "missing from the baseline" in out
+        assert "sharded-4x" in out
+
+    def test_baseline_only_cases_warn_and_are_ignored(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", {"a": 100.0, "retired": 900.0})
+        current = self._write(tmp_path, "cur.json", {"a": 100.0})
+        assert compare.compare(current, baseline, max_regression=0.25) == 0
+        out = capsys.readouterr().out
+        assert "missing from the current run" in out
+        assert "retired" in out
+
+    def test_identical_case_sets_do_not_warn(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", {"a": 100.0})
+        current = self._write(tmp_path, "cur.json", {"a": 100.0})
+        assert compare.compare(current, baseline, max_regression=0.25) == 0
+        assert "warning" not in capsys.readouterr().out
 
     def test_committed_baseline_is_valid(self):
         committed = sorted(_PERF_DIR.glob("BENCH_*.json"))
