@@ -22,11 +22,11 @@ from __future__ import annotations
 import datetime
 import json
 import pathlib
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, List, Sequence
 
 import pytest
 
-from repro.cluster import Deployment, RunResult, builder_for, run_deployment
+from repro.cluster import RunResult, builder_for, run_deployment
 from repro.workload import Workload, microbenchmark
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.json"

@@ -2,7 +2,8 @@
 
 The harness runs a fixed matrix of workloads — Lion / Dog / Peacock,
 batched and unbatched, f = 1..3, with and without faults (via the PR 2
-scenario engine) — and records for each case:
+scenario engine), plus an adaptive-controller attack/recovery case and
+the sharded scale-out cases — and records for each case:
 
 * ``events_per_second`` — simulator events executed per wall-clock second
   (the headline number; protocol changes move events-per-request, engine
@@ -65,7 +66,7 @@ import platform
 import sys
 import time
 import tracemalloc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cluster import (
@@ -132,6 +133,7 @@ SMOKE_CASE_NAMES = (
     "peacock-f1-batched",
     "lion-f1-batched-primary-crash",
     "sharded-4x-f1-batched",
+    "adaptive-attack-recovery",
 )
 
 
@@ -167,6 +169,24 @@ def standard_cases(smoke: bool = False) -> List[PerfCase]:
             )
         )
 
+    # Adaptive-controller case: an equivocation attack forces Lion up to
+    # Peacock and a quiet period brings it back; the committed-request and
+    # throughput numbers show de-escalation recovering Lion-like service
+    # after the attack subsides (the run fails outright if the cycle or
+    # any safety checker does).  The duration comes from the scenario
+    # itself so the recorded sim_duration and throughput stay honest if
+    # the scenario's timing is retuned.
+    from repro.scenarios.adaptive import DEESCALATE_AFTER_QUIET_PERIOD
+
+    cases.append(
+        PerfCase(
+            name="adaptive-attack-recovery",
+            protocol="seemore-lion",
+            fault_scenario=DEESCALATE_AFTER_QUIET_PERIOD.name,
+            duration=DEESCALATE_AFTER_QUIET_PERIOD.duration,
+        )
+    )
+
     # Sharded scale-out cases: 1-shard as the single-cluster reference
     # (same per-shard knobs, so the Nx/1x committed-ops/sim-second ratio
     # is the scale-out factor), 4 shards on pure single-shard traffic,
@@ -194,12 +214,18 @@ def standard_cases(smoke: bool = False) -> List[PerfCase]:
 def _run_once(case: PerfCase) -> Dict[str, Any]:
     """One measured execution; returns wall time, events, completions."""
     if case.fault_scenario is not None:
+        from repro.scenarios.adaptive import ADAPTIVE_SCENARIOS, run_adaptive_scenario
         from repro.scenarios.engine import run_scenario
         from repro.scenarios.library import SCENARIOS
 
-        scenario = SCENARIOS[case.fault_scenario]
-        start = time.perf_counter()
-        result = run_scenario(scenario, _MODES[case.protocol], seed=case.seed)
+        if case.fault_scenario in ADAPTIVE_SCENARIOS:
+            scenario = ADAPTIVE_SCENARIOS[case.fault_scenario]
+            start = time.perf_counter()
+            result = run_adaptive_scenario(scenario, _MODES[case.protocol], seed=case.seed)
+        else:
+            scenario = SCENARIOS[case.fault_scenario]
+            start = time.perf_counter()
+            result = run_scenario(scenario, _MODES[case.protocol], seed=case.seed)
         wall = time.perf_counter() - start
         result.assert_ok()
         return {

@@ -26,7 +26,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=pathlib.Path, default=None, help="output JSON path")
     parser.add_argument(
-        "--smoke", action="store_true", help="run the CI smoke subset (same case parameters as the full matrix)"
+        "--smoke",
+        action="store_true",
+        help="run the CI smoke subset (same case parameters as the full matrix)",
     )
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats per case")
     parser.add_argument(

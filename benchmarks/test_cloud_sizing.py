@@ -33,7 +33,11 @@ def test_section4_cloud_sizing(benchmark, report):
         for malicious in (1, 2, 3):
             plan = plan_with_explicit_failures(2, 1, public_malicious=malicious)
             explicit_rows.append(
-                {"explicit_M": malicious, "rent_P": plan.public_nodes, "network_N": plan.network_size}
+                {
+                    "explicit_M": malicious,
+                    "rent_P": plan.public_nodes,
+                    "network_N": plan.network_size,
+                }
             )
         return ratio_rows, explicit_rows
 

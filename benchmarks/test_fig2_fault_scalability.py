@@ -19,7 +19,7 @@ import pytest
 
 from repro.analysis import format_results_table
 
-from benchmarks.conftest import CLIENT_SWEEP, curve_rows, peak, run_curves
+from benchmarks.conftest import curve_rows, peak, run_curves
 
 
 def _report_panel(report, title, curves):

@@ -101,7 +101,10 @@ def test_fig4_view_change_timeline(benchmark, report):
             f"{protocol}: throughput must recover after the view change"
         )
     # SeeMoRe's trusted-collector view changes recover no slower than BFT's.
-    assert outage_duration(timelines["seemore-lion"]) <= outage_duration(timelines["bft"]) + BIN_WIDTH
+    assert (
+        outage_duration(timelines["seemore-lion"])
+        <= outage_duration(timelines["bft"]) + BIN_WIDTH
+    )
     assert (
         outage_duration(timelines["seemore-peacock"])
         <= outage_duration(timelines["bft"]) + BIN_WIDTH

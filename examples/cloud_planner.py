@@ -68,7 +68,8 @@ def main() -> None:
     # --- when renting makes no sense ---------------------------------------------------
     print("When is renting beneficial at all?")
     for private, crash in [(1, 1), (2, 1), (3, 1), (4, 2)]:
-        verdict = "beneficial" if rental_is_beneficial(private, crash) else "not needed / not useful"
+        beneficial = rental_is_beneficial(private, crash)
+        verdict = "beneficial" if beneficial else "not needed / not useful"
         print(f"  S={private}, c={crash}: {verdict}")
     local = recommend_plan(5, 2, malicious_ratio=0.1)
     print(f"\nS=5, c=2 -> {local.rationale}")

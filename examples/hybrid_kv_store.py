@@ -78,7 +78,7 @@ def main() -> None:
     print(f"replica state      : {len(reference)} keys; "
           f"{len(snapshots)} caught-up correct replicas "
           f"{'agree' if agree else 'DISAGREE'} on the full key-value state")
-    print(f"safety             : no conflicting commits among correct replicas")
+    print("safety             : no conflicting commits among correct replicas")
 
     summary = deployment.metrics.latency()
     print(f"latency            : mean {summary.mean * 1000:.3f} ms, "

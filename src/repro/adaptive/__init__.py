@@ -1,0 +1,37 @@
+"""Closed-loop adaptive mode control (the in-protocol half of Section 5.4).
+
+``repro.adaptive`` turns SeeMoRe's externally-triggered mode switch into a
+feedback loop: replicas and clients emit :mod:`evidence <repro.adaptive.evidence>`
+records at the moments they observe abnormal behaviour, the
+:mod:`estimator <repro.adaptive.estimator>` aggregates them into a
+per-cluster fault-environment estimate, and the
+:mod:`controller <repro.adaptive.controller>` picks the cheapest safe mode
+and drives the switch through the consensus-ordered mode-switch path.
+"""
+
+from repro.adaptive.controller import (
+    AdaptiveModeController,
+    AdaptivePolicy,
+    ControllerDecision,
+)
+from repro.adaptive.estimator import FaultEnvironmentEstimate, FaultEnvironmentEstimator
+from repro.adaptive.evidence import (
+    BYZANTINE_KINDS,
+    CHURN_KINDS,
+    EvidenceKind,
+    EvidenceLog,
+    EvidenceRecord,
+)
+
+__all__ = [
+    "AdaptiveModeController",
+    "AdaptivePolicy",
+    "ControllerDecision",
+    "FaultEnvironmentEstimate",
+    "FaultEnvironmentEstimator",
+    "EvidenceKind",
+    "EvidenceLog",
+    "EvidenceRecord",
+    "BYZANTINE_KINDS",
+    "CHURN_KINDS",
+]

@@ -1,0 +1,201 @@
+"""Aggregating raw evidence into a per-cluster fault-environment estimate.
+
+The estimator answers the question the controller keeps asking: *given
+everything the replicas and clients observed recently, how hostile does
+the environment look right now?*  It maintains a sliding window of
+evidence records and summarises them as a
+:class:`FaultEnvironmentEstimate`: the distinct public-cloud nodes with
+Byzantine evidence against them (an activity floor for ``m``), the
+distinct private-cloud nodes implicated in timeout/view-change churn (an
+activity floor for ``c``), event counts, and the age of the freshest
+evidence of each class -- which is what hysteresis and quiet-period
+de-escalation key on.
+
+The estimate is deliberately an *activity* estimate, not a worst-case
+bound: the deployment is already sized for the advertised ``(m, c)`` via
+:mod:`repro.planner.sizing`; the controller's job is to notice when the
+*active* environment is calmer (or angrier) than that worst case and pick
+the cheapest mode that is still safe.  The sizing equations come back in
+through :meth:`FaultEnvironmentEstimate.required_network_size`, which
+tells the controller whether the observed activity still fits inside the
+cluster it actually has.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List
+
+from repro.adaptive.evidence import BYZANTINE_KINDS, CHURN_KINDS, EvidenceKind, EvidenceRecord
+from repro.planner.sizing import hybrid_network_size, hybrid_quorum_size
+
+
+@dataclass(frozen=True)
+class FaultEnvironmentEstimate:
+    """A point-in-time summary of the observed fault environment.
+
+    Attributes:
+        at: simulated time the estimate was taken.
+        window: seconds of evidence the counts cover.
+        byzantine_suspects: public-cloud nodes with Byzantine evidence
+            against them inside the window.
+        crash_suspects: private-cloud nodes implicated by churn evidence
+            inside the window.
+        byzantine_events / churn_events: windowed event counts.
+        last_byzantine_at / last_churn_at: time of the freshest evidence of
+            each class *ever* observed (``-inf`` when none); unlike the
+            counts these never age out, so quiet periods are measurable
+            after the window has drained.
+    """
+
+    at: float
+    window: float
+    byzantine_suspects: FrozenSet[str] = frozenset()
+    crash_suspects: FrozenSet[str] = frozenset()
+    byzantine_events: int = 0
+    churn_events: int = 0
+    last_byzantine_at: float = -math.inf
+    last_churn_at: float = -math.inf
+
+    @property
+    def active_byzantine(self) -> int:
+        """Distinct public nodes currently showing Byzantine behaviour (``m̂``)."""
+        return len(self.byzantine_suspects)
+
+    @property
+    def active_crash(self) -> int:
+        """Distinct private nodes currently implicated by churn (``ĉ``)."""
+        return len(self.crash_suspects)
+
+    def required_network_size(self) -> int:
+        """``3m̂ + 2ĉ + 1`` for the *observed* activity (Equation 1)."""
+        return hybrid_network_size(self.active_byzantine, self.active_crash)
+
+    def required_quorum(self) -> int:
+        """``2m̂ + ĉ + 1`` for the observed activity."""
+        return hybrid_quorum_size(self.active_byzantine, self.active_crash)
+
+    def within_tolerance(self, byzantine_tolerance: int, crash_tolerance: int) -> bool:
+        """Whether the observed activity fits the deployment's sized ``(m, c)``."""
+        return (
+            self.active_byzantine <= byzantine_tolerance
+            and self.active_crash <= crash_tolerance
+        )
+
+    def quiet_for(self, now: float) -> float:
+        """Seconds since the freshest evidence of any class (``inf`` if none)."""
+        freshest = max(self.last_byzantine_at, self.last_churn_at)
+        return math.inf if freshest == -math.inf else now - freshest
+
+    def summary(self) -> str:
+        return (
+            f"m̂={self.active_byzantine} ĉ={self.active_crash} "
+            f"byz={self.byzantine_events} churn={self.churn_events} "
+            f"N*={self.required_network_size()}"
+        )
+
+
+class FaultEnvironmentEstimator:
+    """Sliding-window aggregator over many nodes' evidence logs.
+
+    Classification rules:
+
+    * Byzantine-class evidence with a named suspect only counts against
+      *public-cloud* suspects -- the hybrid model does not admit Byzantine
+      behaviour in the private cloud, so an apparent proof against a
+      private node is discarded as noise rather than escalated on;
+    * *unattributed* Byzantine evidence (``suspect=None`` -- e.g. a
+      Peacock vote contradicting an untrusted primary's assignment, which
+      proves one of {voter, primary} faulty but not which) counts toward
+      the event totals and evidence freshness but adds nobody to the
+      suspect set, so ``m̂`` stays a floor of *provably* implicated nodes;
+    * churn-class evidence counts regardless of suspect, but only private
+      suspects enter ``crash_suspects`` (public churn is absorbed by the
+      Byzantine accounting);
+    * view changes whose detail marks them as deliberate mode switches are
+      ignored entirely -- otherwise the controller's own switches would
+      read as churn and inhibit de-escalation.
+    """
+
+    def __init__(
+        self,
+        private_ids: Iterable[str],
+        public_ids: Iterable[str],
+        window: float = 0.2,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"evidence window must be positive: {window}")
+        self.window = window
+        self._private = frozenset(private_ids)
+        self._public = frozenset(public_ids)
+        self._members = self._private | self._public
+        self._records: List[EvidenceRecord] = []
+        self._last_byzantine_at = -math.inf
+        self._last_churn_at = -math.inf
+        self._counts_by_kind: Dict[EvidenceKind, int] = {}
+
+    # -- feeding ------------------------------------------------------------
+
+    def observe(self, records: Iterable[EvidenceRecord]) -> int:
+        """Feed new evidence records; returns how many were admitted.
+
+        Records implicating nodes outside this estimator's cluster are
+        dropped -- a sharded deployment runs one estimator per shard over
+        shared client logs, and each shard must only weigh evidence about
+        its own replicas.
+        """
+        admitted = 0
+        for record in records:
+            if record.suspect is not None and record.suspect not in self._members:
+                continue
+            if record.kind is EvidenceKind.VIEW_CHANGE and record.detail == "mode-switch":
+                continue
+            if record.kind in BYZANTINE_KINDS:
+                if record.suspect is not None and record.suspect not in self._public:
+                    continue
+                self._last_byzantine_at = max(self._last_byzantine_at, record.at)
+            elif record.kind in CHURN_KINDS:
+                self._last_churn_at = max(self._last_churn_at, record.at)
+            self._records.append(record)
+            self._counts_by_kind[record.kind] = self._counts_by_kind.get(record.kind, 0) + 1
+            admitted += 1
+        return admitted
+
+    # -- estimating ---------------------------------------------------------
+
+    def estimate(self, now: float) -> FaultEnvironmentEstimate:
+        """Prune the window and summarise what remains."""
+        horizon = now - self.window
+        if self._records and self._records[0].at < horizon:
+            self._records = [record for record in self._records if record.at >= horizon]
+        byzantine_suspects = set()
+        crash_suspects = set()
+        byzantine_events = 0
+        churn_events = 0
+        for record in self._records:
+            if record.kind in BYZANTINE_KINDS:
+                byzantine_events += 1
+                if record.suspect is not None:
+                    byzantine_suspects.add(record.suspect)
+            elif record.kind in CHURN_KINDS:
+                churn_events += 1
+                if record.suspect is not None and record.suspect in self._private:
+                    crash_suspects.add(record.suspect)
+        return FaultEnvironmentEstimate(
+            at=now,
+            window=self.window,
+            byzantine_suspects=frozenset(byzantine_suspects),
+            crash_suspects=frozenset(crash_suspects),
+            byzantine_events=byzantine_events,
+            churn_events=churn_events,
+            last_byzantine_at=self._last_byzantine_at,
+            last_churn_at=self._last_churn_at,
+        )
+
+    def counts_by_kind(self) -> Dict[EvidenceKind, int]:
+        """Lifetime admitted-record counts per kind (for reports and tests)."""
+        return dict(self._counts_by_kind)
+
+
+__all__ = ["FaultEnvironmentEstimate", "FaultEnvironmentEstimator"]

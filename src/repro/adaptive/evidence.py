@@ -1,0 +1,154 @@
+"""Runtime fault evidence: what replicas and clients actually observed.
+
+The adaptive mode controller never inspects protocol internals directly --
+it consumes *evidence records* that replicas and clients emit at the
+moments they detect something abnormal:
+
+* a request timer expiring (the primary is suspected);
+* a view change completing (and whether it was a mode switch or a
+  suspicion-driven change);
+* a conflicting vote -- a same-view vote whose digest contradicts the
+  assignment the trusted primary (or the slot's accepted pre-prepare)
+  established;
+* an equivocating pre-prepare -- two conflicting assignments for one
+  sequence number signed by the same untrusted primary (a hard
+  cryptographic proof of Byzantine behaviour);
+* an invalid signature on a message that names its signer;
+* a forged reply -- a client completed a request and holds signed replies
+  with a *different* result from some replica.
+
+Each record carries the simulated time, the observing node, the suspected
+node (when one can be named), and a free-form detail string.  Emission is
+unconditional and cheap (one append on rare, already-exceptional paths),
+so deployments without a controller pay nothing measurable; the controller
+reads logs incrementally by offset.
+
+This module is a dependency leaf: ``repro.smr`` imports it, so it must not
+import protocol, cluster, or simulation modules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class EvidenceKind(enum.Enum):
+    """What kind of abnormality an evidence record describes."""
+
+    #: A request timer expired before an ordered request committed.
+    TIMEOUT = "timeout"
+    #: A view change completed on the observing replica.
+    VIEW_CHANGE = "view-change"
+    #: A same-view vote contradicted the slot's established digest.
+    CONFLICTING_VOTE = "conflicting-vote"
+    #: An untrusted primary signed two conflicting assignments for one slot.
+    EQUIVOCATION = "equivocation"
+    #: A message failed signature verification against its named signer.
+    INVALID_SIGNATURE = "invalid-signature"
+    #: A replica signed a reply whose result no quorum produced.
+    FORGED_REPLY = "forged-reply"
+    #: Commit latency drifted far above the mode's learned baseline.
+    LATENCY_DRIFT = "latency-drift"
+
+
+#: Kinds that prove (or strongly indicate) *Byzantine* behaviour by the suspect.
+BYZANTINE_KINDS = frozenset(
+    {
+        EvidenceKind.CONFLICTING_VOTE,
+        EvidenceKind.EQUIVOCATION,
+        EvidenceKind.INVALID_SIGNATURE,
+        EvidenceKind.FORGED_REPLY,
+    }
+)
+
+#: Kinds that indicate crash/performance churn rather than malice.
+CHURN_KINDS = frozenset(
+    {EvidenceKind.TIMEOUT, EvidenceKind.VIEW_CHANGE, EvidenceKind.LATENCY_DRIFT}
+)
+
+
+@dataclass(frozen=True)
+class EvidenceRecord:
+    """One observed abnormality.
+
+    Attributes:
+        at: simulated time of the observation.
+        kind: what was observed.
+        observer: node id that made the observation.
+        suspect: node id the evidence implicates, when one can be named.
+        detail: free-form context (sequence numbers, views, digests).
+    """
+
+    at: float
+    kind: EvidenceKind
+    observer: str
+    suspect: Optional[str] = None
+    detail: str = ""
+
+
+class EvidenceLog:
+    """Per-node evidence log with offset-based incremental reads.
+
+    One log per replica and per client.  ``record`` stamps the simulated
+    time through the owning node's simulator, so emission sites stay
+    one-liners; readers (the controller, tests, reports) pull new records
+    with :meth:`records_since` and keep their own offsets.
+
+    Retention is bounded: a sustained attack emits thousands of records
+    per simulated second, so once the buffer exceeds
+    :data:`MAX_BUFFERED` the oldest half is dropped.  Offsets are
+    *logical* (total records ever appended) and stay valid across
+    compaction — a reader that fell behind simply misses records older
+    than the retained tail, which for the controller only ever means
+    under-counting ancient evidence.
+    """
+
+    #: Retained-record ceiling; compaction drops the oldest half beyond it.
+    MAX_BUFFERED = 4096
+
+    __slots__ = ("observer", "_simulator", "_records", "_dropped")
+
+    def __init__(self, observer: str, simulator) -> None:
+        self.observer = observer
+        self._simulator = simulator
+        self._records: List[EvidenceRecord] = []
+        self._dropped = 0
+
+    def record(self, kind: EvidenceKind, suspect: Optional[str] = None, detail: str = "") -> None:
+        self._records.append(
+            EvidenceRecord(
+                at=self._simulator.now,
+                kind=kind,
+                observer=self.observer,
+                suspect=suspect,
+                detail=detail,
+            )
+        )
+        if len(self._records) > self.MAX_BUFFERED:
+            drop = len(self._records) // 2
+            del self._records[:drop]
+            self._dropped += drop
+
+    def records_since(self, offset: int) -> List[EvidenceRecord]:
+        """Records appended at or after logical ``offset`` (a previous ``len``)."""
+        return self._records[max(0, offset - self._dropped):]
+
+    @property
+    def records(self) -> List[EvidenceRecord]:
+        """The retained tail of the log (oldest records may be compacted away)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        """Total records ever appended (logical length; offsets key on this)."""
+        return self._dropped + len(self._records)
+
+
+__all__ = [
+    "EvidenceKind",
+    "EvidenceRecord",
+    "EvidenceLog",
+    "BYZANTINE_KINDS",
+    "CHURN_KINDS",
+]

@@ -16,6 +16,7 @@ from repro.analysis.comparison import (
     profile_for,
 )
 from repro.analysis.report import (
+    format_adaptive_decisions,
     format_results_table,
     format_scenario_results,
     format_series,
@@ -28,6 +29,7 @@ __all__ = [
     "comparison_table",
     "profile_for",
     "messages_per_request",
+    "format_adaptive_decisions",
     "format_results_table",
     "format_scenario_results",
     "format_series",

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.core.modes import Mode
 
 
 @dataclass(frozen=True)
@@ -51,7 +50,9 @@ def profile_for(protocol: str) -> ProtocolProfile:
     try:
         return _PROFILES[protocol]
     except KeyError:
-        raise KeyError(f"unknown protocol {protocol!r}; choose one of {sorted(_PROFILES)}") from None
+        raise KeyError(
+            f"unknown protocol {protocol!r}; choose one of {sorted(_PROFILES)}"
+        ) from None
 
 
 def comparison_table(crash_tolerance: int, byzantine_tolerance: int) -> List[Dict[str, str]]:

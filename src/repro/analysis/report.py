@@ -7,7 +7,7 @@ consistent, diff-able layout in ``bench_output.txt``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 
 def format_results_table(rows: Iterable[Dict], columns: Sequence[str] = ()) -> str:
@@ -25,7 +25,9 @@ def format_results_table(rows: Iterable[Dict], columns: Sequence[str] = ()) -> s
     separator = "  ".join("-" * widths[column] for column in columns)
     lines = [header, separator]
     for row in rows:
-        lines.append("  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
     return "\n".join(lines)
 
 
@@ -87,6 +89,32 @@ def format_sharded_results(
             f"{transactions.get('started', 0)} started"
         )
     return "\n".join(lines)
+
+
+def format_adaptive_decisions(
+    decisions: Iterable,
+    title: str = "Adaptive controller decisions",
+    shard: Optional[int] = None,
+) -> str:
+    """Summarise an adaptive controller's switch decisions.
+
+    ``decisions`` is an iterable of
+    :class:`~repro.adaptive.ControllerDecision` (or of their ``as_row``
+    dicts).  ``shard`` prefixes every row with a shard index, so sharded
+    reports can concatenate per-shard controllers into one table.
+    """
+    rows = [
+        decision.as_row() if hasattr(decision, "as_row") else dict(decision)
+        for decision in decisions
+    ]
+    if shard is not None:
+        rows = [{"shard": shard, **row} for row in rows]
+    if not rows:
+        return f"{title}\n(no controller decisions)"
+    columns = (["shard"] if shard is not None else []) + [
+        "t", "switch", "reason", "m_hat", "c_hat", "byz_events", "churn_events", "applied",
+    ]
+    return "\n".join([title, format_results_table(rows, columns=columns)])
 
 
 def format_timeline(title: str, bins: Sequence[Tuple[float, float]], time_unit: str = "s") -> str:

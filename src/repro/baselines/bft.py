@@ -35,7 +35,9 @@ _NOOP_CLIENT = "__noop__"
 
 
 def _noop_request(sequence: int) -> Request:
-    return Request(operation=Operation("noop"), timestamp=sequence, client_id=_NOOP_CLIENT, signed=False)
+    return Request(
+        operation=Operation("noop"), timestamp=sequence, client_id=_NOOP_CLIENT, signed=False
+    )
 
 
 class QuorumBFTReplica(ReplicaBase):
@@ -158,7 +160,11 @@ class QuorumBFTReplica(ReplicaBase):
         if message.digest != request_digest(message.request):
             return
         existing = self.slots.existing_slot(message.sequence)
-        if existing is not None and existing.digest is not None and existing.digest != message.digest:
+        if (
+            existing is not None
+            and existing.digest is not None
+            and existing.digest != message.digest
+        ):
             return
 
         slot = self._fill_slot(message.sequence, message.digest, message.request, message)

@@ -44,7 +44,9 @@ class AcceptRequest(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (f"PAXOS-ACCEPT-REQUEST{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}").encode("utf-8")
+        return (
+            f"PAXOS-ACCEPT-REQUEST{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
+        ).encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _DIGEST_BYTES + self.request.cached_wire_size()
@@ -71,7 +73,10 @@ class Accepted(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (f"PAXOS-ACCEPTED{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}{_SEP}{self.replica_id}").encode("utf-8")
+        return (
+            f"PAXOS-ACCEPTED{_SEP}{self.view}{_SEP}{self.sequence}"
+            f"{_SEP}{self.digest}{_SEP}{self.replica_id}"
+        ).encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _DIGEST_BYTES
@@ -97,7 +102,9 @@ class Learn(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (f"PAXOS-LEARN{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}").encode("utf-8")
+        return (
+            f"PAXOS-LEARN{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
+        ).encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _DIGEST_BYTES + self.request.cached_wire_size()
@@ -126,7 +133,9 @@ class BftPrePrepare(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (f"BFT-PRE-PREPARE{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}").encode("utf-8")
+        return (
+            f"BFT-PRE-PREPARE{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
+        ).encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.cached_wire_size()
@@ -153,7 +162,10 @@ class BftPrepare(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (f"BFT-PREPARE{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}{_SEP}{self.replica_id}").encode("utf-8")
+        return (
+            f"BFT-PREPARE{_SEP}{self.view}{_SEP}{self.sequence}"
+            f"{_SEP}{self.digest}{_SEP}{self.replica_id}"
+        ).encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
@@ -180,7 +192,10 @@ class BftCommit(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (f"BFT-COMMIT{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}{_SEP}{self.replica_id}").encode("utf-8")
+        return (
+            f"BFT-COMMIT{_SEP}{self.view}{_SEP}{self.sequence}"
+            f"{_SEP}{self.digest}{_SEP}{self.replica_id}"
+        ).encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
@@ -208,7 +223,10 @@ class BaselineCheckpoint(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (f"BASELINE-CHECKPOINT{_SEP}{self.sequence}{_SEP}{self.state_digest}{_SEP}{self.replica_id}").encode("utf-8")
+        return (
+            f"BASELINE-CHECKPOINT{_SEP}{self.sequence}"
+            f"{_SEP}{self.state_digest}{_SEP}{self.replica_id}"
+        ).encode("utf-8")
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES

@@ -38,7 +38,9 @@ _NOOP_CLIENT = "__noop__"
 
 
 def _noop_request(sequence: int) -> Request:
-    return Request(operation=Operation("noop"), timestamp=sequence, client_id=_NOOP_CLIENT, signed=False)
+    return Request(
+        operation=Operation("noop"), timestamp=sequence, client_id=_NOOP_CLIENT, signed=False
+    )
 
 
 class PaxosReplica(ReplicaBase):

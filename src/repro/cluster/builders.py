@@ -17,8 +17,9 @@ sweep them uniformly:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.adaptive import AdaptiveModeController, AdaptivePolicy
 from repro.baselines import (
     PaxosConfig,
     PaxosReplica,
@@ -57,6 +58,19 @@ from repro.workload.metrics import MetricsCollector
 
 DEFAULT_INTRA_CLOUD_LATENCY = 0.0002
 DEFAULT_CLIENT_LATENCY = 0.0003
+
+#: What builders accept for their ``adaptive`` knob: ``True`` for the
+#: default policy, an :class:`AdaptivePolicy` for tuned knobs, or
+#: ``None``/``False`` for no controller.
+AdaptiveSpec = Union[bool, AdaptivePolicy, None]
+
+
+def _resolve_adaptive_policy(adaptive: AdaptiveSpec) -> Optional[AdaptivePolicy]:
+    if not adaptive:
+        return None
+    if isinstance(adaptive, AdaptivePolicy):
+        return adaptive
+    return AdaptivePolicy()
 
 
 def _build_fabric(
@@ -178,6 +192,7 @@ def build_seemore(
     cost_model: Optional[NodeCostModel] = None,
     batch_policy: Optional[BatchPolicy] = None,
     client_window: Optional[int] = None,
+    adaptive: AdaptiveSpec = None,
 ) -> Deployment:
     """Build a SeeMoRe deployment in the given mode.
 
@@ -188,6 +203,12 @@ def build_seemore(
     (default: one request per slot, the paper's setup) and ``client_window``
     pipelines that many requests per client (default: the workload's
     ``client_window``, normally the paper's closed loop of 1).
+
+    ``adaptive`` attaches a closed-loop
+    :class:`~repro.adaptive.AdaptiveModeController` (``True`` for the
+    default policy, or an :class:`~repro.adaptive.AdaptivePolicy`); the
+    controller is started on the simulator clock and exposed as
+    ``deployment.extras["adaptive"]``.
     """
     workload = workload or microbenchmark("0/0")
     config = SeeMoReConfig.build(
@@ -205,7 +226,7 @@ def build_seemore(
     )
 
     client_config = client_config_for_mode(config, mode, request_timeout=client_timeout)
-    return _finish_deployment(
+    deployment = _finish_deployment(
         protocol=f"seemore-{mode.name.lower()}",
         simulator=simulator,
         network=network,
@@ -218,6 +239,12 @@ def build_seemore(
         extras={"config": config, "mode": mode},
         client_window=client_window,
     )
+    policy = _resolve_adaptive_policy(adaptive)
+    if policy is not None:
+        controller = AdaptiveModeController(deployment, policy=policy, name="adaptive")
+        deployment.extras["adaptive"] = controller
+        controller.start()
+    return deployment
 
 
 # -- sharded SeeMoRe --------------------------------------------------------------------
@@ -250,6 +277,7 @@ def build_sharded_seemore(
     txn_timeout: Optional[float] = None,
     batch_policy: Optional[BatchPolicy] = None,
     cost_model: Optional[NodeCostModel] = None,
+    adaptive: AdaptiveSpec = None,
 ) -> ShardedDeployment:
     """Build N SeeMoRe clusters sharing one simulated fabric.
 
@@ -269,6 +297,15 @@ def build_sharded_seemore(
     ``txn_timeout`` bounds how long a client coordinator waits for
     prepare votes before aborting a cross-shard transaction (``None``
     waits indefinitely — classic blocking 2PC).
+
+    ``adaptive`` attaches one
+    :class:`~repro.adaptive.AdaptiveModeController` *per shard*: every
+    shard estimates its own fault environment (evidence implicating other
+    shards' replicas is filtered out) and switches its own mode, so
+    divergent per-shard environments settle into divergent per-shard
+    modes.  The controllers are exposed as
+    ``deployment.extras["adaptive"]`` (a tuple, shard order) and on each
+    shard's ``extras["adaptive"]``.
     """
     if shard_specs is not None:
         specs = tuple(shard_specs)
@@ -375,6 +412,25 @@ def build_sharded_seemore(
     )
     pool.spawn(num_clients, window=client_window)
 
+    extras: Dict[str, object] = {"partition_policy": partition_policy}
+    policy = _resolve_adaptive_policy(adaptive)
+    if policy is not None:
+        controllers = []
+        for index, shard in enumerate(shards):
+            controller = AdaptiveModeController(
+                shard,
+                policy=policy,
+                # Clients are shared across shards; the controller's
+                # estimator keeps only evidence implicating this shard's
+                # replicas.  The callable re-lists so surged clients count.
+                clients=lambda: pool.clients,
+                name=f"adaptive-s{index}",
+            )
+            shard.extras["adaptive"] = controller
+            controller.start()
+            controllers.append(controller)
+        extras["adaptive"] = tuple(controllers)
+
     return ShardedDeployment(
         protocol=f"seemore-sharded-{len(specs)}x",
         simulator=simulator,
@@ -387,7 +443,7 @@ def build_sharded_seemore(
         router=router,
         client_pool=pool,
         metrics=aggregate_metrics,
-        extras={"partition_policy": partition_policy},
+        extras=extras,
     )
 
 

@@ -13,7 +13,7 @@ These functions implement the measurement methodology of Section 6:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.deployment import Deployment

@@ -69,6 +69,7 @@ def client_config_for_mode(
         trusted_replicas=trusted_by_mode[int(mode)],
         retransmit_targets=retransmit_targets,
         retransmit_replies_needed=m + 1,
+        untrusted_replies_needed=m + 1,
         request_timeout=request_timeout,
         initial_mode=int(mode),
         replies_by_mode=replies_by_mode,

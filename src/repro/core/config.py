@@ -16,7 +16,7 @@ together with the quorum sizes of Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.batching import BatchPolicy
 from repro.core.modes import Mode

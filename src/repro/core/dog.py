@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.adaptive.evidence import EvidenceKind
 from repro.core import messages as msgs
 from repro.core.modes import Mode
 from repro.core.strategy_base import ModeStrategy
@@ -66,7 +67,7 @@ class DogStrategy(ModeStrategy):
     def on_prepare(self, replica: "SeeMoReReplica", src: str, message: msgs.Prepare) -> None:
         if not replica.accepts_ordering_from(src, message.view, message.mode):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
         if not replica.in_watermark_window(message.sequence):
             return
@@ -102,10 +103,18 @@ class DogStrategy(ModeStrategy):
             return
         if not replica.is_current_proxy(src):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
 
         slot = replica.slots.slot(message.sequence)
+        if slot.digest is not None and message.digest != slot.digest:
+            # A same-view vote contradicting the trusted primary's prepare
+            # can only come from a faulty proxy.
+            replica.evidence.record(
+                EvidenceKind.CONFLICTING_VOTE,
+                suspect=src,
+                detail=f"accept seq={message.sequence} view={message.view}",
+            )
         slot.record_vote("accept", src, message, message.digest)
         if slot.digest is None or slot.request is None:
             # Still waiting for the primary's prepare; the vote is banked.
@@ -138,7 +147,7 @@ class DogStrategy(ModeStrategy):
             return
         if not replica.is_current_proxy(src):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
 
         slot = replica.slots.slot(message.sequence)
@@ -157,7 +166,7 @@ class DogStrategy(ModeStrategy):
             return
         if not replica.is_current_proxy(src):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
 
         slot = replica.slots.slot(message.sequence)
@@ -165,6 +174,11 @@ class DogStrategy(ModeStrategy):
         if slot.committed or slot.request is None:
             return
         if slot.digest is not None and slot.digest != message.digest:
+            replica.evidence.record(
+                EvidenceKind.CONFLICTING_VOTE,
+                suspect=src,
+                detail=f"inform seq={message.sequence} view={message.view}",
+            )
             return
         if count >= replica.config.inform_quorum(self.mode):
             replica.finalize_commit(slot, send_reply=False)

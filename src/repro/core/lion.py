@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.adaptive.evidence import EvidenceKind
 from repro.core import messages as msgs
 from repro.core.modes import Mode
 from repro.core.strategy_base import ModeStrategy
@@ -63,7 +64,7 @@ class LionStrategy(ModeStrategy):
     def on_prepare(self, replica: "SeeMoReReplica", src: str, message: msgs.Prepare) -> None:
         if not replica.accepts_ordering_from(src, message.view, message.mode):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
         if not replica.in_watermark_window(message.sequence):
             return
@@ -90,7 +91,20 @@ class LionStrategy(ModeStrategy):
         if not replica.valid_view(message.view):
             return
         slot = replica.slots.existing_slot(message.sequence)
-        if slot is None or slot.digest != message.digest or slot.committed:
+        if slot is None:
+            return
+        if slot.digest is not None and message.digest != slot.digest:
+            # A same-view accept contradicting this trusted primary's own
+            # assignment can only come from a faulty replica.
+            replica.evidence.record(
+                EvidenceKind.CONFLICTING_VOTE,
+                suspect=src,
+                detail=f"accept seq={message.sequence} view={message.view}",
+            )
+            return
+        if slot.digest is None or slot.committed:
+            # No assignment yet (nothing to vote on) or already committed;
+            # the mismatch case returned above.
             return
 
         count = slot.record_vote("accept", src, message, message.digest)
@@ -112,7 +126,7 @@ class LionStrategy(ModeStrategy):
     def on_commit(self, replica: "SeeMoReReplica", src: str, message: msgs.Commit) -> None:
         if not replica.accepts_ordering_from(src, message.view, message.mode):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
         if message.request is None:
             return

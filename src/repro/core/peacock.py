@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.adaptive.evidence import EvidenceKind
 from repro.core import messages as msgs
 from repro.core.modes import Mode
 from repro.core.strategy_base import ModeStrategy
@@ -63,7 +64,7 @@ class PeacockStrategy(ModeStrategy):
     def on_preprepare(self, replica: "SeeMoReReplica", src: str, message: msgs.PrePrepare) -> None:
         if not replica.accepts_ordering_from(src, message.view, message.mode):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
         if not replica.in_watermark_window(message.sequence):
             return
@@ -71,9 +72,20 @@ class PeacockStrategy(ModeStrategy):
             return
 
         existing = replica.slots.existing_slot(message.sequence)
-        if existing is not None and existing.digest is not None and existing.digest != message.digest:
+        if (
+            existing is not None
+            and existing.digest is not None
+            and existing.digest != message.digest
+        ):
             # The untrusted primary equivocated; refuse the second assignment
-            # and let the timer trigger a view change.
+            # and let the timer trigger a view change.  Two conflicting
+            # signed assignments for one slot are a hard proof of Byzantine
+            # behaviour -- record it for the adaptive controller.
+            replica.evidence.record(
+                EvidenceKind.EQUIVOCATION,
+                suspect=src,
+                detail=f"pre-prepare seq={message.sequence} view={message.view}",
+            )
             return
 
         slot = replica.prepare_slot(message.sequence, message.digest, message.request, message)
@@ -106,10 +118,22 @@ class PeacockStrategy(ModeStrategy):
             return
         if not replica.is_current_proxy(src):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
 
         slot = replica.slots.slot(message.sequence)
+        if slot.digest is not None and message.digest != slot.digest:
+            # A same-view vote contradicting the slot's accepted assignment
+            # proves Byzantine behaviour, but unlike Lion/Dog the
+            # assignment here came from an *untrusted* primary: either the
+            # voter lied or the primary equivocated, and this receiver
+            # cannot tell which.  Record the event unattributed — it still
+            # counts toward escalation, but never names an honest proxy.
+            replica.evidence.record(
+                EvidenceKind.CONFLICTING_VOTE,
+                detail=f"proxy-prepare seq={message.sequence} view={message.view}: "
+                f"{src} contradicts the accepted untrusted assignment",
+            )
         slot.record_vote("prepare", src, message, message.digest)
         self._maybe_send_commit(replica, slot)
 
@@ -143,7 +167,7 @@ class PeacockStrategy(ModeStrategy):
             return
         if not replica.is_current_proxy(src):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
 
         slot = replica.slots.slot(message.sequence)
@@ -165,7 +189,7 @@ class PeacockStrategy(ModeStrategy):
             return
         if not replica.is_current_proxy(src):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
 
         slot = replica.slots.slot(message.sequence)
@@ -173,6 +197,13 @@ class PeacockStrategy(ModeStrategy):
         if slot.committed or slot.request is None:
             return
         if slot.digest is not None and slot.digest != message.digest:
+            # Unattributed for the same reason as on_proxy_prepare: the
+            # contradicted assignment came from an untrusted primary.
+            replica.evidence.record(
+                EvidenceKind.CONFLICTING_VOTE,
+                detail=f"inform seq={message.sequence} view={message.view}: "
+                f"{src} contradicts the accepted untrusted assignment",
+            )
             return
         if count >= replica.config.inform_quorum(self.mode):
             replica.finalize_commit(slot, send_reply=False)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.adaptive.evidence import EvidenceKind
 from repro.core import messages as msgs
 from repro.core.batching import Batcher
 from repro.core.checkpointing import CheckpointManager
@@ -329,7 +330,7 @@ class SeeMoReReplica(ReplicaBase):
                 self._maybe_stabilise_by_votes(sequence, state_digest)
 
     def _on_checkpoint(self, src: str, message: msgs.Checkpoint) -> None:
-        if not message.verify(self.verifier, expected_signer=src):
+        if not self.verify_message(src, message):
             return
         if message.replica_id != src:
             return
@@ -375,6 +376,9 @@ class SeeMoReReplica(ReplicaBase):
     def _on_request_timeout(self) -> None:
         if self.crashed or self.in_view_change:
             return
+        self.evidence.record(
+            EvidenceKind.TIMEOUT, suspect=self.current_primary(), detail=f"view={self.view}"
+        )
         self.view_changes.start()
 
     def on_view_installed(self) -> None:
@@ -455,7 +459,7 @@ class SeeMoReReplica(ReplicaBase):
                 self.multicast(self.other_proxies(), prepare)
         self.start_request_timer()
 
-    # -- mode switching (public API) ----------------------------------------------------------------
+    # -- mode switching (public API) --------------------------------------------
 
     def request_mode_switch(self, new_mode: Mode) -> None:
         """Initiate a dynamic mode switch (Section 5.4).
@@ -476,7 +480,7 @@ class SeeMoReReplica(ReplicaBase):
         self.multicast(self.other_replicas(), mode_change)
         self.view_changes.on_mode_change(self.node_id, mode_change)
 
-    # -- state transfer (catch-up for lagging replicas) -----------------------------------------------
+    # -- state transfer (catch-up for lagging replicas) --------------------------
 
     def _maybe_request_catchup(self, committed_sequence: int) -> None:
         """Fetch a snapshot from peers when the commit frontier runs far ahead.
@@ -534,7 +538,7 @@ class SeeMoReReplica(ReplicaBase):
         self.send(src, response)
 
     def _on_state_transfer_response(self, src: str, message: msgs.StateTransferResponse) -> None:
-        if not message.verify(self.verifier, expected_signer=src):
+        if not self.verify_message(src, message):
             return
         snapshot = message.snapshot
         if not snapshot or snapshot.get("next_sequence", 0) - 1 <= self.last_executed:
@@ -566,7 +570,7 @@ class SeeMoReReplica(ReplicaBase):
         self.batcher.forget_in_flight_below(self.executor.last_executed)
         self._update_request_timer()
 
-    # -- introspection -----------------------------------------------------------------------------------
+    # -- introspection -----------------------------------------------------------
 
     def state_summary(self) -> Dict[str, Any]:
         summary = super().state_summary()

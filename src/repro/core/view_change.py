@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.adaptive.evidence import EvidenceKind
 from repro.core import messages as msgs
 from repro.core.modes import Mode
 from repro.smr.messages import Request
@@ -32,7 +33,9 @@ NOOP_CLIENT = "__noop__"
 
 def noop_request(sequence: int) -> Request:
     """The special no-op command filled into sequence holes (Section 5.1)."""
-    return Request(operation=Operation("noop"), timestamp=sequence, client_id=NOOP_CLIENT, signed=False)
+    return Request(
+        operation=Operation("noop"), timestamp=sequence, client_id=NOOP_CLIENT, signed=False
+    )
 
 
 class ViewChangeManager:
@@ -111,7 +114,7 @@ class ViewChangeManager:
         replica = self.replica
         if not replica.config.is_trusted(src):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
         try:
             new_mode = Mode(message.new_mode)
@@ -127,7 +130,7 @@ class ViewChangeManager:
         replica = self.replica
         if message.new_view <= replica.view:
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
         if message.replica_id != src:
             return
@@ -288,13 +291,29 @@ class ViewChangeManager:
         mode = Mode(message.mode)
         if src != self.collector_for(message.new_view, mode):
             return
-        if not message.verify(replica.verifier, expected_signer=src):
+        if not replica.verify_message(src, message):
             return
         self.enter_new_view(src, message)
 
     def enter_new_view(self, src: str, message: msgs.NewView) -> None:
         replica = self.replica
         mode = Mode(message.mode)
+
+        # Evidence for the adaptive controller: a deliberate mode switch is
+        # marked as such so the controller's own actions never read as
+        # churn; a same-mode view change implicates the deposed primary.
+        old_view, old_mode = replica.view, replica.mode
+        if mode is not old_mode:
+            replica.evidence.record(
+                EvidenceKind.VIEW_CHANGE,
+                detail="mode-switch",
+            )
+        else:
+            replica.evidence.record(
+                EvidenceKind.VIEW_CHANGE,
+                suspect=replica.config.primary_of_view(old_view, old_mode),
+                detail="suspected-primary",
+            )
 
         # No proposals while the new view is installed: the commits replayed
         # below pump the batcher, and sequence numbers are only safe to hand
@@ -321,7 +340,9 @@ class ViewChangeManager:
             highest = max(highest, entry.sequence)
             if entry.request is None:
                 continue
-            slot = replica.prepare_slot(entry.sequence, entry.digest, entry.request, None, force=True)
+            slot = replica.prepare_slot(
+                entry.sequence, entry.digest, entry.request, None, force=True
+            )
             if not slot.committed:
                 send_reply = (
                     replica.strategy.replies_to_client(replica)

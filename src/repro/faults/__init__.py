@@ -22,6 +22,7 @@ from repro.faults.byzantine import (
     make_equivocating,
     make_lying,
     make_silent,
+    restore_honest,
 )
 from repro.faults.adversary import FaultPlan
 
@@ -34,6 +35,7 @@ __all__ = [
     "make_equivocating",
     "make_lying",
     "make_corrupt_signatures",
+    "restore_honest",
     "BYZANTINE_STRATEGIES",
     "FaultPlan",
 ]

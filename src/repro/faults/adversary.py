@@ -9,7 +9,7 @@ primary 30 ms into the run" (Figure 4) or "partition the public cloud for
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Sequence, Set, Tuple
 
 from repro.cluster.deployment import Deployment
 from repro.faults.byzantine import make_byzantine

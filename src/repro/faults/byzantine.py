@@ -20,7 +20,7 @@ Available strategies:
 from __future__ import annotations
 
 import copy
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict
 
 from repro.cluster.deployment import Deployment
 from repro.core import messages as core_msgs
@@ -70,25 +70,51 @@ def tampered_payload(payload):
     return tampered_request(payload)
 
 
-def make_equivocating(replica: ReplicaBase) -> None:
-    """A Byzantine primary sends conflicting proposals to different replicas.
+#: The digest an equivocating replica's tampered *votes* claim to support.
+#: Any fixed value that differs from every honest digest works: the point
+#: is that the vote contradicts the slot's established assignment.
+_EQUIVOCATED_VOTE_DIGEST = "ab" * 32
 
-    Only ordering messages that carry a slot payload (SeeMoRe's ``Prepare``
-    and ``PrePrepare``) are attacked; everything else is forwarded
-    unchanged.  The twisted copy is *self-consistent* — its digest is
-    recomputed over the tampered payload (a bare request or a whole batch)
-    and it is re-signed — so receivers accept whichever proposal arrives
-    first and detect the conflict by digest mismatch on the slot, refusing
-    the second assignment; the slot stalls and a view change removes the
-    equivocator.
+
+def make_equivocating(replica: ReplicaBase) -> None:
+    """A Byzantine replica makes conflicting statements to different peers.
+
+    Two faces of the same attack, so it is wire-visible in every mode:
+
+    * *proposal equivocation* (when the replica is an untrusted primary) —
+      ordering messages that carry a slot payload (SeeMoRe's ``Prepare``
+      and ``PrePrepare``) are forked: half the destinations receive the
+      honest proposal, half a *self-consistent* twisted copy whose digest
+      is recomputed over the tampered payload and re-signed.  Receivers
+      accept whichever proposal arrives first and detect the conflict by
+      digest mismatch on the slot, refusing the second assignment; the
+      slot stalls and a view change removes the equivocator.
+    * *vote equivocation* (when the replica is a backup or proxy) — its
+      agreement votes (``Accept`` / ``ProxyPrepare``) are forked the same
+      way: half (or, on unicast paths like the Lion accept, every other
+      vote) claim a digest that contradicts the assignment the replica
+      actually received.  Honest quorums absorb the bad votes by digest
+      matching, and receivers that already hold the trusted assignment can
+      flag the contradiction as Byzantine evidence.
+
+    Everything else is forwarded unchanged.
     """
     original_multicast = replica.multicast
+    original_send = replica.send
+    vote_parity = {"flip": False}
 
     def conflicting_copy(payload):
         twisted = copy.copy(payload)
         twisted.request = tampered_payload(payload.request)
         twisted.digest = request_digest(twisted.request)
         twisted.sign(replica.signer)
+        return twisted
+
+    def conflicting_vote(payload):
+        twisted = copy.copy(payload)
+        twisted.digest = _EQUIVOCATED_VOTE_DIGEST
+        if getattr(twisted, "signed", False):
+            twisted.sign(replica.signer)
         return twisted
 
     def equivocating_multicast(destinations, payload):
@@ -101,9 +127,25 @@ def make_equivocating(replica: ReplicaBase) -> None:
             if targets[half:]:
                 original_multicast(targets[half:], conflicting_copy(payload))
             return
+        if isinstance(payload, (core_msgs.Accept, core_msgs.ProxyPrepare)):
+            targets = [d for d in destinations if d != replica.node_id]
+            half = len(targets) // 2
+            original_multicast(targets[:half], payload)
+            if targets[half:]:
+                original_multicast(targets[half:], conflicting_vote(payload))
+            return
         original_multicast(destinations, payload)
 
+    def equivocating_send(dst, payload):
+        if isinstance(payload, (core_msgs.Accept, core_msgs.ProxyPrepare)):
+            vote_parity["flip"] = not vote_parity["flip"]
+            if vote_parity["flip"]:
+                original_send(dst, conflicting_vote(payload))
+                return
+        original_send(dst, payload)
+
     replica.multicast = equivocating_multicast  # type: ignore[assignment]
+    replica.send = equivocating_send  # type: ignore[assignment]
 
 
 def make_lying(replica: ReplicaBase) -> None:
@@ -145,8 +187,14 @@ def make_corrupt_signatures(replica: ReplicaBase) -> None:
             return twisted
         return payload
 
-    replica.send = lambda dst, payload: original_send(dst, corrupt(payload))  # type: ignore[assignment]
-    replica.multicast = lambda dsts, payload: original_multicast(dsts, corrupt(payload))  # type: ignore[assignment]
+    def corrupt_send(dst, payload):
+        original_send(dst, corrupt(payload))
+
+    def corrupt_multicast(dsts, payload):
+        original_multicast(dsts, corrupt(payload))
+
+    replica.send = corrupt_send  # type: ignore[assignment]
+    replica.multicast = corrupt_multicast  # type: ignore[assignment]
 
 
 BYZANTINE_STRATEGIES: Dict[str, Callable[[ReplicaBase], None]] = {
@@ -179,3 +227,19 @@ def make_byzantine(deployment: Deployment, replica_id: str, strategy: str = "sil
     replica = deployment.replica(replica_id)
     BYZANTINE_STRATEGIES[strategy](replica)
     deployment.mark_faulty(replica_id)
+
+
+def restore_honest(deployment: Deployment, replica_id: str) -> None:
+    """Undo any Byzantine rewiring of one replica -- the attack subsides.
+
+    Every strategy works by shadowing ``send``/``multicast`` with instance
+    attributes, so restoring honest behaviour is dropping those shadows and
+    falling back to the class implementations.  The replica *stays* in the
+    deployment's faulty set for conservative safety accounting (it may have
+    sent arbitrary garbage while twisted), exactly like a recovered crash;
+    what changes is that it stops producing fresh evidence, which is what
+    lets an adaptive controller de-escalate after a quiet period.
+    """
+    replica = deployment.replica(replica_id)
+    replica.__dict__.pop("send", None)
+    replica.__dict__.pop("multicast", None)

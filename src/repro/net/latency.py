@@ -97,7 +97,9 @@ class CloudAwareLatencyModel(LatencyModel):
         return self.base_for(src, dst) * (1.0 + rng.random() * self.jitter_fraction)
 
 
-def lan_latency(placement: Placement, cross_cloud: Optional[float] = None) -> CloudAwareLatencyModel:
+def lan_latency(
+    placement: Placement, cross_cloud: Optional[float] = None
+) -> CloudAwareLatencyModel:
     """Convenience constructor for the paper's co-located deployment.
 
     Both clouds sit in the same AWS region (US-West in the paper), so

@@ -28,7 +28,7 @@ from typing import Optional, Tuple
 
 from repro.cluster.deployment import Deployment
 from repro.core.modes import Mode
-from repro.faults.byzantine import make_byzantine
+from repro.faults.byzantine import make_byzantine, restore_honest
 from repro.faults.crash import crash_replica, current_primary_id, recover_replica
 
 #: Cycle used by ``ModeSwitch("next")``: each switch moves one step.
@@ -131,6 +131,34 @@ class Byzantine(ScenarioEvent):
     @property
     def label(self) -> str:
         return f"byzantine({self.target}, {self.strategy})"
+
+
+@dataclass(frozen=True)
+class RestoreHonest(ScenarioEvent):
+    """End Byzantine behaviour: the attack subsides.
+
+    Drops the attack rewiring of ``target`` -- or, with the default
+    ``target=None``, of *every* replica in the faulty set, which is robust
+    to role-resolved targets pointing at a different replica after the
+    view changes the attack provoked.  Restored replicas stay in the
+    faulty set for conservative safety accounting (like a recovered
+    crash); they merely stop producing fresh evidence, which is what lets
+    an adaptive controller de-escalate.
+    """
+
+    target: Optional[str] = None
+
+    def apply(self, deployment: Deployment) -> None:
+        if self.target is None:
+            targets = sorted(deployment.faulty_replicas)
+        else:
+            targets = [resolve_target(deployment, self.target)]
+        for replica_id in targets:
+            restore_honest(deployment, replica_id)
+
+    @property
+    def label(self) -> str:
+        return f"restore-honest({self.target or 'all-faulty'})"
 
 
 @dataclass(frozen=True)
@@ -274,6 +302,7 @@ __all__ = [
     "Crash",
     "Recover",
     "Byzantine",
+    "RestoreHonest",
     "Partition",
     "HealPartition",
     "LinkDegradation",

@@ -395,10 +395,23 @@ def build_sharded_scenario_deployment(scenario: ShardedScenario, **overrides) ->
 def run_sharded_scenario(
     scenario: ShardedScenario,
     checkers: Optional[List[ShardedInvariantChecker]] = None,
+    deployment: Optional[ShardedDeployment] = None,
     **overrides,
 ) -> ShardedScenarioResult:
-    """Run one sharded scenario and return its result (no assertion)."""
-    deployment = build_sharded_scenario_deployment(scenario, **overrides)
+    """Run one sharded scenario and return its result (no assertion).
+
+    A pre-built ``deployment`` may be supplied when the caller needs to
+    inspect it after the run (e.g. adaptive-controller expectations);
+    builder ``overrides`` are rejected in that case since they could not
+    apply.
+    """
+    if deployment is None:
+        deployment = build_sharded_scenario_deployment(scenario, **overrides)
+    elif overrides:
+        raise TypeError(
+            "run_sharded_scenario() got both a pre-built deployment and builder "
+            f"overrides {sorted(overrides)}; apply the overrides when building"
+        )
     active_checkers = list(checkers) if checkers is not None else default_sharded_checkers()
     for checker in active_checkers:
         checker.attach(deployment)

@@ -198,14 +198,10 @@ class ShardedClient(Client):
         config = self.sessions[self._meta[pending.request.timestamp].shard_id].config
         if reply.replica_id in config.trusted_for_mode(reply.mode):
             return True
-        needed = (
-            config.replies_needed_after_retransmit
-            if pending.retransmitted
-            else config.replies_for_mode(reply.mode)
-        )
-        return len(voters) >= needed
+        return len(voters) >= self._untrusted_reply_quorum(config, reply, pending)
 
     def _complete(self, reply: Reply, pending: _PendingRequest) -> None:
+        self._flag_minority_replies(reply, pending)
         timestamp = pending.request.timestamp
         meta = self._meta.pop(timestamp)
         session = self.sessions[meta.shard_id]

@@ -167,6 +167,10 @@ class ShardedDeployment:
     def per_shard_completed(self) -> List[int]:
         return [shard.metrics.completed for shard in self.shards]
 
+    def adaptive_controllers(self) -> Tuple[Any, ...]:
+        """The per-shard adaptive mode controllers (empty when not wired)."""
+        return tuple(self.extras.get("adaptive", ()))
+
     def transaction_stats(self) -> Dict[str, int]:
         """Aggregate coordinator counters over every client."""
         totals = {"started": 0, "committed": 0, "aborted": 0}

@@ -224,5 +224,8 @@ class EventQueue:
 
     def _maybe_compact(self) -> None:
         heap_size = len(self._heap)
-        if heap_size >= _COMPACT_MIN_HEAP and self._cancelled_in_heap > heap_size * _COMPACT_FRACTION:
+        if (
+            heap_size >= _COMPACT_MIN_HEAP
+            and self._cancelled_in_heap > heap_size * _COMPACT_FRACTION
+        ):
             self.discard_cancelled()

@@ -25,7 +25,9 @@ class Timer:
     its expiry trigger a view change.
     """
 
-    def __init__(self, simulator: "Simulator", callback: Callable[[], None], label: str = "") -> None:
+    def __init__(
+        self, simulator: "Simulator", callback: Callable[[], None], label: str = ""
+    ) -> None:
         self._simulator = simulator
         self._callback = callback
         self._label = label

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
 
+from repro.adaptive.evidence import EvidenceKind, EvidenceLog
 from repro.crypto.signatures import Signer, Verifier
 from repro.net.costs import NodeCostModel
 from repro.net.node import Node
@@ -51,6 +52,12 @@ class ClientConfig:
         retransmit_replies_needed: matching replies required after a
             retransmission (e.g. m+1 in the Lion and Dog modes); defaults to
             ``replies_needed``.
+        untrusted_replies_needed: minimum matching replies to accept a
+            result from *untrusted* replicas in a mode that has trusted
+            repliers (m+1 in SeeMoRe's Lion mode, per the paper's client
+            rule); defaults to ``retransmit_replies_needed``.  Irrelevant
+            when ``trusted_replicas`` (and the per-mode overrides) are
+            empty.
         request_timeout: seconds to wait before retransmitting.
         initial_mode: protocol mode id assumed before the first reply.
         replies_by_mode: optional per-mode override of ``replies_needed``;
@@ -63,6 +70,7 @@ class ClientConfig:
     trusted_replicas: FrozenSet[str] = frozenset()
     retransmit_targets: Optional[TargetSelector] = None
     retransmit_replies_needed: Optional[int] = None
+    untrusted_replies_needed: Optional[int] = None
     request_timeout: float = 0.05
     initial_mode: int = 0
     replies_by_mode: Optional[Dict[int, int]] = None
@@ -87,6 +95,12 @@ class ClientConfig:
         if self.retransmit_replies_needed is None:
             return self.replies_needed
         return self.retransmit_replies_needed
+
+    @property
+    def untrusted_reply_floor(self) -> int:
+        if self.untrusted_replies_needed is None:
+            return self.replies_needed_after_retransmit
+        return self.untrusted_replies_needed
 
 
 @dataclass
@@ -145,6 +159,10 @@ class Client(Node):
         self.known_mode = config.initial_mode
         self.completed: List[CompletedRequest] = []
         self.timeouts = 0
+        # Fault evidence this client observed (signed replies carrying a
+        # result the accepted quorum contradicts); consumed by the adaptive
+        # controller.
+        self.evidence = EvidenceLog(node_id, simulator)
 
         self._next_timestamp = 0
         # Insertion-ordered map of timestamp -> pending request (oldest first).
@@ -281,14 +299,50 @@ class Client(Node):
     def _is_acceptable(self, reply: Reply, voters: set, pending: _PendingRequest) -> bool:
         if reply.replica_id in self.config.trusted_for_mode(reply.mode):
             return True
+        return len(voters) >= self._untrusted_reply_quorum(self.config, reply, pending)
+
+    @staticmethod
+    def _untrusted_reply_quorum(config: ClientConfig, reply: Reply, pending) -> int:
+        """Matching *untrusted* replies needed to accept under ``config``.
+
+        A mode whose normal-case quorum is one *trusted* reply (Lion: the
+        private primary) must never extend that shortcut to an untrusted
+        replica: per the paper's Lion rule, public-cloud results are only
+        acceptable as ``untrusted_reply_floor`` (m+1) matching replies, or
+        a single forged reply racing the primary's would be accepted.
+        Shared with the sharded client, which judges each reply against
+        its shard's own config.
+        """
         needed = (
-            self.config.replies_needed_after_retransmit
+            config.replies_needed_after_retransmit
             if pending.retransmitted
-            else self.config.replies_for_mode(reply.mode)
+            else config.replies_for_mode(reply.mode)
         )
-        return len(voters) >= needed
+        if config.trusted_for_mode(reply.mode):
+            needed = max(needed, config.untrusted_reply_floor)
+        return needed
+
+    def _flag_minority_replies(self, reply: Reply, pending) -> None:
+        """Evidence: replicas whose signed result the accepted quorum contradicts.
+
+        Any replica that signed a *different* result for this request is
+        provably faulty once a result is accepted; called from every
+        completion path before the pending entry (and its votes) is
+        dropped.
+        """
+        accepted_key = reply.result_digest()
+        for result_key, voters in pending.votes.items():
+            if result_key == accepted_key:
+                continue
+            for suspect in sorted(voters):
+                self.evidence.record(
+                    EvidenceKind.FORGED_REPLY,
+                    suspect=suspect,
+                    detail=f"timestamp={pending.request.timestamp}",
+                )
 
     def _complete(self, reply: Reply, pending: _PendingRequest) -> None:
+        self._flag_minority_replies(reply, pending)
         record = CompletedRequest(
             timestamp=pending.request.timestamp,
             sent_at=pending.sent_at,

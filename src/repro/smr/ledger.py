@@ -102,7 +102,13 @@ def find_safety_violations(ledgers: Iterable[CommitLedger]) -> List[Tuple[int, s
                 digest_b = second.digest_at(sequence)
                 if digest_a != digest_b:
                     violations.append(
-                        (sequence, first.replica_id, digest_a or "", second.replica_id, digest_b or "")
+                        (
+                            sequence,
+                            first.replica_id,
+                            digest_a or "",
+                            second.replica_id,
+                            digest_b or "",
+                        )
                     )
     return violations
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Type
 
+from repro.adaptive.evidence import EvidenceKind, EvidenceLog
 from repro.crypto.digest import digest_of
 from repro.crypto.signatures import Signer, Verifier
 from repro.net.costs import NodeCostModel
@@ -60,6 +61,9 @@ class ReplicaBase(Node):
         # answer client retransmissions and to build replies after execution.
         self._known_requests: Dict[tuple, Request] = {}
         self.replies_sent = 0
+        # Runtime fault evidence this replica observed (timeouts, conflicting
+        # votes, invalid signatures...); consumed by the adaptive controller.
+        self.evidence = EvidenceLog(node_id, simulator)
 
     # -- dispatch -----------------------------------------------------------
 
@@ -76,6 +80,21 @@ class ReplicaBase(Node):
 
     def on_unhandled_message(self, src: str, payload: Any) -> None:
         """Hook for unexpected message types; default is to ignore them."""
+
+    def verify_message(self, src: str, message: Any) -> bool:
+        """Verify a signed message from ``src``, flagging forgeries as evidence.
+
+        A verification failure on a message that names its signer is proof
+        the channel peer tampered with it (channels are authenticated, so
+        ``src`` attribution stands); the record feeds the adaptive
+        controller's Byzantine accounting.
+        """
+        if message.verify(self.verifier, expected_signer=src):
+            return True
+        self.evidence.record(
+            EvidenceKind.INVALID_SIGNATURE, suspect=src, detail=type(message).__name__
+        )
+        return False
 
     # -- request bookkeeping -------------------------------------------------
 

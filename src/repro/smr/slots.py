@@ -44,7 +44,9 @@ class Slot:
             return 0
         return len(requests_of(self.request))
 
-    def record_vote(self, phase: str, sender: str, message: Any, digest: Optional[str] = None) -> int:
+    def record_vote(
+        self, phase: str, sender: str, message: Any, digest: Optional[str] = None
+    ) -> int:
         """Record one vote for ``phase`` from ``sender``.
 
         Votes are keyed by sender so duplicates never inflate the count.  If

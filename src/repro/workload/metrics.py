@@ -185,6 +185,15 @@ class MetricsCollector:
     def records(self) -> List[CompletionRecord]:
         return list(self._records)
 
+    def records_since(self, offset: int) -> List[CompletionRecord]:
+        """Records appended at or after ``offset`` (a previous ``completed``).
+
+        Incremental accessor for periodic consumers (the adaptive
+        controller's latency-drift probe polls tens of times per simulated
+        second); unlike :attr:`records` it does not copy the whole history.
+        """
+        return self._records[offset:]
+
     def completions_by_client(self) -> Dict[str, int]:
         return dict(self._per_client_counts)
 

@@ -1,0 +1,77 @@
+"""Scenario gates for the adaptive controller (the acceptance criteria).
+
+The library in :mod:`repro.scenarios.adaptive` runs a live controller
+against injected fault environments; these tests assert the full
+escalate→de-escalate cycle, the no-flapping property under an oscillating
+attacker, churn/malice discrimination under a view-change storm, and
+per-shard divergence -- all with zero invariant-checker violations.
+"""
+
+import pytest
+
+from repro.scenarios.adaptive import (
+    ADAPTIVE_SCENARIOS,
+    CONTROLLER_UNDER_VIEW_CHANGE_STORM,
+    DEESCALATE_AFTER_QUIET_PERIOD,
+    ESCALATE_ON_EQUIVOCATION,
+    OSCILLATING_ATTACKER_MUST_NOT_FLAP,
+    run_adaptive_scenario,
+    run_per_shard_divergence,
+)
+
+pytestmark = [pytest.mark.adaptive, pytest.mark.integration]
+
+
+@pytest.fixture(scope="module")
+def library_results():
+    """Run the single-cluster adaptive library once; tests assert on the cache."""
+    return {
+        name: run_adaptive_scenario(scenario)
+        for name, scenario in ADAPTIVE_SCENARIOS.items()
+    }
+
+
+class TestAdaptiveScenarioLibrary:
+    def test_library_is_large_enough(self):
+        # Four single-cluster scenarios plus the sharded divergence one.
+        assert len(ADAPTIVE_SCENARIOS) >= 4
+
+    @pytest.mark.parametrize("name", sorted(ADAPTIVE_SCENARIOS))
+    def test_library_scenario_upholds_every_invariant(self, library_results, name):
+        library_results[name].assert_ok()
+
+    def test_escalation_reaches_peacock_with_zero_violations(self, library_results):
+        result = library_results[ESCALATE_ON_EQUIVOCATION.name]
+        assert result.invariant_violations == {}
+        assert "PEACOCK" in result.final_modes
+
+    def test_full_cycle_returns_to_lion(self, library_results):
+        """The acceptance gate: Lion → Peacock on injected equivocation,
+        back to Lion after the quiet period, no checker violations."""
+        result = library_results[DEESCALATE_AFTER_QUIET_PERIOD.name]
+        assert result.invariant_violations == {}
+        assert result.final_modes == ("LION",)
+        # Both the escalation and the de-escalation really happened.
+        labels = [label for _, label in result.events_applied]
+        assert any("byzantine" in label for label in labels)
+        assert any("restore-honest" in label for label in labels)
+
+    def test_oscillating_attacker_does_not_flap(self, library_results):
+        result = library_results[OSCILLATING_ATTACKER_MUST_NOT_FLAP.name]
+        assert result.invariant_violations == {}
+        # The TransitionsAtMost expectation inside the scenario is the
+        # gate; reaching here without failures means no flapping.
+        assert result.ok
+
+    def test_view_change_storm_never_escalates_to_peacock(self, library_results):
+        result = library_results[CONTROLLER_UNDER_VIEW_CHANGE_STORM.name]
+        assert result.invariant_violations == {}
+        assert "PEACOCK" not in result.final_modes
+
+
+class TestPerShardDivergence:
+    def test_only_the_attacked_shard_escalates(self):
+        result = run_per_shard_divergence()
+        result.assert_ok()
+        # Cross-shard transactions kept committing across the divergence.
+        assert result.transactions["committed"] >= 1

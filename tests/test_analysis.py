@@ -70,7 +70,8 @@ class TestMessageCounts:
     def test_peacock_matches_paper_formula(self):
         # N + 2*(3m+1)^2 + (1+S)*(3m+1)  (Section 5.3).
         n, proxies, s = 6, 4, 2
-        assert messages_per_request("seemore-peacock", 1, 1) == n + 2 * proxies**2 + (1 + s) * proxies
+        expected = n + 2 * proxies**2 + (1 + s) * proxies
+        assert messages_per_request("seemore-peacock", 1, 1) == expected
 
     def test_lion_fewer_messages_than_dog_and_peacock(self):
         for c, m in [(1, 1), (2, 2), (1, 3), (3, 1)]:

@@ -209,7 +209,6 @@ class TestReassignmentAfterViewChange:
         retransmission of a request inside it must not be assigned a second
         sequence number by the new primary (clear_assignments() runs before
         the re-proposal, so the slot fill must re-record the assignment)."""
-        from repro.crypto.keys import KeyStore
         from repro.smr.messages import Request
 
         deployment = build(Mode.LION)

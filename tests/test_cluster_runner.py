@@ -15,7 +15,6 @@ from repro.cluster.runner import peak_throughput
 from repro.core import Mode
 from repro.faults import FaultPlan
 from repro.net.topology import Cloud
-from repro.workload import microbenchmark
 
 
 class TestBuilders:

@@ -84,7 +84,9 @@ class TestCheckpointingInDeployment:
         result = run_deployment(deployment, duration=0.6, warmup=0.1)
         assert result.completed > 64, "need enough requests to cross checkpoint boundaries"
         stable = [r.checkpoints.stable_sequence for r in deployment.correct_replicas()]
-        assert max(stable) >= 32, f"{mode.name}: at least one replica should have a stable checkpoint"
+        assert max(stable) >= 32, (
+            f"{mode.name}: at least one replica should have a stable checkpoint"
+        )
         # Garbage collection: slots below the stable checkpoint are discarded.
         for replica in deployment.correct_replicas():
             if replica.checkpoints.stable_sequence > 0:

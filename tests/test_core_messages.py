@@ -125,7 +125,10 @@ class TestProtocolMessages:
         request = msgs.StateTransferRequest(replica_id="u0", known_sequence=5)
         assert not request.signed
         response = msgs.StateTransferResponse(
-            replica_id="p0", checkpoint_sequence=10, state_digest="d", snapshot={"next_sequence": 11}
+            replica_id="p0",
+            checkpoint_sequence=10,
+            state_digest="d",
+            snapshot={"next_sequence": 11},
         )
         response.sign(keys.signer_for("p0"))
         assert response.verify(keys.verifier(), expected_signer="p0")

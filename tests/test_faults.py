@@ -55,7 +55,9 @@ class TestByzantineHelpers:
     def test_all_strategies_are_applicable(self, deployment):
         config = deployment.extras["config"]
         for index, strategy in enumerate(sorted(BYZANTINE_STRATEGIES)):
-            fresh = build_seemore(crash_tolerance=1, byzantine_tolerance=1, num_clients=1, seed=index)
+            fresh = build_seemore(
+                crash_tolerance=1, byzantine_tolerance=1, num_clients=1, seed=index
+            )
             victim = fresh.extras["config"].public_replicas[0]
             make_byzantine(fresh, victim, strategy)
             assert victim in fresh.faulty_replicas

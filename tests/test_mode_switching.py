@@ -63,7 +63,9 @@ class TestModeSwitching:
         deployment = build(start_mode)
         before, after = switch_modes(deployment, target_mode)
         assert before > 0, "progress before the switch"
-        assert after > before + 10, f"{start_mode.name}->{target_mode.name}: progress after the switch"
+        assert after > before + 10, (
+            f"{start_mode.name}->{target_mode.name}: progress after the switch"
+        )
         modes = {replica.mode for replica in deployment.correct_replicas()}
         assert modes == {target_mode}
         assert_ledgers_consistent(deployment.correct_ledgers())

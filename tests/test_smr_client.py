@@ -1,7 +1,5 @@
 """Unit tests for the closed-loop client (reply quorums, retransmission)."""
 
-import pytest
-
 from repro.crypto import KeyStore
 from repro.net import Network, Node, UniformLatencyModel
 from repro.sim import Simulator

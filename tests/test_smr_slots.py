@@ -1,7 +1,5 @@
 """Unit tests for slot bookkeeping (votes, digest matching, watermarks)."""
 
-import pytest
-
 from repro.smr.slots import Slot, SlotLog
 
 

@@ -13,7 +13,7 @@ from repro.cluster import build_seemore
 from repro.core import Mode, SeeMoReConfig
 from repro.core import messages as msgs
 from repro.core.view_change import NOOP_CLIENT, noop_request
-from repro.faults import crash_primary, crash_replica
+from repro.faults import crash_primary
 from repro.smr.ledger import assert_ledgers_consistent
 from repro.smr.replica import request_digest
 from repro.workload import microbenchmark
