@@ -9,7 +9,11 @@ Cases are matched by name; when the two documents do not carry the same
 case set (e.g. the candidate added sharded cases the committed baseline
 predates), the difference is printed as a warning and the comparison —
 and the regression gate — covers only the intersection.  The gate never
-fails because of cases the baseline lacks.  When both documents carry a
+fails because of cases the baseline lacks.  A case whose events/sec is
+zero or missing on either side cannot produce a meaningful ratio
+(``0/x`` would zero the geomean, ``x/0`` would make it infinite); such
+cases are excluded from the geometric mean with a warning instead of
+poisoning the gate in either direction.  When both documents carry a
 ``host.calibration_ops_per_second`` score (a fixed sha256 + heap-churn
 workload measured by the harness on the machine that produced the
 document), each side's events/sec is divided by its own score first, so a
@@ -81,14 +85,35 @@ def compare(
         current_scale = baseline_scale = 1.0
 
     ratios = []
+    degenerate = []
     width = max(len(name) for name in shared)
     print(f"{'case'.ljust(width)}  {'current':>12}  {'baseline':>12}  {'ratio':>7}")
     for name in shared:
-        now = current[name]["events_per_second"]
-        then = baseline[name]["events_per_second"]
-        ratio = (now * current_scale) / (then * baseline_scale) if then else float("inf")
-        ratios.append(ratio)
-        print(f"{name.ljust(width)}  {now:>12,.0f}  {then:>12,.0f}  {ratio:>7.2f}")
+        now = current[name].get("events_per_second") or 0.0
+        then = baseline[name].get("events_per_second") or 0.0
+        if now > 0 and then > 0:
+            ratio = (now * current_scale) / (then * baseline_scale)
+            ratios.append(ratio)
+            shown = f"{ratio:>7.2f}"
+        else:
+            # A zero/missing side has no meaningful ratio: 0/x would drag
+            # the geomean to zero, x/0 would push it to infinity.  Either
+            # way one broken case must not decide the gate silently.
+            degenerate.append(name)
+            shown = f"{'n/a':>7}"
+        print(f"{name.ljust(width)}  {now:>12,.0f}  {then:>12,.0f}  {shown}")
+
+    if degenerate:
+        print(
+            f"warning: {len(degenerate)} case(s) with zero/missing events/sec "
+            f"excluded from the geomean: {', '.join(degenerate)}"
+        )
+    if not ratios:
+        print(
+            "error: no shared case has a nonzero events/sec on both sides",
+            file=sys.stderr,
+        )
+        return 2
 
     geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
     floor = 1.0 - max_regression

@@ -10,6 +10,22 @@ import pathlib
 
 import pytest
 
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is a test-only dependency
+    pass
+else:
+    # CI runs property suites with ``--hypothesis-profile=ci``: shared
+    # runners have noisy wall clocks, so the per-example deadline is off
+    # (one slow example must not flake the codec-differential gate) while
+    # the example budget stays high enough to exercise the frame space.
+    settings.register_profile(
+        "ci",
+        deadline=None,
+        max_examples=100,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+
 _BENCHMARKS_DIR = pathlib.Path(__file__).parent / "benchmarks"
 
 

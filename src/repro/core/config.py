@@ -65,6 +65,12 @@ class SeeMoReConfig:
     _proxy_set_cache: Dict[int, frozenset] = field(
         default_factory=dict, init=False, compare=False, repr=False
     )
+    # Memo for primary_of_view, keyed by ``(view, mode)``.  Every vote and
+    # request handler asks who the primary is, so the modulo-and-index is
+    # paid once per (view, mode) instead of per message.
+    _primary_cache: Dict[tuple, str] = field(
+        default_factory=dict, init=False, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.crash_tolerance < 0 or self.byzantine_tolerance < 0:
@@ -205,13 +211,19 @@ class SeeMoReConfig:
 
     def primary_of_view(self, view: int, mode: Mode) -> str:
         """The primary of ``view`` under ``mode`` (Section 5 role functions)."""
+        cached = self._primary_cache.get((view, mode))
+        if cached is not None:
+            return cached
         if view < 0:
             raise ValueError(f"view numbers are non-negative: {view}")
         if mode.has_trusted_primary:
-            return self.private_replicas[view % self.private_size]
-        if not self.public_replicas:
+            primary = self.private_replicas[view % self.private_size]
+        elif not self.public_replicas:
             raise ValueError("the Peacock mode requires at least one public-cloud replica")
-        return self.public_replicas[view % self.public_size]
+        else:
+            primary = self.public_replicas[view % self.public_size]
+        self._primary_cache[(view, mode)] = primary
+        return primary
 
     def transferer_of_view(self, view: int) -> str:
         """The trusted transferer that installs Peacock view ``view``."""

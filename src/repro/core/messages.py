@@ -32,12 +32,23 @@ from repro.smr.messages import (
     requests_of,
     _DIGEST_BYTES,
     _HEADER_BYTES,
-    _SEP,
     _SIGNATURE_BYTES,
+)
+from repro.wire.primitives import (
+    TAG_ACCEPT,
+    TAG_CHECKPOINT,
+    TAG_COMMIT,
+    TAG_INFORM,
+    TAG_PREPARE,
+    TAG_PREPREPARE,
+    TAG_PROXY_PREPARE,
+    encode_attributed_vote,
+    encode_checkpoint,
+    encode_vote,
 )
 
 
-@dataclass
+@dataclass(init=False)
 class Prepare(ProtocolMessage):
     """``<<PREPARE, v, n, d>_p, µ>`` from the trusted primary (Lion/Dog)."""
 
@@ -49,6 +60,28 @@ class Prepare(ProtocolMessage):
     signed: bool = True
     signature: Optional[Any] = None
 
+    def __init__(
+        self,
+        view: int,
+        sequence: int,
+        digest: str,
+        request: Any,
+        mode: int,
+        signed: bool = True,
+        signature: Optional[Any] = None,
+    ) -> None:
+        # Hot constructor: bulk-populating the instance dict skips the
+        # per-field ``__setattr__`` cache guard (no caches can exist yet).
+        self.__dict__.update({
+            "view": view,
+            "sequence": sequence,
+            "digest": digest,
+            "request": request,
+            "mode": mode,
+            "signed": signed,
+            "signature": signature,
+        })
+
     def signing_content(self) -> Dict[str, Any]:
         return {
             "type": "PREPARE",
@@ -59,15 +92,13 @@ class Prepare(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (
-            f"PREPARE{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}{_SEP}{self.mode}"
-        ).encode("utf-8")
+        return encode_vote(TAG_PREPARE, self.view, self.sequence, self.mode, self.digest)
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.cached_wire_size()
 
 
-@dataclass
+@dataclass(init=False)
 class Accept(ProtocolMessage):
     """``<ACCEPT, v, n, d, r>`` — unsigned to a trusted primary, signed among proxies."""
 
@@ -78,6 +109,26 @@ class Accept(ProtocolMessage):
     mode: int
     signed: bool = False
     signature: Optional[Any] = None
+
+    def __init__(
+        self,
+        view: int,
+        sequence: int,
+        digest: str,
+        replica_id: str,
+        mode: int,
+        signed: bool = False,
+        signature: Optional[Any] = None,
+    ) -> None:
+        self.__dict__.update({
+            "view": view,
+            "sequence": sequence,
+            "digest": digest,
+            "replica_id": replica_id,
+            "mode": mode,
+            "signed": signed,
+            "signature": signature,
+        })
 
     def signing_content(self) -> Dict[str, Any]:
         return {
@@ -90,17 +141,16 @@ class Accept(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (
-            f"ACCEPT{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
-            f"{_SEP}{self.replica_id}{_SEP}{self.mode}"
-        ).encode("utf-8")
+        return encode_attributed_vote(
+            TAG_ACCEPT, self.view, self.sequence, self.mode, self.digest, self.replica_id
+        )
 
     def wire_size(self) -> int:
         size = _HEADER_BYTES + _DIGEST_BYTES
         return size + (_SIGNATURE_BYTES if self.signed else 0)
 
 
-@dataclass
+@dataclass(init=False)
 class Commit(ProtocolMessage):
     """``<<COMMIT, v, n, d>, µ>`` — primary's commit (Lion) or proxy commit (Dog)."""
 
@@ -113,6 +163,28 @@ class Commit(ProtocolMessage):
     signed: bool = True
     signature: Optional[Any] = None
 
+    def __init__(
+        self,
+        view: int,
+        sequence: int,
+        digest: str,
+        replica_id: str,
+        mode: int,
+        request: Optional[Any] = None,
+        signed: bool = True,
+        signature: Optional[Any] = None,
+    ) -> None:
+        self.__dict__.update({
+            "view": view,
+            "sequence": sequence,
+            "digest": digest,
+            "replica_id": replica_id,
+            "mode": mode,
+            "request": request,
+            "signed": signed,
+            "signature": signature,
+        })
+
     def signing_content(self) -> Dict[str, Any]:
         return {
             "type": "COMMIT",
@@ -124,10 +196,9 @@ class Commit(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (
-            f"COMMIT{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
-            f"{_SEP}{self.replica_id}{_SEP}{self.mode}"
-        ).encode("utf-8")
+        return encode_attributed_vote(
+            TAG_COMMIT, self.view, self.sequence, self.mode, self.digest, self.replica_id
+        )
 
     def wire_size(self) -> int:
         size = _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
@@ -136,7 +207,7 @@ class Commit(ProtocolMessage):
         return size
 
 
-@dataclass
+@dataclass(init=False)
 class PrePrepare(ProtocolMessage):
     """``<<PRE-PREPARE, v, n, d>_p, µ>`` from the untrusted Peacock primary."""
 
@@ -148,6 +219,26 @@ class PrePrepare(ProtocolMessage):
     signed: bool = True
     signature: Optional[Any] = None
 
+    def __init__(
+        self,
+        view: int,
+        sequence: int,
+        digest: str,
+        request: Any,
+        mode: int,
+        signed: bool = True,
+        signature: Optional[Any] = None,
+    ) -> None:
+        self.__dict__.update({
+            "view": view,
+            "sequence": sequence,
+            "digest": digest,
+            "request": request,
+            "mode": mode,
+            "signed": signed,
+            "signature": signature,
+        })
+
     def signing_content(self) -> Dict[str, Any]:
         return {
             "type": "PRE-PREPARE",
@@ -158,16 +249,13 @@ class PrePrepare(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (
-            f"PRE-PREPARE{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
-            f"{_SEP}{self.mode}"
-        ).encode("utf-8")
+        return encode_vote(TAG_PREPREPARE, self.view, self.sequence, self.mode, self.digest)
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES + self.request.cached_wire_size()
 
 
-@dataclass
+@dataclass(init=False)
 class ProxyPrepare(ProtocolMessage):
     """PBFT-style ``PREPARE`` vote exchanged among Peacock proxies."""
 
@@ -178,6 +266,26 @@ class ProxyPrepare(ProtocolMessage):
     mode: int
     signed: bool = True
     signature: Optional[Any] = None
+
+    def __init__(
+        self,
+        view: int,
+        sequence: int,
+        digest: str,
+        replica_id: str,
+        mode: int,
+        signed: bool = True,
+        signature: Optional[Any] = None,
+    ) -> None:
+        self.__dict__.update({
+            "view": view,
+            "sequence": sequence,
+            "digest": digest,
+            "replica_id": replica_id,
+            "mode": mode,
+            "signed": signed,
+            "signature": signature,
+        })
 
     def signing_content(self) -> Dict[str, Any]:
         return {
@@ -190,16 +298,15 @@ class ProxyPrepare(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (
-            f"PROXY-PREPARE{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
-            f"{_SEP}{self.replica_id}{_SEP}{self.mode}"
-        ).encode("utf-8")
+        return encode_attributed_vote(
+            TAG_PROXY_PREPARE, self.view, self.sequence, self.mode, self.digest, self.replica_id
+        )
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
 
 
-@dataclass
+@dataclass(init=False)
 class Inform(ProtocolMessage):
     """``<INFORM, v, n, d, r>_r`` — proxies notify passive replicas of a commit."""
 
@@ -210,6 +317,26 @@ class Inform(ProtocolMessage):
     mode: int
     signed: bool = True
     signature: Optional[Any] = None
+
+    def __init__(
+        self,
+        view: int,
+        sequence: int,
+        digest: str,
+        replica_id: str,
+        mode: int,
+        signed: bool = True,
+        signature: Optional[Any] = None,
+    ) -> None:
+        self.__dict__.update({
+            "view": view,
+            "sequence": sequence,
+            "digest": digest,
+            "replica_id": replica_id,
+            "mode": mode,
+            "signed": signed,
+            "signature": signature,
+        })
 
     def signing_content(self) -> Dict[str, Any]:
         return {
@@ -222,16 +349,15 @@ class Inform(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (
-            f"INFORM{_SEP}{self.view}{_SEP}{self.sequence}{_SEP}{self.digest}"
-            f"{_SEP}{self.replica_id}{_SEP}{self.mode}"
-        ).encode("utf-8")
+        return encode_attributed_vote(
+            TAG_INFORM, self.view, self.sequence, self.mode, self.digest, self.replica_id
+        )
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES
 
 
-@dataclass
+@dataclass(init=False)
 class Checkpoint(ProtocolMessage):
     """``<CHECKPOINT, n, d>_r`` — periodic state digest for garbage collection."""
 
@@ -241,6 +367,24 @@ class Checkpoint(ProtocolMessage):
     mode: int
     signed: bool = True
     signature: Optional[Any] = None
+
+    def __init__(
+        self,
+        sequence: int,
+        state_digest: str,
+        replica_id: str,
+        mode: int,
+        signed: bool = True,
+        signature: Optional[Any] = None,
+    ) -> None:
+        self.__dict__.update({
+            "sequence": sequence,
+            "state_digest": state_digest,
+            "replica_id": replica_id,
+            "mode": mode,
+            "signed": signed,
+            "signature": signature,
+        })
 
     def signing_content(self) -> Dict[str, Any]:
         return {
@@ -252,10 +396,7 @@ class Checkpoint(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (
-            f"CHECKPOINT{_SEP}{self.sequence}{_SEP}{self.state_digest}"
-            f"{_SEP}{self.replica_id}{_SEP}{self.mode}"
-        ).encode("utf-8")
+        return encode_checkpoint(self.sequence, self.mode, self.state_digest, self.replica_id)
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + _DIGEST_BYTES

@@ -95,6 +95,13 @@ class SeeMoReReplica(ReplicaBase):
         self._catchup_votes: Dict[tuple, set] = {}
         self.state_transfers_completed = 0
 
+        # Multicast target lists, rebuilt lazily per (view, mode): the
+        # membership is fixed for a run, so the per-message list/set
+        # comprehensions are pure overhead on the commit path.
+        self._other_replicas: Optional[List[str]] = None
+        self._other_proxies_cache: Dict[tuple, List[str]] = {}
+        self._inform_targets_cache: Dict[tuple, List[str]] = {}
+
         self._register_handlers()
 
     def _register_handlers(self) -> None:
@@ -137,10 +144,24 @@ class SeeMoReReplica(ReplicaBase):
         return self.is_current_proxy(self.node_id)
 
     def other_replicas(self) -> List[str]:
-        return [replica for replica in self.config.all_replicas if replica != self.node_id]
+        # Static per node (membership never changes mid-run); every
+        # protocol multicast asks for this list, so build it once.
+        # Callers treat the returned list as read-only.
+        cached = self._other_replicas
+        if cached is None:
+            cached = self._other_replicas = [
+                replica for replica in self.config.all_replicas if replica != self.node_id
+            ]
+        return cached
 
     def other_proxies(self) -> List[str]:
-        return [proxy for proxy in self.current_proxies() if proxy != self.node_id]
+        key = (self.view, self.mode)
+        cached = self._other_proxies_cache.get(key)
+        if cached is None:
+            cached = self._other_proxies_cache[key] = [
+                proxy for proxy in self.current_proxies() if proxy != self.node_id
+            ]
+        return cached
 
     def passive_replicas(self) -> List[str]:
         passive = self.config.passive_replicas(self.view, self.mode)
@@ -148,14 +169,22 @@ class SeeMoReReplica(ReplicaBase):
 
     def inform_targets(self) -> List[str]:
         """Recipients of inform messages: the private cloud plus non-proxy
-        public replicas (Section 5.2/5.3), excluding the sender itself."""
-        proxies = set(self.current_proxies())
-        targets = [
-            replica
-            for replica in self.config.all_replicas
-            if replica not in proxies and replica != self.node_id
-        ]
-        return targets
+        public replicas (Section 5.2/5.3), excluding the sender itself.
+
+        Cached per ``(view, mode)`` — a Dog/Peacock proxy recomputes this
+        set once per committed batch otherwise.  Callers treat the returned
+        list as read-only.
+        """
+        key = (self.view, self.mode)
+        cached = self._inform_targets_cache.get(key)
+        if cached is None:
+            proxies = set(self.current_proxies())
+            cached = self._inform_targets_cache[key] = [
+                replica
+                for replica in self.config.all_replicas
+                if replica not in proxies and replica != self.node_id
+            ]
+        return cached
 
     def set_mode(self, mode: Mode) -> None:
         """Adopt ``mode`` (called when a new view is installed)."""

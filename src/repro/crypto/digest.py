@@ -87,11 +87,14 @@ def digest_of(message: Any) -> str:
         cached = instance_dict.get(DIGEST_CACHE_ATTR)
         if cached is not None:
             return cached
-    signing_bytes = getattr(message, "signing_bytes", None)
-    if callable(signing_bytes):
-        # Hot message types define a flat canonical byte form that encodes
-        # the same fields as their signing content without a JSON pass.
-        result = digest_bytes(signing_bytes())
+    # Hot message types define a binary wire frame that encodes the same
+    # fields as their signing content without a JSON pass; going through
+    # wire_slice() warms the frame cache together with the digest so
+    # signing and transmission share one serialization.  Probed first:
+    # every protocol message has it, and the hot path ends here.
+    wire_slice = getattr(message, "wire_slice", None)
+    if wire_slice is not None:
+        result = hashlib.sha256(wire_slice()).hexdigest()
     else:
         wire_form = getattr(message, "wire_form", None)
         if callable(wire_form):

@@ -10,14 +10,25 @@ assumes.
 The indirection through :class:`Signature` (rather than bare strings) lets
 Byzantine attack strategies construct deliberately *invalid* signatures and
 lets correct replicas detect and discard them.
+
+Two verification fronts are provided:
+
+* :class:`Verifier` — the per-message reference path (recompute-or-memo one
+  HMAC per signature);
+* :class:`WindowVerifier` — the batch-amortized path replicas and clients
+  use on the hot path: per-sender windows of accepted digests are folded
+  into one rolling transcript MAC per window, groups of same-sender
+  messages are checked with a single group MAC when every signature's memo
+  is warm, and *any* anomaly falls back to per-message verification so a
+  single tampered message is isolated with exactly the verdicts (and
+  evidence) the reference path would produce.
 """
 
 from __future__ import annotations
 
 import hashlib
 import hmac
-from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.crypto.digest import digest_of
 
@@ -26,13 +37,23 @@ class InvalidSignatureError(Exception):
     """Raised when strict verification is requested and the tag is wrong."""
 
 
-@dataclass(frozen=True)
 class Signature:
-    """A signature tag over a message digest, claiming a particular signer."""
+    """A signature tag over a message digest, claiming a particular signer.
 
-    signer_id: str
-    payload_digest: str
-    tag: str
+    A plain ``__slots__`` class rather than a dataclass: one is created per
+    signed send, and the slot layout also gives the per-secret verification
+    memo (``_tag_ok_by_secret``) a fixed home instead of a dict probe.
+    Equality and hashing cover the three public fields, matching the frozen
+    dataclass this replaced.
+    """
+
+    __slots__ = ("signer_id", "payload_digest", "tag", "_tag_ok_by_secret")
+
+    def __init__(self, signer_id: str, payload_digest: str, tag: str) -> None:
+        self.signer_id = signer_id
+        self.payload_digest = payload_digest
+        self.tag = tag
+        self._tag_ok_by_secret: Optional[Dict[bytes, bool]] = None
 
     def to_wire(self) -> Dict[str, str]:
         """Stable representation used when a signature is itself hashed."""
@@ -42,9 +63,27 @@ class Signature:
             "tag": self.tag,
         }
 
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is not Signature:
+            return NotImplemented
+        return (
+            self.signer_id == other.signer_id
+            and self.payload_digest == other.payload_digest
+            and self.tag == other.tag
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.signer_id, self.payload_digest, self.tag))
+
+    def __repr__(self) -> str:
+        return (
+            f"Signature(signer_id={self.signer_id!r}, "
+            f"payload_digest={self.payload_digest!r}, tag={self.tag!r})"
+        )
+
 
 def _compute_tag(secret: bytes, payload_digest: str) -> str:
-    return hmac.new(secret, payload_digest.encode("utf-8"), hashlib.sha256).hexdigest()
+    return hmac.digest(secret, payload_digest.encode("utf-8"), hashlib.sha256).hex()
 
 
 class Signer:
@@ -75,12 +114,13 @@ class Signer:
         correct by construction.  Forged or corrupted signatures are built
         directly (never through here) and always pay the real HMAC check.
         """
+        secret = self._secret
         signature = Signature(
             signer_id=self._node_id,
             payload_digest=payload_digest,
-            tag=_compute_tag(self._secret, payload_digest),
+            tag=_compute_tag(secret, payload_digest),
         )
-        signature.__dict__["_tag_ok_by_secret"] = {self._secret: True}
+        signature._tag_ok_by_secret = {secret: True}
         return signature
 
     def forge(self, message: Any, claimed_signer: str) -> Signature:
@@ -123,10 +163,9 @@ class Verifier:
             return False
         if payload_digest != signature.payload_digest:
             return False
-        cache = signature.__dict__.get("_tag_ok_by_secret")
+        cache = signature._tag_ok_by_secret
         if cache is None:
-            cache = {}
-            signature.__dict__["_tag_ok_by_secret"] = cache
+            cache = signature._tag_ok_by_secret = {}
         ok = cache.get(secret)
         if ok is None:
             expected = _compute_tag(secret, payload_digest)
@@ -140,3 +179,142 @@ class Verifier:
             raise InvalidSignatureError(
                 f"invalid signature claimed by {signature.signer_id!r}"
             )
+
+
+#: Number of accepted same-sender messages folded into one transcript MAC.
+DEFAULT_VERIFY_WINDOW = 64
+
+
+class WindowVerifier:
+    """Batch-amortized verification over per-sender windows.
+
+    Each HMAC tag is an independent claim, so no grouping can *replace*
+    per-signature checking soundly; what this class amortizes is everything
+    around it.  :meth:`verify` is the flattened per-message fast path: all
+    structural checks (signer identity, digest-vs-content match) run
+    inline, the real HMAC is paid at most once per signature via the
+    signature's memo, and every *accepted* digest is appended to the
+    sender's window.  Once a window fills, one rolling HMAC over the
+    concatenated digests extends that sender's authenticated transcript —
+    a per-channel MAC chain covering every message accepted so far, at a
+    cost of one HMAC per ``window`` messages.
+
+    :meth:`verify_batch` checks a same-sender group with a single group
+    MAC over claimed-vs-observed digests when every signature's memo is
+    warm.  Any anomaly — memo-cold signature, signer mismatch, group MAC
+    mismatch — triggers the fallback: each message is re-verified
+    individually through the reference :class:`Verifier` path, so exactly
+    the tampered messages are identified and the caller can emit the same
+    per-message evidence the reference path would.
+    """
+
+    def __init__(self, verifier: Verifier, window: int = DEFAULT_VERIFY_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"verification window must be positive: {window}")
+        self._verifier = verifier
+        self._secrets = verifier._secrets
+        self.window = window
+        self._window_digests: Dict[str, List[str]] = {}
+        self._transcripts: Dict[str, bytes] = {}
+        self.messages_verified = 0
+        self.windows_sealed = 0
+        self.fallback_verifications = 0
+
+    def verify(self, signer_id: str, message: Any) -> bool:
+        """Amortized check of one message claimed to come from ``signer_id``.
+
+        Returns exactly the verdict of
+        ``message.verify(verifier, expected_signer=signer_id)``.
+        """
+        if not message.signed:
+            return True
+        signature = message.signature
+        if signature is None or signature.signer_id != signer_id:
+            return False
+        secret = self._secrets.get(signer_id)
+        if secret is None:
+            return False
+        content_digest = message.__dict__.get("_content_digest") or digest_of(message)
+        if content_digest != signature.payload_digest:
+            return False
+        cache = signature._tag_ok_by_secret
+        ok = cache.get(secret) if cache is not None else None
+        if ok is None:
+            # Memo-cold tag (first sight of a foreign or corrupted
+            # signature): pay the real HMAC through the reference path.
+            self.fallback_verifications += 1
+            ok = self._verifier.verify_digest(content_digest, signature)
+        if not ok:
+            return False
+        self.messages_verified += 1
+        window = self._window_digests.get(signer_id)
+        if window is None:
+            window = self._window_digests[signer_id] = []
+        window.append(content_digest)
+        if len(window) >= self.window:
+            self._seal(signer_id, secret, window)
+        return True
+
+    def verify_batch(self, signer_id: str, messages: Iterable[Any]) -> List[int]:
+        """Verify a same-sender group; return the indices of invalid messages.
+
+        An empty list means every message verified.  The fast path costs
+        two HMACs for the whole group (claimed digests vs observed content
+        digests); the fallback isolates exactly the tampered indices.
+        """
+        messages = list(messages)
+        secret = self._secrets.get(signer_id)
+        group_ok = secret is not None
+        observed: List[str] = []
+        claimed: List[str] = []
+        if group_ok:
+            for message in messages:
+                if not message.signed:
+                    continue
+                signature = message.signature
+                if signature is None or signature.signer_id != signer_id:
+                    group_ok = False
+                    break
+                cache = signature._tag_ok_by_secret
+                if cache is None or cache.get(secret) is not True:
+                    group_ok = False
+                    break
+                claimed.append(signature.payload_digest)
+                observed.append(
+                    message.__dict__.get("_content_digest") or digest_of(message)
+                )
+        if group_ok and claimed:
+            group_ok = hmac.compare_digest(
+                hmac.digest(secret, "".join(claimed).encode("utf-8"), hashlib.sha256),
+                hmac.digest(secret, "".join(observed).encode("utf-8"), hashlib.sha256),
+            )
+        if group_ok:
+            self.messages_verified += len(observed)
+            window = self._window_digests.get(signer_id)
+            if window is None:
+                window = self._window_digests[signer_id] = []
+            for content_digest in observed:
+                window.append(content_digest)
+                if len(window) >= self.window:
+                    self._seal(signer_id, secret, window)
+            return []
+        # Fallback: per-message isolation through the reference path.
+        invalid = []
+        for index, message in enumerate(messages):
+            self.fallback_verifications += 1
+            if not message.verify(self._verifier, expected_signer=signer_id):
+                invalid.append(index)
+        return invalid
+
+    def _seal(self, signer_id: str, secret: bytes, window: List[str]) -> None:
+        """Fold one full window into the sender's rolling transcript MAC."""
+        previous = self._transcripts.get(signer_id, b"")
+        self._transcripts[signer_id] = hmac.digest(
+            secret, previous + "".join(window).encode("utf-8"), hashlib.sha256
+        )
+        self.windows_sealed += 1
+        del window[:]
+
+    def transcript_tag(self, signer_id: str) -> bytes:
+        """Rolling MAC over every sealed window of digests from ``signer_id``."""
+        return self._transcripts.get(signer_id, b"")

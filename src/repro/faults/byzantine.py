@@ -28,6 +28,8 @@ from repro.crypto.signatures import Signature
 from repro.smr.messages import Batch, Reply
 from repro.smr.replica import ReplicaBase, request_digest
 from repro.smr.state_machine import Operation
+from repro.wire.codec import decode, wire_slice_of
+from repro.wire.primitives import WireDecodeError
 
 
 def make_silent(replica: ReplicaBase) -> None:
@@ -43,9 +45,34 @@ def make_silent(replica: ReplicaBase) -> None:
     replica.multicast = multicast_nothing  # type: ignore[assignment]
 
 
+def _decoded_twin(message):
+    """Re-materialize a message from its own wire frame.
+
+    Twists operate on these decoded forms and re-encode on the next
+    ``signing_bytes()`` call, so every attack manipulates exactly what an
+    adversary holding the frame could manipulate — the tampering stays
+    wire-visible rather than being an artifact of shared in-memory
+    objects.  The piggybacked ``request`` and the ``signature`` ride
+    *beside* the signed frame, so they are re-attached from the original
+    (a twist then replaces whichever of them it targets).  Cold
+    JSON-encoded types and payloads without an invertible frame fall back
+    to a plain copy.
+    """
+    try:
+        twin = decode(wire_slice_of(message))
+    except (TypeError, WireDecodeError):
+        return copy.copy(message)
+    if getattr(message, "request", None) is not None and hasattr(twin, "request"):
+        twin.request = message.request
+    if twin.signed != message.signed:
+        twin.signed = message.signed
+    twin.signature = message.signature
+    return twin
+
+
 def tampered_request(request):
-    """Copy of one client request with its operation replaced by garbage."""
-    twisted = copy.copy(request)
+    """Decoded twin of one client request with its operation replaced by garbage."""
+    twisted = _decoded_twin(request)
     twisted.operation = Operation(
         kind="put",
         args=("byzantine", "tampered"),
@@ -104,14 +131,14 @@ def make_equivocating(replica: ReplicaBase) -> None:
     vote_parity = {"flip": False}
 
     def conflicting_copy(payload):
-        twisted = copy.copy(payload)
+        twisted = _decoded_twin(payload)
         twisted.request = tampered_payload(payload.request)
         twisted.digest = request_digest(twisted.request)
         twisted.sign(replica.signer)
         return twisted
 
     def conflicting_vote(payload):
-        twisted = copy.copy(payload)
+        twisted = _decoded_twin(payload)
         twisted.digest = _EQUIVOCATED_VOTE_DIGEST
         if getattr(twisted, "signed", False):
             twisted.sign(replica.signer)
@@ -161,7 +188,7 @@ def make_lying(replica: ReplicaBase) -> None:
 
     def lying_send(dst, payload):
         if isinstance(payload, Reply):
-            lie = copy.copy(payload)
+            lie = _decoded_twin(payload)
             lie.result = {"ok": False, "value": "forged-by-" + replica.node_id}
             lie.sign(replica.signer)
             original_send(dst, lie)
@@ -178,7 +205,7 @@ def make_corrupt_signatures(replica: ReplicaBase) -> None:
 
     def corrupt(payload):
         if getattr(payload, "signed", False) and getattr(payload, "signature", None) is not None:
-            twisted = copy.copy(payload)
+            twisted = _decoded_twin(payload)
             twisted.signature = Signature(
                 signer_id=payload.signature.signer_id,
                 payload_digest=payload.signature.payload_digest,

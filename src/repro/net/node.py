@@ -15,7 +15,6 @@ Message accounting follows the paper's deployment:
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Any, Iterable, Optional, TYPE_CHECKING
 
 from repro.crypto.digest import WIRE_SIZE_CACHE_ATTR
@@ -120,9 +119,20 @@ class Node:
         process = self.process
         if process.crashed:
             return
-        size = wire_size_of(payload)
-        cost = self.cost_model.send_cost(size, is_signed(payload))
-        process.submit(cost, partial(self._transmit, dst, payload, size))
+        # Inlined wire_size_of cache probe and cost-model memo probe: both
+        # hit on virtually every send of a steady-state run.
+        try:
+            size = payload.__dict__.get(WIRE_SIZE_CACHE_ATTR)
+        except AttributeError:
+            size = None
+        if size is None:
+            size = wire_size_of(payload)
+        signed = True if getattr(payload, "signed", False) else False
+        cost_model = self.cost_model
+        cost = cost_model._cost_memo.get((size, signed))
+        if cost is None:
+            cost = cost_model.send_cost(size, signed)
+        process.submit(cost, self._transmit, (dst, payload, size))
 
     def multicast(self, destinations: Iterable[str], payload: Any) -> None:
         """Send the same message to many destinations.
@@ -152,7 +162,9 @@ class Node:
             return
         self.messages_sent += 1
         self.bytes_sent += size
-        self.network.deliver(self.node_id, dst, payload, size)
+        # Direct attribute read: a detached node cannot have queued CPU work,
+        # so the property's guard would never fire here anyway.
+        self._network.deliver(self.node_id, dst, payload, size)
 
     # -- receiving --------------------------------------------------------
 
@@ -165,14 +177,19 @@ class Node:
         process = self.process
         if process.crashed:
             return
-        # Inlined is_signed / signature_count_of: two getattrs and a call
-        # frame per delivery add up at hundreds of thousands of messages.
+        # Inlined is_signed / signature_count_of and the cost-model memo
+        # probe: a few getattrs and call frames per delivery add up at
+        # hundreds of thousands of messages.
         if getattr(payload, "signed", False):
             count = getattr(payload, "signature_count", None)
-            cost = self.cost_model.receive_cost(size, True, 1 if count is None else int(count))
+            key = (size, True, 1 if count is None else int(count))
         else:
-            cost = self.cost_model.receive_cost(size, False, 0)
-        process.submit(cost, partial(self._handle, src, payload))
+            key = (size, False, 0)
+        cost_model = self.cost_model
+        cost = cost_model._cost_memo.get(key)
+        if cost is None:
+            cost = cost_model.receive_cost(size, key[1], key[2])
+        process.submit(cost, self._handle, (src, payload))
 
     def _handle(self, src: str, payload: Any) -> None:
         if self.process.crashed:

@@ -165,6 +165,7 @@ class ShardedClient(Client):
     # -- retransmission -----------------------------------------------------
 
     def _on_timeout(self) -> None:
+        self._armed_deadline = None  # the armed event just fired
         if not self._pending or self._stopped:
             return
         overdue = [

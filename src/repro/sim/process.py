@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
+from heapq import heappush
 from typing import Callable, Deque, Optional, Tuple
 
 from repro.sim.simulator import Simulator
@@ -41,7 +42,7 @@ class Process:
     def __init__(self, simulator: Simulator, name: str = "process") -> None:
         self._simulator = simulator
         self._name = name
-        self._queue: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self._queue: Deque[Tuple[float, Callable[..., None], tuple]] = deque()
         self._busy = False
         # ``crashed`` is a plain attribute (not a property) because every
         # send/deliver/handle on the owning node reads it.
@@ -50,8 +51,10 @@ class Process:
         self._items_processed = 0
         # Hot-path preallocations: one completion event fires per work item,
         # so the callback is a single pre-bound method (the running handler
-        # parks in ``_current``) instead of a fresh closure per item.
-        self._current: Optional[Callable[[], None]] = None
+        # and its arguments park in ``_current``/``_current_args``) instead
+        # of a fresh closure or partial per item.
+        self._current: Optional[Callable[..., None]] = None
+        self._current_args: tuple = ()
         self._finish_current = self._finish
 
     @property
@@ -76,19 +79,39 @@ class Process:
     def items_processed(self) -> int:
         return self._items_processed
 
-    def submit(self, cost: float, handler: Callable[[], None]) -> None:
+    def submit(
+        self, cost: float, handler: Callable[..., None], args: tuple = ()
+    ) -> None:
         """Enqueue a work item costing ``cost`` simulated seconds of CPU.
 
-        Work submitted to a crashed process is dropped silently: a crashed
-        server neither processes nor acknowledges anything.
+        ``args`` is star-applied to ``handler`` when the CPU reaches the
+        item, which lets hot callers avoid a ``functools.partial`` per
+        message.  Work submitted to a crashed process is dropped silently:
+        a crashed server neither processes nor acknowledges anything.
         """
         if cost < 0:
             raise ValueError(f"work cost cannot be negative: {cost}")
         if self.crashed:
             return
-        self._queue.append((cost, handler))
-        if not self._busy:
-            self._start_next()
+        if self._busy:
+            self._queue.append((cost, handler, args))
+            return
+        # Idle fast path: an idle process always has an empty queue (the
+        # completion handler refills from the queue before going idle), so
+        # the item starts immediately — skip the deque round trip and
+        # schedule the completion directly (inlined Simulator.defer).
+        self._busy = True
+        self._busy_time += cost
+        self._current = handler
+        self._current_args = args
+        simulator = self._simulator
+        queue = simulator._queue
+        seq = queue._counter
+        queue._counter = seq + 1
+        queue._live += 1
+        heappush(
+            queue._heap, (simulator._clock._now + cost, seq, self._finish_current, ())
+        )
 
     def crash(self) -> None:
         """Fail-stop the process: drop queued work and refuse new work."""
@@ -104,19 +127,41 @@ class Process:
             self._busy = False
             return
         self._busy = True
-        cost, handler = self._queue.popleft()
+        cost, handler, args = self._queue.popleft()
         self._busy_time += cost
         self._current = handler
+        self._current_args = args
         self._simulator.defer(cost, self._finish_current)
 
     def _finish(self) -> None:
         handler = self._current
+        args = self._current_args
         self._current = None
         if not self.crashed and handler is not None:
             self._items_processed += 1
-            handler()
-        self._busy = False
-        self._start_next()
+            if args:
+                handler(*args)
+            else:
+                handler()
+        # Inlined _start_next: one completion fires per work item, so the
+        # extra frame (and the re-checks it would repeat) add up.
+        work_queue = self._queue
+        if self.crashed or not work_queue:
+            self._busy = False
+            return
+        self._busy = True
+        cost, handler, args = work_queue.popleft()
+        self._busy_time += cost
+        self._current = handler
+        self._current_args = args
+        simulator = self._simulator
+        queue = simulator._queue
+        seq = queue._counter
+        queue._counter = seq + 1
+        queue._live += 1
+        heappush(
+            queue._heap, (simulator._clock._now + cost, seq, self._finish_current, ())
+        )
 
     def utilisation(self, elapsed: Optional[float] = None) -> float:
         """Fraction of time the CPU has been busy.

@@ -11,6 +11,7 @@ are thin wrappers over events that support cancellation and restart.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Optional
 
 from repro.sim.clock import Clock
@@ -101,17 +102,27 @@ class Simulator:
             raise ValueError(f"cannot schedule an event in the past: delay={delay}")
         return self._queue.push(self._clock.now + delay, action, label=label)
 
-    def defer(self, delay: float, action: Callable[[], None]) -> None:
+    def defer(
+        self, delay: float, action: Callable[..., None], args: tuple = ()
+    ) -> None:
         """Schedule a fire-and-forget ``action`` ``delay`` seconds from now.
 
         Like :meth:`call_later` but returns nothing and allocates no
         :class:`Event`: the hot paths (CPU completions, network arrivals)
         schedule hundreds of thousands of callbacks that are never
-        cancelled or inspected.
+        cancelled or inspected.  ``args`` rides along in the heap entry and
+        is star-applied at fire time, so callers avoid a
+        ``functools.partial`` allocation per scheduled callback.
         """
         if delay < 0:
             raise ValueError(f"cannot schedule an event in the past: delay={delay}")
-        self._queue.push_action(self._clock._now + delay, action)
+        # Inlined EventQueue.push_action: this is called once per CPU work
+        # item and once per network delivery, so the extra frame matters.
+        queue = self._queue
+        seq = queue._counter
+        queue._counter = seq + 1
+        queue._live += 1
+        heapq.heappush(queue._heap, (self._clock._now + delay, seq, action, args))
 
     def call_at(self, timestamp: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` to run at absolute simulated time ``timestamp``."""
@@ -119,7 +130,8 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule an event in the past: now={self._clock.now}, at={timestamp}"
             )
-        return self._queue.push(timestamp, action, label=label)
+        # float() so the run loop's direct clock write keeps time a float.
+        return self._queue.push(float(timestamp), action, label=label)
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event.
@@ -149,20 +161,55 @@ class Simulator:
         self._running = True
         processed_this_call = 0
         # Local bindings shave attribute lookups off the per-event path —
-        # this loop is the single hottest code in the repository.
+        # this loop is the single hottest code in the repository.  The body
+        # of EventQueue.pop_due and Clock.advance_to is inlined here (heap
+        # pop order guarantees monotone times, so the advance needs no
+        # check); compaction mutates the heap list in place, so the local
+        # binding stays valid across auto-compactions.
         queue = self._queue
         clock = self._clock
+        heap = queue._heap
+        heappop = heapq.heappop
         try:
             while self._running:
-                entry = queue.pop_due(until)
-                if entry is None:
-                    if until is not None and queue.peek_time() is not None:
+                while heap:
+                    entry = heap[0]
+                    time = entry[0]
+                    payload = entry[2]
+                    if payload.__class__ is Event:
+                        if payload.cancelled:
+                            heappop(heap)
+                            queue._cancelled_in_heap -= 1
+                            continue
+                        if until is not None and time > until:
+                            payload = None
+                            break
+                        heappop(heap)
+                        payload.fired = True
+                        queue._live -= 1
+                        payload = payload.action
+                        args = ()
+                        break
+                    if until is not None and time > until:
+                        payload = None
+                        break
+                    heappop(heap)
+                    queue._live -= 1
+                    args = entry[3]
+                    break
+                else:
+                    payload = None
+                    time = None
+                if payload is None:
+                    if until is not None and time is not None:
                         # Live events remain, but all after the horizon.
                         self._clock.advance_to(until)
                     break
-                time, action = entry
-                clock.advance_to(time)
-                action()
+                clock._now = time
+                if args:
+                    payload(*args)
+                else:
+                    payload()
                 self._events_processed += 1
                 processed_this_call += 1
                 if max_events is not None and processed_this_call >= max_events:

@@ -24,15 +24,26 @@ fill their batches without simulating thousands of client objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from hashlib import sha256
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from repro.adaptive.evidence import EvidenceKind, EvidenceLog
-from repro.crypto.signatures import Signer, Verifier
+from repro.crypto.digest import (
+    DIGEST_CACHE_ATTR,
+    HAS_CACHE_FLAG,
+    WIRE_SIZE_CACHE_ATTR,
+)
+from repro.crypto.signatures import Signer, Verifier, WindowVerifier
 from repro.net.costs import NodeCostModel
 from repro.net.node import Node
 from repro.sim.simulator import Simulator
-from repro.smr.messages import Reply, Request
+from repro.smr.messages import _HEADER_BYTES, _SIGNATURE_BYTES, Reply, Request
 from repro.smr.state_machine import Operation
+from repro.wire.primitives import encode_request
+
+#: Fixed per-request wire overhead (header + client signature), matching
+#: ``Request.wire_size``.
+_REQUEST_OVERHEAD = _HEADER_BYTES + _SIGNATURE_BYTES
 
 TargetSelector = Callable[[int, int], List[str]]
 OperationFactory = Callable[[int], Operation]
@@ -149,6 +160,9 @@ class Client(Node):
             raise ValueError(f"client window must be at least 1: {window}")
         self.signer = signer
         self.verifier = verifier
+        # Replies arrive per-replica; the window verifier amortizes their
+        # signature checks into per-sender transcript windows.
+        self._window_verifier = WindowVerifier(verifier)
         self.config = config
         self.operation_factory = operation_factory
         self.recorder = recorder
@@ -165,9 +179,16 @@ class Client(Node):
         self.evidence = EvidenceLog(node_id, simulator)
 
         self._next_timestamp = 0
+        # Acceptance rules memoized per mode id: (trusted set, quorum,
+        # quorum after retransmission).  The config's per-mode lookups run
+        # once per reply otherwise, and the config never changes mid-run.
+        self._mode_rules_cache: Dict[int, tuple] = {}
         # Insertion-ordered map of timestamp -> pending request (oldest first).
         self._pending: Dict[int, _PendingRequest] = {}
         self._timer = self.create_timer(self._on_timeout, label="request-timeout")
+        # Deadline the timer is currently armed for; lets completions skip
+        # re-arming when the oldest outstanding transmission is unchanged.
+        self._armed_deadline: Optional[float] = None
         self._stopped = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -209,16 +230,39 @@ class Client(Node):
         if self.max_requests is not None and self._next_timestamp >= self.max_requests:
             return False
         self._next_timestamp += 1
-        operation = self.operation_factory(self._next_timestamp)
+        timestamp = self._next_timestamp
+        operation = self.operation_factory(timestamp)
         request = Request(
-            operation=operation, timestamp=self._next_timestamp, client_id=self.node_id
+            operation=operation, timestamp=timestamp, client_id=self.node_id
         )
-        request.sign(self.signer)
-        self._pending[request.timestamp] = _PendingRequest(
-            request=request, sent_at=self.now, last_sent_at=self.now
+        # Fused signing path (mirrors ReplicaBase.send_reply): one request
+        # goes out per completion in the closed loop, so the wire frame,
+        # content digest, wire size, and signature are built in one pass and
+        # seeded into the message's cache slots — exactly what
+        # ``request.sign(self.signer)`` would compute through three lazy
+        # layers (sign -> digest_of -> wire_slice -> signing_bytes).
+        frame = encode_request(
+            timestamp, self.node_id, operation.kind, operation.args, operation.payload
+        )
+        content_digest = sha256(frame).hexdigest()
+        request.__dict__.update({
+            "_wire_slice": frame,
+            DIGEST_CACHE_ATTR: content_digest,
+            WIRE_SIZE_CACHE_ATTR: _REQUEST_OVERHEAD + operation.wire_size(),
+            HAS_CACHE_FLAG: True,
+            "signature": self.signer.sign_digest(content_digest),
+        })
+        now = self.now
+        self._pending[timestamp] = _PendingRequest(
+            request=request, sent_at=now, last_sent_at=now
         )
         targets = self.config.request_targets(self.known_view, self.known_mode)
-        self._send_request(targets, request)
+        if len(targets) == 1:
+            # The steady-state Lion/Dog/Peacock client sends to exactly one
+            # primary; skip the dedup pass of _send_request.
+            self.send(targets[0], request)
+        else:
+            self._send_request(targets, request)
         # A newly issued request's deadline (now + timeout) can never be
         # earlier than the armed deadline (the min over older requests), so
         # an active timer needs no re-arming — only arm from cold.
@@ -243,17 +287,32 @@ class Client(Node):
         if not self._pending or self._stopped:
             self._timer.stop()
             return
-        # Plain loop: this runs on every completion, and a genexpr frame per
-        # window entry is measurable at high request rates.
-        oldest = None
-        for pending in self._pending.values():
-            sent_at = pending.last_sent_at
-            if oldest is None or sent_at < oldest:
-                oldest = sent_at
+        if self.timeouts:
+            # After any retransmission, per-entry deadlines are no longer
+            # monotone in insertion order: scan for the minimum.  Plain
+            # loop — a genexpr frame per window entry is measurable at
+            # high request rates.
+            oldest = None
+            for pending in self._pending.values():
+                sent_at = pending.last_sent_at
+                if oldest is None or sent_at < oldest:
+                    oldest = sent_at
+        else:
+            # No retransmission has ever happened, so every entry's
+            # last_sent_at is its issue time, which is monotone in the
+            # insertion-ordered pending map: the oldest outstanding
+            # transmission is the first entry.
+            oldest = next(iter(self._pending.values())).last_sent_at
         next_deadline = oldest + self.config.request_timeout
+        if next_deadline == self._armed_deadline and self._timer.active:
+            # Completing a mid-window request leaves the oldest deadline
+            # unchanged; the armed timer is still exactly right.
+            return
+        self._armed_deadline = next_deadline
         self._timer.start(max(0.0, next_deadline - self.now))
 
     def _on_timeout(self) -> None:
+        self._armed_deadline = None  # the armed event just fired
         if not self._pending or self._stopped:
             return
         targets = self.config.targets_for_retransmit(self.known_view, self.known_mode)
@@ -283,13 +342,13 @@ class Client(Node):
             return
         if reply.client_id != self.node_id:
             return
-        if not reply.verify(self.verifier, expected_signer=reply.replica_id):
+        if not self._window_verifier.verify(reply.replica_id, reply):
             return
         if reply.replica_id != src:
             # A replica relaying someone else's reply is not acceptable.
             return
 
-        result_key = reply.result_digest()
+        result_key = reply.__dict__.get("_result_digest") or reply.result_digest()
         voters = pending.votes.setdefault(result_key, set())
         voters.add(reply.replica_id)
 
@@ -297,9 +356,33 @@ class Client(Node):
             self._complete(reply, pending)
 
     def _is_acceptable(self, reply: Reply, voters: set, pending: _PendingRequest) -> bool:
-        if reply.replica_id in self.config.trusted_for_mode(reply.mode):
+        rules = self._mode_rules_cache.get(reply.mode)
+        if rules is None:
+            rules = self._mode_rules(reply.mode)
+        trusted, quorum, retransmit_quorum = rules
+        if reply.replica_id in trusted:
             return True
-        return len(voters) >= self._untrusted_reply_quorum(self.config, reply, pending)
+        return len(voters) >= (retransmit_quorum if pending.retransmitted else quorum)
+
+    def _mode_rules(self, mode: int) -> tuple:
+        """Memoized acceptance rules for ``mode``.
+
+        Precomputes exactly what :meth:`_untrusted_reply_quorum` derives per
+        reply: the trusted-replica set and the untrusted quorum before and
+        after retransmission (both floored at ``untrusted_reply_floor`` when
+        the mode has trusted repliers).
+        """
+        config = self.config
+        trusted = config.trusted_for_mode(mode)
+        quorum = config.replies_for_mode(mode)
+        retransmit_quorum = config.replies_needed_after_retransmit
+        if trusted:
+            floor = config.untrusted_reply_floor
+            quorum = max(quorum, floor)
+            retransmit_quorum = max(retransmit_quorum, floor)
+        rules = (trusted, quorum, retransmit_quorum)
+        self._mode_rules_cache[mode] = rules
+        return rules
 
     @staticmethod
     def _untrusted_reply_quorum(config: ClientConfig, reply: Reply, pending) -> int:
@@ -330,8 +413,13 @@ class Client(Node):
         completion path before the pending entry (and its votes) is
         dropped.
         """
+        votes = pending.votes
         accepted_key = reply.result_digest()
-        for result_key, voters in pending.votes.items():
+        if len(votes) == 1 and accepted_key in votes:
+            # Fast path: every reply agreed (the accepted key is always in
+            # the vote map — _on_reply records it before completing).
+            return
+        for result_key, voters in votes.items():
             if result_key == accepted_key:
                 continue
             for suspect in sorted(voters):

@@ -11,22 +11,30 @@ Every message class provides:
   (drives the CPU cost model in :mod:`repro.net.costs`);
 * ``wire_size()`` — approximate serialized size in bytes (drives bandwidth
   and hashing costs);
-* ``signing_content()`` — the canonical content covered by the signature.
+* ``signing_content()`` — the canonical content covered by the signature,
+  as a dict (the legacy JSON canonical form, kept as the reference the
+  differential codec tests compare against and as the only form for cold
+  types such as view changes);
+* ``signing_bytes()`` — for hot types only: the compact binary wire frame
+  (see :mod:`repro.wire`), which is what actually feeds the digest, frozen
+  per object as :meth:`ProtocolMessage.wire_slice`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.crypto.digest import (
     DIGEST_CACHE_ATTR,
     HAS_CACHE_FLAG,
     WIRE_SIZE_CACHE_ATTR,
+    _canonical_bytes,
     digest_of,
 )
 from repro.crypto.signatures import Signature, Signer, Verifier
 from repro.smr.state_machine import Operation
+from repro.wire.primitives import encode_batch, encode_reply, encode_request
 
 _HEADER_BYTES = 48
 _SIGNATURE_BYTES = 64
@@ -39,14 +47,15 @@ _DIGEST_BYTES = 32
 _WIRE_CACHE_ATTRS = (
     DIGEST_CACHE_ATTR,
     "_wire_form",
+    "_wire_slice",
     WIRE_SIZE_CACHE_ATTR,
     "_result_digest",
     HAS_CACHE_FLAG,
 )
 
-#: Field separator in flat ``signing_bytes`` canonical forms.  The ASCII
-#: unit separator never appears in node ids, digests, or numbers; values
-#: that may contain arbitrary text (operation args) are ``repr``-escaped.
+#: Field separator in flat text ``signing_bytes`` canonical forms, still
+#: used by the baseline protocols (:mod:`repro.baselines.messages`).  The
+#: SeeMoRe hot types moved to the binary frames of :mod:`repro.wire`.
 _SEP = "\x1f"
 
 
@@ -96,6 +105,27 @@ class ProtocolMessage:
         if cached is None:
             cached = self.signing_content()
             self.__dict__["_wire_form"] = cached
+            self.__dict__[HAS_CACHE_FLAG] = True
+        return cached
+
+    def wire_slice(self) -> bytes:
+        """The frozen signed byte form of this message, cached.
+
+        For hot types ``signing_bytes`` *is* the binary codec frame; cold
+        types (view changes and friends) fall back to the canonical JSON
+        bytes of their signing content, so every message exposes one frozen
+        byte slice for digesting.  Invalidated with the other wire caches
+        on content mutation or copy.  Callers must treat the returned bytes
+        as immutable.
+        """
+        cached = self.__dict__.get("_wire_slice")
+        if cached is None:
+            signing_bytes = getattr(self, "signing_bytes", None)
+            if signing_bytes is not None:
+                cached = signing_bytes()
+            else:
+                cached = _canonical_bytes(self.wire_form())
+            self.__dict__["_wire_slice"] = cached
             self.__dict__[HAS_CACHE_FLAG] = True
         return cached
 
@@ -161,7 +191,7 @@ class ProtocolMessage:
         return cached
 
 
-@dataclass
+@dataclass(init=False)
 class Request(ProtocolMessage):
     """Client request: ``<REQUEST, op, ts, client>`` signed by the client."""
 
@@ -170,6 +200,24 @@ class Request(ProtocolMessage):
     client_id: str
     signed: bool = True
     signature: Optional[Signature] = None
+
+    def __init__(
+        self,
+        operation: Operation,
+        timestamp: int,
+        client_id: str,
+        signed: bool = True,
+        signature: Optional[Signature] = None,
+    ) -> None:
+        # Hot constructor: bulk-populating the instance dict skips the
+        # per-field ``__setattr__`` cache guard (no caches can exist yet).
+        self.__dict__.update({
+            "operation": operation,
+            "timestamp": timestamp,
+            "client_id": client_id,
+            "signed": signed,
+            "signature": signature,
+        })
 
     def signing_content(self) -> Dict[str, Any]:
         return {
@@ -180,23 +228,23 @@ class Request(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        """Flat canonical form equivalent to :meth:`signing_content`.
+        """The binary wire frame (:mod:`repro.wire` Request layout).
 
-        Operation args are ``repr``-escaped so arbitrary argument text can
-        never collide with the field separators.
+        Strictly finer than the legacy text form: the frame covers the full
+        payload content where the legacy form covered only its length, so
+        any two requests the legacy canonical form distinguished are still
+        distinguished on the wire.
         """
         operation = self.operation
-        args_text = "\x1e".join(map(repr, operation.args))
-        return (
-            f"REQUEST{_SEP}{self.timestamp}{_SEP}{self.client_id}{_SEP}"
-            f"{operation.kind}{_SEP}{args_text}{_SEP}{len(operation.payload)}"
-        ).encode("utf-8")
+        return encode_request(
+            self.timestamp, self.client_id, operation.kind, operation.args, operation.payload
+        )
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + _SIGNATURE_BYTES + self.operation.wire_size()
 
 
-@dataclass
+@dataclass(init=False)
 class Reply(ProtocolMessage):
     """Reply to a client: ``<REPLY, mode, view, ts, result>`` signed by the replica."""
 
@@ -208,6 +256,28 @@ class Reply(ProtocolMessage):
     result: Any
     signed: bool = True
     signature: Optional[Signature] = None
+
+    def __init__(
+        self,
+        mode: int,
+        view: int,
+        timestamp: int,
+        client_id: str,
+        replica_id: str,
+        result: Any,
+        signed: bool = True,
+        signature: Optional[Signature] = None,
+    ) -> None:
+        self.__dict__.update({
+            "mode": mode,
+            "view": view,
+            "timestamp": timestamp,
+            "client_id": client_id,
+            "replica_id": replica_id,
+            "result": result,
+            "signed": signed,
+            "signature": signature,
+        })
 
     def signing_content(self) -> Dict[str, Any]:
         return {
@@ -221,10 +291,15 @@ class Reply(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        return (
-            f"REPLY{_SEP}{self.mode}{_SEP}{self.view}{_SEP}{self.timestamp}{_SEP}"
-            f"{self.client_id}{_SEP}{self.replica_id}{_SEP}{self.result_digest()}"
-        ).encode("utf-8")
+        """Binary wire frame; carries the result as its digest only."""
+        return encode_reply(
+            self.mode,
+            self.view,
+            self.timestamp,
+            self.client_id,
+            self.replica_id,
+            self.result_digest(),
+        )
 
     def result_digest(self) -> str:
         """Digest of the execution result (what clients match replies on).
@@ -288,6 +363,12 @@ def register_stable_result(result: Any) -> str:
 def _result_digest(result: Any) -> str:
     from repro.crypto.digest import digest
 
+    carried = getattr(result, "result_digest", None)
+    if isinstance(carried, str):
+        # An OpaqueResult (a decoded reply's placeholder) carries the
+        # original result digest itself; hashing the placeholder would
+        # diverge from the digest the frame was built over.
+        return carried
     if isinstance(result, dict):
         by_id = _RESULT_DIGEST_BY_ID.get(id(result))
         if by_id is not None:
@@ -320,7 +401,7 @@ def _result_digest(result: Any) -> str:
     return digest(result)
 
 
-@dataclass
+@dataclass(init=False)
 class Batch(ProtocolMessage):
     """An ordered group of client requests proposed in one consensus slot.
 
@@ -333,13 +414,23 @@ class Batch(ProtocolMessage):
     request after execution.
     """
 
-    requests: List[Request] = field(default_factory=list)
+    requests: List[Request]
     signed: bool = False
     signature: Optional[Signature] = None
 
-    def __post_init__(self) -> None:
-        if not self.requests:
+    def __init__(
+        self,
+        requests: Optional[List[Request]] = None,
+        signed: bool = False,
+        signature: Optional[Signature] = None,
+    ) -> None:
+        if not requests:
             raise ValueError("a batch must contain at least one request")
+        self.__dict__.update({
+            "requests": requests,
+            "signed": signed,
+            "signature": signature,
+        })
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -368,8 +459,11 @@ class Batch(ProtocolMessage):
         }
 
     def signing_bytes(self) -> bytes:
-        digests = _SEP.join(digest_of(request) for request in self.requests)
-        return f"BATCH{_SEP}{len(self.requests)}{_SEP}{digests}".encode("utf-8")
+        # The batch frame embeds each request's own frozen frame, so a
+        # request that already crossed the wire alone contributes its
+        # cached slice here (and vice versa), and the batch round-trips
+        # through the codec with full request content.
+        return encode_batch([request.wire_slice() for request in self.requests])
 
     def wire_size(self) -> int:
         return _HEADER_BYTES + sum(request.cached_wire_size() for request in self.requests)

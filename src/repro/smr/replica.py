@@ -11,17 +11,25 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Type
 
+from hashlib import sha256
+
 from repro.adaptive.evidence import EvidenceKind, EvidenceLog
-from repro.crypto.digest import digest_of
-from repro.crypto.signatures import Signer, Verifier
+from repro.crypto.digest import (
+    DIGEST_CACHE_ATTR,
+    HAS_CACHE_FLAG,
+    WIRE_SIZE_CACHE_ATTR,
+    digest_of,
+)
+from repro.crypto.signatures import Signer, Verifier, WindowVerifier
 from repro.net.costs import NodeCostModel
 from repro.net.node import Node
 from repro.sim.simulator import Simulator
 from repro.smr.executor import ExecutionResult, OrderedExecutor
 from repro.smr.ledger import CommitLedger, LedgerEntry
-from repro.smr.messages import Reply, Request, requests_of
+from repro.smr.messages import Reply, Request, _result_digest, requests_of
 from repro.smr.slots import SlotLog
 from repro.smr.state_machine import StateMachine
+from repro.wire.primitives import encode_reply
 
 
 def request_digest(request) -> str:
@@ -52,6 +60,9 @@ class ReplicaBase(Node):
         super().__init__(node_id, simulator, cost_model=cost_model)
         self.signer = signer
         self.verifier = verifier
+        # Batch-amortized front for the verifier: rolling per-sender
+        # transcript MACs with per-message fallback (see WindowVerifier).
+        self.window_verifier = WindowVerifier(verifier)
         self.executor = OrderedExecutor(state_machine)
         self.ledger = CommitLedger(node_id)
         self.slots = SlotLog()
@@ -87,9 +98,12 @@ class ReplicaBase(Node):
         A verification failure on a message that names its signer is proof
         the channel peer tampered with it (channels are authenticated, so
         ``src`` attribution stands); the record feeds the adaptive
-        controller's Byzantine accounting.
+        controller's Byzantine accounting.  Goes through the window
+        verifier's amortized path, which returns exactly the per-message
+        verdicts, so the evidence emitted here is unchanged from
+        per-message verification.
         """
-        if message.verify(self.verifier, expected_signer=src):
+        if self.window_verifier.verify(src, message):
             return True
         self.evidence.record(
             EvidenceKind.INVALID_SIGNATURE, suspect=src, detail=type(message).__name__
@@ -105,13 +119,14 @@ class ReplicaBase(Node):
         return self._known_requests.get((client_id, timestamp))
 
     def request_is_valid(self, request: Request) -> bool:
-        """Validate the client's signature and freshness of a request."""
-        if not request.verify(self.verifier, expected_signer=request.client_id):
-            return False
-        cached = self.executor.cached_reply(request.client_id, request.timestamp)
-        # A request that was already executed is still "valid" -- the caller
-        # decides whether to re-reply from the cache.
-        return True if cached is None else True
+        """Validate the client's signature on a request.
+
+        A request that was already executed is still "valid" — the caller
+        decides whether to re-reply from the cache.  No evidence is emitted
+        here: an invalid client signature on a relayed request does not
+        incriminate the relaying channel peer.
+        """
+        return self.window_verifier.verify(request.client_id, request)
 
     # -- execution and replies ------------------------------------------------
 
@@ -156,22 +171,40 @@ class ReplicaBase(Node):
         )
         slot = self.slots.slot(sequence)
         slot.committed = True
-        executions = self.executor.commit_batch(sequence, entries)
+        executions = self.executor.commit_batch(sequence, entries, owned=True)
+        # All executions of one drained sequence share their slot, so the
+        # slot probe is hoisted out of the per-request loop; replies go
+        # straight to send_reply (the execution's client_id/timestamp key
+        # is exactly what the known-request indirection would return).
+        marked_sequence = None
         for execution in executions:
-            executed_slot = self.slots.existing_slot(execution.sequence)
-            if executed_slot is not None:
-                executed_slot.executed = True
+            executed_sequence = execution.sequence
+            if executed_sequence != marked_sequence:
+                marked_sequence = executed_sequence
+                executed_slot = self.slots.existing_slot(executed_sequence)
+                if executed_slot is not None:
+                    executed_slot.executed = True
             if send_reply:
-                self._reply_for_execution(execution, mode_id)
+                self.send_reply(
+                    execution.client_id, execution.timestamp, execution.result, mode_id
+                )
         return executions
 
-    def _reply_for_execution(self, execution: ExecutionResult, mode_id: int) -> None:
-        known = self.known_request(execution.client_id, execution.timestamp)
-        client_id = known.client_id if known else execution.client_id
-        self.send_reply(client_id, execution.timestamp, execution.result, mode_id)
-
     def send_reply(self, client_id: str, timestamp: int, result: Any, mode_id: int = 0) -> None:
-        """Send a signed reply to the client."""
+        """Send a signed reply to the client.
+
+        Fused hot path: one reply goes out per executed request per replying
+        replica, so the wire frame, content digest, wire size, and signature
+        are built in a single pass here and seeded into the message's cache
+        slots — exactly the values ``sign()``/``wire_slice()`` would compute
+        lazily, without the intermediate frames.
+        """
+        result_digest = _result_digest(result)
+        frame = encode_reply(
+            mode_id, self.view, timestamp, client_id, self.node_id, result_digest
+        )
+        content_digest = sha256(frame).hexdigest()
+        payload = result.get("payload", "") if type(result) is dict else None
         reply = Reply(
             mode=mode_id,
             view=self.view,
@@ -180,7 +213,14 @@ class ReplicaBase(Node):
             replica_id=self.node_id,
             result=result,
         )
-        reply.sign(self.signer)
+        reply.__dict__.update({
+            "_result_digest": result_digest,
+            "_wire_slice": frame,
+            DIGEST_CACHE_ATTR: content_digest,
+            WIRE_SIZE_CACHE_ATTR: 128 + (len(payload) if type(payload) is str else 0),
+            HAS_CACHE_FLAG: True,
+            "signature": self.signer.sign_digest(content_digest),
+        })
         self.replies_sent += 1
         self.send(client_id, reply)
 

@@ -1,0 +1,50 @@
+"""Compact binary wire codec for the hot protocol message types.
+
+``primitives`` is a leaf module (frame layouts, pack helpers) imported by
+the message classes themselves; ``codec`` holds the decoder and imports
+the message classes, so it is loaded lazily here to keep the import graph
+acyclic.
+"""
+
+from repro.wire.primitives import (  # noqa: F401
+    TAG_ACCEPT,
+    TAG_BATCH,
+    TAG_CHECKPOINT,
+    TAG_COMMIT,
+    TAG_INFORM,
+    TAG_PREPARE,
+    TAG_PREPREPARE,
+    TAG_PROXY_PREPARE,
+    TAG_REPLY,
+    TAG_REQUEST,
+    WireDecodeError,
+)
+
+_CODEC_SYMBOLS = ("OpaqueResult", "decode", "encode", "wire_slice_of")
+
+
+def __getattr__(name):
+    if name in _CODEC_SYMBOLS:
+        from repro.wire import codec
+
+        return getattr(codec, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "WireDecodeError",
+    "OpaqueResult",
+    "decode",
+    "encode",
+    "wire_slice_of",
+    "TAG_REQUEST",
+    "TAG_BATCH",
+    "TAG_REPLY",
+    "TAG_PREPARE",
+    "TAG_ACCEPT",
+    "TAG_COMMIT",
+    "TAG_PREPREPARE",
+    "TAG_PROXY_PREPARE",
+    "TAG_INFORM",
+    "TAG_CHECKPOINT",
+]

@@ -1,0 +1,242 @@
+"""Decoder half of the binary wire codec (encode lives on the messages).
+
+Each hot message type's ``signing_bytes()`` already *is* its wire frame
+(assembled from :mod:`repro.wire.primitives`), cached per object as the
+frozen ``wire_slice``.  This module provides the inverse — :func:`decode`
+rebuilds a message object from a frame — plus :func:`encode` /
+:func:`wire_slice_of` conveniences, so tests can state round-trip and
+differential properties, and byzantine twists can tamper with *decoded*
+forms and re-encode (keeping attacks wire-visible).
+
+Cold types (view-change and friends) have no binary frame; they keep the
+JSON canonical form and are rejected here by :func:`wire_slice_of`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.messages import (
+    Accept,
+    Checkpoint,
+    Commit,
+    Inform,
+    PrePrepare,
+    Prepare,
+    ProxyPrepare,
+)
+from repro.crypto.digest import HAS_CACHE_FLAG
+from repro.smr.messages import Batch, Reply, Request
+from repro.smr.state_machine import Operation
+from repro.wire.primitives import (
+    BATCH_HEAD,
+    CHECKPOINT_HEAD,
+    REPLY_HEAD,
+    REQUEST_HEAD,
+    TAG_ACCEPT,
+    TAG_BATCH,
+    TAG_CHECKPOINT,
+    TAG_COMMIT,
+    TAG_INFORM,
+    TAG_PREPARE,
+    TAG_PREPREPARE,
+    TAG_PROXY_PREPARE,
+    TAG_REPLY,
+    TAG_REQUEST,
+    Reader,
+    VOTE_HEAD,
+    WireDecodeError,
+)
+
+
+class OpaqueResult:
+    """Stand-in for a Reply result that only survives the wire as a digest.
+
+    The protocol never ships full result values — clients vote on
+    ``result_digest()`` — so a decoded Reply carries this placeholder whose
+    ``to_wire`` form *is* the original digest.  Re-encoding a decoded Reply
+    reproduces the source frame exactly.
+    """
+
+    __slots__ = ("result_digest",)
+
+    def __init__(self, result_digest: str) -> None:
+        self.result_digest = result_digest
+
+    def to_wire(self) -> str:
+        return self.result_digest
+
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is not OpaqueResult:
+            return NotImplemented
+        return self.result_digest == other.result_digest
+
+    def __hash__(self) -> int:
+        return hash(self.result_digest)
+
+    def __repr__(self) -> str:
+        return f"OpaqueResult({self.result_digest!r})"
+
+
+def encode(message: Any) -> bytes:
+    """The message's frozen wire frame (alias for its cached wire slice)."""
+    return wire_slice_of(message)
+
+
+def wire_slice_of(message: Any) -> bytes:
+    """Return the frozen binary frame of a hot message.
+
+    Raises TypeError for cold (JSON-fallback) types, which have no frame.
+    """
+    if getattr(message, "signing_bytes", None) is None:
+        raise TypeError(
+            f"{type(message).__name__} is a JSON-fallback (cold) type with no binary wire frame"
+        )
+    return message.wire_slice()
+
+
+def _decode_request(reader: Reader) -> Request:
+    _, timestamp = reader.unpack(REQUEST_HEAD)
+    client_id = reader.string()
+    kind = reader.string()
+    args = tuple(reader.value() for _ in range(reader.u16()))
+    payload = reader.string()
+    return Request(
+        operation=Operation(kind=kind, args=args, payload=payload),
+        timestamp=timestamp,
+        client_id=client_id,
+    )
+
+
+def _decode_batch(reader: Reader) -> Batch:
+    _, count = reader.unpack(BATCH_HEAD)
+    requests = []
+    for _ in range(count):
+        sub = Reader(reader.take(reader.u32()))
+        if not sub.buf or sub.buf[0] != TAG_REQUEST:
+            raise WireDecodeError("batch frame embeds a non-request frame")
+        request = _decode_request(sub)
+        if not sub.exhausted():
+            raise WireDecodeError(
+                f"{sub.end - sub.off} trailing bytes after embedded request frame"
+            )
+        requests.append(request)
+    if not requests:
+        raise WireDecodeError("batch frame contains no requests")
+    return Batch(requests=requests)
+
+
+def _decode_reply(reader: Reader) -> Reply:
+    _, mode, view, timestamp = reader.unpack(REPLY_HEAD)
+    client_id = reader.string()
+    replica_id = reader.string()
+    result_digest = reader.digest()
+    reply = Reply(
+        mode=mode,
+        view=view,
+        timestamp=timestamp,
+        client_id=client_id,
+        replica_id=replica_id,
+        result=OpaqueResult(result_digest),
+    )
+    # Pre-seed the result-digest cache: the digest IS the carried value.
+    reply.__dict__["_result_digest"] = result_digest
+    reply.__dict__[HAS_CACHE_FLAG] = True
+    return reply
+
+
+def _decode_vote(reader: Reader) -> tuple:
+    _, view, sequence, mode = reader.unpack(VOTE_HEAD)
+    return view, sequence, mode, reader.digest()
+
+
+def _decode_prepare(reader: Reader) -> Prepare:
+    view, sequence, mode, digest = _decode_vote(reader)
+    return Prepare(view=view, sequence=sequence, digest=digest, request=None, mode=mode)
+
+
+def _decode_preprepare(reader: Reader) -> PrePrepare:
+    view, sequence, mode, digest = _decode_vote(reader)
+    return PrePrepare(view=view, sequence=sequence, digest=digest, request=None, mode=mode)
+
+
+def _decode_accept(reader: Reader) -> Accept:
+    view, sequence, mode, digest = _decode_vote(reader)
+    return Accept(
+        view=view, sequence=sequence, digest=digest, replica_id=reader.string(), mode=mode
+    )
+
+
+def _decode_commit(reader: Reader) -> Commit:
+    view, sequence, mode, digest = _decode_vote(reader)
+    return Commit(
+        view=view, sequence=sequence, digest=digest, replica_id=reader.string(), mode=mode
+    )
+
+
+def _decode_proxy_prepare(reader: Reader) -> ProxyPrepare:
+    view, sequence, mode, digest = _decode_vote(reader)
+    return ProxyPrepare(
+        view=view, sequence=sequence, digest=digest, replica_id=reader.string(), mode=mode
+    )
+
+
+def _decode_inform(reader: Reader) -> Inform:
+    view, sequence, mode, digest = _decode_vote(reader)
+    return Inform(
+        view=view, sequence=sequence, digest=digest, replica_id=reader.string(), mode=mode
+    )
+
+
+def _decode_checkpoint(reader: Reader) -> Checkpoint:
+    _, sequence, mode = reader.unpack(CHECKPOINT_HEAD)
+    return Checkpoint(
+        sequence=sequence,
+        state_digest=reader.digest(),
+        replica_id=reader.string(),
+        mode=mode,
+    )
+
+
+_DECODERS = {
+    TAG_REQUEST: _decode_request,
+    TAG_BATCH: _decode_batch,
+    TAG_REPLY: _decode_reply,
+    TAG_PREPARE: _decode_prepare,
+    TAG_ACCEPT: _decode_accept,
+    TAG_COMMIT: _decode_commit,
+    TAG_PREPREPARE: _decode_preprepare,
+    TAG_PROXY_PREPARE: _decode_proxy_prepare,
+    TAG_INFORM: _decode_inform,
+    TAG_CHECKPOINT: _decode_checkpoint,
+}
+
+
+def decode(frame: Any) -> Any:
+    """Rebuild a hot message from its binary frame.
+
+    Raises WireDecodeError on truncation, unknown tags, garbled fields, or
+    trailing bytes.  Decoded messages carry no signature (signatures ride
+    beside the signed frame, not inside it) and votes carry ``request=None``
+    — the piggybacked payload is a transport optimization, not signed
+    content.
+    """
+    if isinstance(frame, memoryview):
+        frame = frame.tobytes()
+    elif isinstance(frame, bytearray):
+        frame = bytes(frame)
+    elif not isinstance(frame, bytes):
+        raise WireDecodeError(f"frame must be bytes, not {type(frame).__name__}")
+    if not frame:
+        raise WireDecodeError("empty frame")
+    decoder = _DECODERS.get(frame[0])
+    if decoder is None:
+        raise WireDecodeError(f"unknown frame tag: 0x{frame[0]:02x}")
+    reader = Reader(frame)
+    message = decoder(reader)
+    if not reader.exhausted():
+        raise WireDecodeError(f"{reader.end - reader.off} trailing bytes after frame")
+    return message
+
+
+__all__ = ["OpaqueResult", "decode", "encode", "wire_slice_of"]

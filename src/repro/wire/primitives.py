@@ -1,0 +1,311 @@
+"""Binary frame primitives shared by the wire codec and the message classes.
+
+This module is a *leaf*: it imports nothing from the message layer, so the
+hot message classes in :mod:`repro.smr.messages` / :mod:`repro.core.messages`
+can assemble their frames directly (each hot type's ``signing_bytes`` *is*
+the codec's encoder for that type), while the decoder in
+:mod:`repro.wire.codec` imports the classes to rebuild objects.
+
+Frame layout (all integers little endian):
+
+====================  =====================================================
+type                  frame
+====================  =====================================================
+Request      (0x01)   tag u8 | timestamp i64 | client str | kind str |
+                      argc u16 | arg* | payload str
+Batch        (0x02)   tag u8 | count u32 | (length u32 | request-frame)*
+Reply        (0x03)   tag u8 | mode i64 | view i64 | timestamp i64 |
+                      client str | replica str | result-digest dig
+Prepare      (0x10)   tag u8 | view i64 | seq i64 | mode i64 | digest dig
+Accept       (0x11)   Prepare layout + replica str
+Commit       (0x12)   Prepare layout + replica str
+PrePrepare   (0x13)   Prepare layout
+ProxyPrepare (0x14)   Prepare layout + replica str
+Inform       (0x15)   Prepare layout + replica str
+Checkpoint   (0x16)   tag u8 | seq i64 | mode i64 | state-digest dig |
+                      replica str
+====================  =====================================================
+
+``str`` is ``u32 length + UTF-8 bytes``.  ``dig`` packs the canonical
+64-char lowercase hex digest to 32 raw bytes behind a 0x01 flag byte, with
+a length-prefixed string fallback (flag 0x00) for the synthetic digest
+strings tests and attack helpers use — the two branches cover disjoint
+string sets, so the encoding stays injective.
+
+Operation arguments are encoded with one type-tag byte each (see
+:func:`pack_value`).  The typed encoding is injective on the supported
+domain (None/bool/int/float/str/tuple/list/bytes) and, like the legacy
+``repr``-escaped text form it replaces, never lets argument *content*
+collide with frame structure: every variable-length field is length
+prefixed, so no separator can be spoofed.  Unsupported argument types fall
+back to a ``repr`` capsule that digests faithfully but refuses to decode.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+TAG_REQUEST = 0x01
+TAG_BATCH = 0x02
+TAG_REPLY = 0x03
+TAG_PREPARE = 0x10
+TAG_ACCEPT = 0x11
+TAG_COMMIT = 0x12
+TAG_PREPREPARE = 0x13
+TAG_PROXY_PREPARE = 0x14
+TAG_INFORM = 0x15
+TAG_CHECKPOINT = 0x16
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+REQUEST_HEAD = struct.Struct("<Bq")
+REPLY_HEAD = struct.Struct("<Bqqq")
+VOTE_HEAD = struct.Struct("<Bqqq")
+CHECKPOINT_HEAD = struct.Struct("<Bqq")
+BATCH_HEAD = struct.Struct("<BI")
+
+
+class WireDecodeError(ValueError):
+    """A frame is truncated, garbled, or not invertible."""
+
+
+def pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return _U32.pack(len(raw)) + raw
+
+
+def pack_digest(value: str) -> bytes:
+    """Pack a digest field: canonical hex digests compress to raw bytes."""
+    if len(value) == 64:
+        try:
+            raw = bytes.fromhex(value)
+        except ValueError:
+            pass
+        else:
+            # Only the canonical lowercase spelling takes the packed branch;
+            # anything else (uppercase hex is a *different string* to the
+            # legacy canonical form) keeps its exact text.
+            if raw.hex() == value:
+                return b"\x01" + raw
+    raw = value.encode("utf-8")
+    return b"\x00" + _U32.pack(len(raw)) + raw
+
+
+def pack_value(value: Any) -> bytes:
+    """Typed, injective encoding of one operation argument."""
+    kind = type(value)
+    if kind is str:
+        raw = value.encode("utf-8")
+        return b"S" + _U32.pack(len(raw)) + raw
+    if kind is bool:
+        return b"T" if value else b"F"
+    if kind is int:
+        raw = str(value).encode("ascii")
+        return b"I" + _U32.pack(len(raw)) + raw
+    if kind is float:
+        # repr round-trips floats exactly in Python 3 and, like the legacy
+        # repr-escaped form, maps equal-but-distinctly-spelled values
+        # (0.0 vs -0.0) to distinct encodings.
+        raw = repr(value).encode("ascii")
+        return b"f" + _U32.pack(len(raw)) + raw
+    if value is None:
+        return b"N"
+    if kind is tuple:
+        return b"U" + _U32.pack(len(value)) + b"".join(map(pack_value, value))
+    if kind is list:
+        return b"L" + _U32.pack(len(value)) + b"".join(map(pack_value, value))
+    if kind is bytes:
+        return b"B" + _U32.pack(len(value)) + value
+    # Opaque fallback: digests faithfully (mirrors the legacy repr
+    # escaping, so the digest equality relation is preserved) but cannot
+    # be decoded back; unpack_value raises WireDecodeError for it.
+    raw = repr(value).encode("utf-8")
+    return b"R" + _U32.pack(len(raw)) + raw
+
+
+def encode_request(
+    timestamp: int, client_id: str, kind: str, args: Sequence[Any], payload: str
+) -> bytes:
+    # pack_str (and the string case of pack_value) is inlined: a request is
+    # encoded on every client send and batch inclusion, making this the
+    # hottest encoder in the codec.
+    u32 = _U32.pack
+    client_raw = client_id.encode("utf-8")
+    kind_raw = kind.encode("utf-8")
+    parts = [
+        REQUEST_HEAD.pack(TAG_REQUEST, timestamp),
+        u32(len(client_raw)),
+        client_raw,
+        u32(len(kind_raw)),
+        kind_raw,
+        _U16.pack(len(args)),
+    ]
+    append = parts.append
+    for arg in args:
+        if type(arg) is str:
+            raw = arg.encode("utf-8")
+            append(b"S")
+            append(u32(len(raw)))
+            append(raw)
+        else:
+            append(pack_value(arg))
+    payload_raw = payload.encode("utf-8")
+    append(u32(len(payload_raw)))
+    append(payload_raw)
+    return b"".join(parts)
+
+
+def encode_batch(request_frames: Sequence[bytes]) -> bytes:
+    parts = [BATCH_HEAD.pack(TAG_BATCH, len(request_frames))]
+    for frame in request_frames:
+        parts.append(_U32.pack(len(frame)))
+        parts.append(frame)
+    return b"".join(parts)
+
+
+def encode_reply(
+    mode: int, view: int, timestamp: int, client_id: str, replica_id: str, result_digest: str
+) -> bytes:
+    # One reply is encoded per executed request per replying replica, so
+    # pack_str is inlined here too.
+    u32 = _U32.pack
+    client_raw = client_id.encode("utf-8")
+    replica_raw = replica_id.encode("utf-8")
+    return b"".join(
+        (
+            REPLY_HEAD.pack(TAG_REPLY, mode, view, timestamp),
+            u32(len(client_raw)),
+            client_raw,
+            u32(len(replica_raw)),
+            replica_raw,
+            pack_digest(result_digest),
+        )
+    )
+
+
+def encode_vote(tag: int, view: int, sequence: int, mode: int, digest: str) -> bytes:
+    """Frame for ordering messages whose signed fields are (v, n, d, mode)."""
+    return VOTE_HEAD.pack(tag, view, sequence, mode) + pack_digest(digest)
+
+
+def encode_attributed_vote(
+    tag: int, view: int, sequence: int, mode: int, digest: str, replica_id: str
+) -> bytes:
+    """Frame for votes that additionally name their voting replica."""
+    return VOTE_HEAD.pack(tag, view, sequence, mode) + pack_digest(digest) + pack_str(replica_id)
+
+
+def encode_checkpoint(sequence: int, mode: int, state_digest: str, replica_id: str) -> bytes:
+    return (
+        CHECKPOINT_HEAD.pack(TAG_CHECKPOINT, sequence, mode)
+        + pack_digest(state_digest)
+        + pack_str(replica_id)
+    )
+
+
+class Reader:
+    """Bounds-checked cursor over one frame (decode is the cold path)."""
+
+    __slots__ = ("buf", "off", "end")
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.off = 0
+        self.end = len(buf)
+
+    def take(self, count: int) -> bytes:
+        off = self.off
+        end = off + count
+        if end > self.end:
+            raise WireDecodeError(
+                f"truncated frame: wanted {count} bytes at offset {off}, have {self.end - off}"
+            )
+        self.off = end
+        return self.buf[off:end]
+
+    def exhausted(self) -> bool:
+        return self.off == self.end
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def unpack(self, head: struct.Struct) -> tuple:
+        return head.unpack(self.take(head.size))
+
+    def string(self) -> str:
+        raw = self.take(self.u32())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireDecodeError(f"garbled UTF-8 string field: {exc}") from None
+
+    def digest(self) -> str:
+        flag = self.take(1)
+        if flag == b"\x01":
+            return self.take(32).hex()
+        if flag == b"\x00":
+            return self.string()
+        raise WireDecodeError(f"garbled digest flag byte: {flag!r}")
+
+    def value(self) -> Any:
+        tag = self.take(1)
+        if tag == b"S":
+            return self.string()
+        if tag == b"T":
+            return True
+        if tag == b"F":
+            return False
+        if tag == b"I":
+            raw = self.take(self.u32())
+            try:
+                return int(raw.decode("ascii"))
+            except (UnicodeDecodeError, ValueError):
+                raise WireDecodeError(f"garbled integer argument: {raw!r}") from None
+        if tag == b"f":
+            raw = self.take(self.u32())
+            try:
+                return float(raw.decode("ascii"))
+            except (UnicodeDecodeError, ValueError):
+                raise WireDecodeError(f"garbled float argument: {raw!r}") from None
+        if tag == b"N":
+            return None
+        if tag == b"U":
+            return tuple(self.value() for _ in range(self.u32()))
+        if tag == b"L":
+            return [self.value() for _ in range(self.u32())]
+        if tag == b"B":
+            return self.take(self.u32())
+        if tag == b"R":
+            raise WireDecodeError(
+                "opaque repr-encoded argument: digestible but not invertible"
+            )
+        raise WireDecodeError(f"unknown argument type tag: {tag!r}")
+
+
+__all__ = [
+    "TAG_REQUEST",
+    "TAG_BATCH",
+    "TAG_REPLY",
+    "TAG_PREPARE",
+    "TAG_ACCEPT",
+    "TAG_COMMIT",
+    "TAG_PREPREPARE",
+    "TAG_PROXY_PREPARE",
+    "TAG_INFORM",
+    "TAG_CHECKPOINT",
+    "WireDecodeError",
+    "Reader",
+    "pack_str",
+    "pack_digest",
+    "pack_value",
+    "encode_request",
+    "encode_batch",
+    "encode_reply",
+    "encode_vote",
+    "encode_attributed_vote",
+    "encode_checkpoint",
+]

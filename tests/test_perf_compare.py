@@ -1,0 +1,152 @@
+"""Regression tests for the perf-baseline comparison gate.
+
+``benchmarks/perf/compare.py`` decides whether a perf run regressed, so its
+own edge cases (mismatched case sets, zero events/sec on one side, missing
+calibration) must be pinned: a gate that crashes or silently reports an
+infinite/zero geomean is worse than no gate.
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks" / "perf"))
+
+import compare  # noqa: E402
+
+
+def _document(cases, calibration=None):
+    document = {"schema_version": 1, "cases": [
+        {"name": name, "events_per_second": value} for name, value in cases.items()
+    ]}
+    if calibration is not None:
+        document["host"] = {"calibration_ops_per_second": calibration}
+    return document
+
+
+def _write(tmp_path, filename, document):
+    path = tmp_path / filename
+    path.write_text(json.dumps(document))
+    return path
+
+
+def _run(tmp_path, current, baseline, max_regression=0.25, **kwargs):
+    current_path = _write(tmp_path, "current.json", current)
+    baseline_path = _write(tmp_path, "baseline.json", baseline)
+    return compare.compare(current_path, baseline_path, max_regression, **kwargs)
+
+
+class TestIntersection:
+    def test_identical_documents_pass(self, tmp_path, capsys):
+        document = _document({"a": 100.0, "b": 200.0})
+        assert _run(tmp_path, document, document) == 0
+        assert "geomean ratio: 1.000" in capsys.readouterr().out
+
+    def test_extra_current_cases_do_not_move_the_geomean(self, tmp_path, capsys):
+        """Cases absent from the baseline are warned about, never gated on."""
+        baseline = _document({"a": 100.0, "b": 100.0})
+        current = _document({"a": 100.0, "b": 100.0, "new-case": 10_000_000.0})
+        assert _run(tmp_path, current, baseline) == 0
+        out = capsys.readouterr().out
+        assert "missing from the baseline" in out
+        assert "new-case" in out
+        assert "geomean ratio: 1.000" in out
+
+    def test_extra_baseline_cases_are_ignored(self, tmp_path, capsys):
+        baseline = _document({"a": 100.0, "retired-case": 1.0})
+        current = _document({"a": 100.0})
+        assert _run(tmp_path, current, baseline) == 0
+        out = capsys.readouterr().out
+        assert "retired-case" in out
+        assert "geomean ratio: 1.000" in out
+
+    def test_disjoint_case_sets_error(self, tmp_path):
+        assert _run(tmp_path, _document({"a": 1.0}), _document({"b": 1.0})) == 2
+
+
+class TestDegenerateValues:
+    def test_zero_baseline_case_does_not_inflate_the_geomean(self, tmp_path, capsys):
+        """A then==0 case used to contribute ratio=inf, masking regressions."""
+        baseline = _document({"broken": 0.0, "a": 100.0, "b": 100.0})
+        current = _document({"broken": 50.0, "a": 10.0, "b": 10.0})  # 10x regression
+        assert _run(tmp_path, current, baseline) == 1
+        out = capsys.readouterr().out
+        assert "excluded from the geomean: broken" in out
+        assert "inf" not in out
+
+    def test_zero_current_case_does_not_crash_or_zero_the_geomean(self, tmp_path, capsys):
+        baseline = _document({"broken": 100.0, "a": 100.0})
+        current = _document({"broken": 0.0, "a": 100.0})
+        assert _run(tmp_path, current, baseline) == 0
+        out = capsys.readouterr().out
+        assert "excluded from the geomean: broken" in out
+        assert "geomean ratio: 1.000" in out
+
+    def test_all_cases_degenerate_is_an_error(self, tmp_path):
+        assert _run(tmp_path, _document({"a": 0.0}), _document({"a": 100.0})) == 2
+
+    def test_missing_events_per_second_is_treated_as_degenerate(self, tmp_path):
+        baseline = _document({"a": 100.0, "b": 100.0})
+        current = _document({"a": 100.0, "b": 100.0})
+        current["cases"][1] = {"name": "b"}  # no events_per_second key
+        assert _run(tmp_path, current, baseline) == 0
+
+
+class TestGate:
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        baseline = _document({"a": 100.0, "b": 100.0})
+        current = _document({"a": 60.0, "b": 60.0})
+        assert _run(tmp_path, current, baseline, max_regression=0.25) == 1
+
+    def test_regression_within_threshold_passes(self, tmp_path):
+        baseline = _document({"a": 100.0, "b": 100.0})
+        current = _document({"a": 90.0, "b": 90.0})
+        assert _run(tmp_path, current, baseline, max_regression=0.25) == 0
+
+    def test_geomean_is_robust_to_one_noisy_case(self, tmp_path):
+        """One slow case inside an otherwise-flat run stays under the gate."""
+        baseline = _document({f"c{i}": 100.0 for i in range(10)})
+        current_cases = {f"c{i}": 100.0 for i in range(10)}
+        current_cases["c0"] = 40.0
+        geomean = math.exp(sum(math.log(v / 100.0) for v in current_cases.values()) / 10)
+        assert geomean > 0.75
+        assert _run(tmp_path, _document(current_cases), baseline) == 0
+
+
+class TestCalibration:
+    def test_calibration_normalizes_machine_speed(self, tmp_path, capsys):
+        """Half-speed machine at half the events/sec is not a regression."""
+        baseline = _document({"a": 100.0}, calibration=1_000_000.0)
+        current = _document({"a": 50.0}, calibration=500_000.0)
+        assert _run(tmp_path, current, baseline) == 0
+        assert "geomean ratio: 1.000" in capsys.readouterr().out
+
+    def test_no_calibration_flag_compares_raw(self, tmp_path):
+        baseline = _document({"a": 100.0}, calibration=1_000_000.0)
+        current = _document({"a": 50.0}, calibration=500_000.0)
+        assert _run(tmp_path, current, baseline, use_calibration=False) == 1
+
+    def test_missing_calibration_on_one_side_compares_raw(self, tmp_path, capsys):
+        baseline = _document({"a": 100.0})
+        current = _document({"a": 100.0}, calibration=500_000.0)
+        assert _run(tmp_path, current, baseline) == 0
+        assert "comparing raw events/sec" in capsys.readouterr().out
+
+
+class TestMainEntry:
+    def test_main_parses_arguments(self, tmp_path):
+        document = _document({"a": 100.0})
+        current = _write(tmp_path, "current.json", document)
+        baseline = _write(tmp_path, "baseline.json", document)
+        assert compare.main([str(current), str(baseline)]) == 0
+        assert compare.main([str(current), str(baseline), "--no-calibration"]) == 0
+        assert compare.main(
+            [str(current), str(baseline), "--max-regression", "0.5"]
+        ) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

@@ -209,6 +209,104 @@ class TestDigestCacheProperties:
         assert digest_of(forward) == digest_of(backward) == digest(entries)
 
 
+class TestWireCacheInvalidationProperties:
+    """PR 3's invalidation contract, extended to the binary codec era: a
+    message now freezes *two* derived caches — the content digest and the
+    binary wire slice — and any content-field mutation (or copy) must drop
+    both together, or a tampered message could keep digesting (or
+    re-encoding) as its pre-mutation self."""
+
+    @given(
+        timestamp=st.integers(min_value=1, max_value=10**9),
+        new_timestamp=st.integers(min_value=1, max_value=10**9),
+        client=st.from_regex(r"client-[0-9]{1,3}", fullmatch=True),
+    )
+    def test_mutation_after_encoding_drops_digest_and_wire_slice(
+        self, timestamp, new_timestamp, client
+    ):
+        from repro.crypto.digest import DIGEST_CACHE_ATTR, digest_of
+        from repro.smr.messages import Request
+
+        request = Request(
+            operation=Operation("put", ("k", "v")), timestamp=timestamp, client_id=client
+        )
+        frame = request.wire_slice()  # freeze both caches
+        digest_before = digest_of(request)
+        assert DIGEST_CACHE_ATTR in request.__dict__
+        assert "_wire_slice" in request.__dict__
+
+        request.timestamp = new_timestamp
+        assert DIGEST_CACHE_ATTR not in request.__dict__
+        assert "_wire_slice" not in request.__dict__
+        if new_timestamp != timestamp:
+            assert request.wire_slice() != frame
+            assert digest_of(request) != digest_before
+        else:
+            assert request.wire_slice() == frame
+            assert digest_of(request) == digest_before
+
+    @given(
+        field=st.sampled_from(["view", "sequence", "digest", "mode", "replica_id"]),
+        value=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_every_vote_content_field_invalidates_both_caches(self, field, value):
+        from repro.core.messages import Commit
+        from repro.crypto.digest import DIGEST_CACHE_ATTR
+
+        commit = Commit(view=0, sequence=1, digest="d" * 64, replica_id="r0", mode=0)
+        commit.wire_slice()
+        setattr(commit, field, str(value) if field in ("digest", "replica_id") else value)
+        assert DIGEST_CACHE_ATTR not in commit.__dict__
+        assert "_wire_slice" not in commit.__dict__
+
+    @given(timestamp=st.integers(min_value=1, max_value=10**9))
+    def test_copy_drops_both_caches_but_signature_assignment_does_not(self, timestamp):
+        import copy
+
+        from repro.crypto import KeyStore
+        from repro.crypto.digest import DIGEST_CACHE_ATTR
+        from repro.smr.messages import Request
+
+        keystore = KeyStore()
+        keystore.register("client")
+        request = Request(
+            operation=Operation("noop"), timestamp=timestamp, client_id="client"
+        )
+        request.sign(keystore.signer_for("client"))
+        assert DIGEST_CACHE_ATTR in request.__dict__  # sign froze the digest
+        request.wire_slice()
+
+        # ``signature`` rides beside the signed frame: assigning it must
+        # NOT drop the caches (sign() itself assigns it post-digest)...
+        request.signature = request.signature
+        assert DIGEST_CACHE_ATTR in request.__dict__
+        assert "_wire_slice" in request.__dict__
+
+        # ...but a copy (the first step of every byzantine twist) starts
+        # with every derived cache cold.
+        twin = copy.copy(request)
+        assert DIGEST_CACHE_ATTR not in twin.__dict__
+        assert "_wire_slice" not in twin.__dict__
+        assert "_wire_size" not in twin.__dict__
+
+    @given(payload=st.text(max_size=16))
+    def test_decoded_twin_mutation_diverges_from_source_digest(self, payload):
+        """Tamper-after-decode (the byzantine twist pattern) always yields
+        a frame and digest that differ from the source message's."""
+        from repro.crypto.digest import digest_of
+        from repro.smr.messages import Request
+        from repro.wire.codec import decode, encode
+
+        request = Request(
+            operation=Operation("put", ("key",), payload), timestamp=7, client_id="c"
+        )
+        twin = decode(encode(request))
+        assert digest_of(twin) == digest_of(request)
+        twin.operation = Operation("put", ("key",), payload + "-tampered")
+        assert digest_of(twin) != digest_of(request)
+        assert encode(twin) != encode(request)
+
+
 class TestSimulatorProperties:
     @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
     @settings(max_examples=50)

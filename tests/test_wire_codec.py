@@ -1,0 +1,414 @@
+"""Differential test suite for the binary wire codec (:mod:`repro.wire`).
+
+The codec replaced per-send JSON canonical-form construction for the hot
+message types, and the change is only safe because the properties pinned
+here hold:
+
+* **round trip** — ``decode(encode(message))`` reproduces the message for
+  every hot type (field-level identity for fully-carried types, frame-level
+  identity for types that ship digests instead of values);
+* **differential digest equivalence** — the frame digest distinguishes any
+  two messages the legacy JSON canonical form distinguished (the frame is
+  at least as fine-grained as ``signing_content()``; for digest-carrying
+  types it is exactly as fine-grained);
+* **rejection** — truncated, garbled, trailing-padded, and unknown-tag
+  frames raise :class:`WireDecodeError`, never a stray exception and never
+  a silently-wrong message.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.messages import (
+    Accept,
+    Checkpoint,
+    Commit,
+    Inform,
+    PrePrepare,
+    Prepare,
+    ProxyPrepare,
+)
+from repro.crypto.digest import digest_bytes, digest_of
+from repro.smr.messages import Batch, Reply, Request
+from repro.smr.state_machine import Operation
+from repro.wire.codec import OpaqueResult, decode, encode, wire_slice_of
+from repro.wire.primitives import WireDecodeError
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+I64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+SMALL_INT = st.integers(min_value=0, max_value=2**31)
+IDENTIFIER = st.from_regex(r"[a-z][a-z0-9-]{0,15}", fullmatch=True)
+TEXT = st.text(max_size=32)
+
+# Digest fields accept both the canonical 64-hex spelling (packed to raw
+# bytes on the wire) and arbitrary synthetic strings (length-prefixed
+# fallback), because attack helpers and tests inject non-hex digests.
+HEX_DIGEST = st.from_regex(r"[0-9a-f]{64}", fullmatch=True)
+DIGEST = st.one_of(HEX_DIGEST, TEXT, st.just("AB" * 32))
+
+# Operation arguments: the typed value encoding's full supported domain.
+VALUES = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(),
+        st.floats(allow_nan=False),
+        TEXT,
+        st.binary(max_size=24),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+    ),
+    max_leaves=8,
+)
+
+OPERATIONS = st.builds(
+    Operation,
+    kind=IDENTIFIER,
+    args=st.lists(VALUES, max_size=4).map(tuple),
+    payload=TEXT,
+)
+
+REQUESTS = st.builds(Request, operation=OPERATIONS, timestamp=I64, client_id=IDENTIFIER)
+
+BATCHES = st.builds(Batch, requests=st.lists(REQUESTS, min_size=1, max_size=4))
+
+REPLIES = st.builds(
+    Reply,
+    mode=I64,
+    view=I64,
+    timestamp=I64,
+    client_id=IDENTIFIER,
+    replica_id=IDENTIFIER,
+    result=st.one_of(
+        st.builds(OpaqueResult, result_digest=DIGEST),
+        st.dictionaries(IDENTIFIER, st.one_of(st.integers(), TEXT, st.booleans()), max_size=3),
+    ),
+)
+
+PREPARES = st.builds(
+    Prepare, view=I64, sequence=I64, digest=DIGEST, request=st.none(), mode=I64
+)
+PREPREPARES = st.builds(
+    PrePrepare, view=I64, sequence=I64, digest=DIGEST, request=st.none(), mode=I64
+)
+ACCEPTS = st.builds(
+    Accept, view=I64, sequence=I64, digest=DIGEST, replica_id=IDENTIFIER, mode=I64
+)
+COMMITS = st.builds(
+    Commit, view=I64, sequence=I64, digest=DIGEST, replica_id=IDENTIFIER, mode=I64
+)
+PROXY_PREPARES = st.builds(
+    ProxyPrepare, view=I64, sequence=I64, digest=DIGEST, replica_id=IDENTIFIER, mode=I64
+)
+INFORMS = st.builds(
+    Inform, view=I64, sequence=I64, digest=DIGEST, replica_id=IDENTIFIER, mode=I64
+)
+CHECKPOINTS = st.builds(
+    Checkpoint, sequence=I64, state_digest=DIGEST, replica_id=IDENTIFIER, mode=I64
+)
+
+#: Every hot type: (strategy, fully_carried) — fully-carried types round
+#: trip to field equality; the rest (Reply ships only the result digest)
+#: round trip at the frame level.
+HOT_MESSAGES = st.one_of(
+    REQUESTS,
+    BATCHES,
+    REPLIES,
+    PREPARES,
+    PREPREPARES,
+    ACCEPTS,
+    COMMITS,
+    PROXY_PREPARES,
+    INFORMS,
+    CHECKPOINTS,
+)
+
+
+def legacy_canonical_bytes(message) -> bytes:
+    """The pre-codec canonical form: sorted-key JSON of signing_content."""
+
+    def fallback(value):
+        to_wire = getattr(value, "to_wire", None)
+        if callable(to_wire):
+            return to_wire()
+        return repr(value)
+
+    return json.dumps(message.signing_content(), sort_keys=True, default=fallback).encode(
+        "utf-8"
+    )
+
+
+# ---------------------------------------------------------------------------
+# round-trip properties
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @given(request=REQUESTS)
+    def test_request_round_trips_to_field_identity(self, request):
+        twin = decode(encode(request))
+        assert isinstance(twin, Request)
+        assert twin.operation == request.operation
+        assert type(twin.operation.args) is tuple
+        assert twin.timestamp == request.timestamp
+        assert twin.client_id == request.client_id
+
+    @given(batch=BATCHES)
+    def test_batch_round_trips_every_inner_request(self, batch):
+        twin = decode(encode(batch))
+        assert isinstance(twin, Batch)
+        assert len(twin.requests) == len(batch.requests)
+        for ours, theirs in zip(batch.requests, twin.requests):
+            assert theirs.operation == ours.operation
+            assert theirs.timestamp == ours.timestamp
+            assert theirs.client_id == ours.client_id
+
+    @given(reply=REPLIES)
+    def test_reply_round_trips_at_the_frame_level(self, reply):
+        """A reply ships its result as a digest; re-encoding reproduces it."""
+        frame = encode(reply)
+        twin = decode(frame)
+        assert isinstance(twin, Reply)
+        assert (twin.mode, twin.view, twin.timestamp) == (
+            reply.mode,
+            reply.view,
+            reply.timestamp,
+        )
+        assert (twin.client_id, twin.replica_id) == (reply.client_id, reply.replica_id)
+        assert isinstance(twin.result, OpaqueResult)
+        assert twin.result_digest() == reply.result_digest()
+        assert encode(twin) == frame
+
+    @given(message=st.one_of(PREPARES, PREPREPARES))
+    def test_ordering_messages_round_trip(self, message):
+        twin = decode(encode(message))
+        assert type(twin) is type(message)
+        assert (twin.view, twin.sequence, twin.mode) == (
+            message.view,
+            message.sequence,
+            message.mode,
+        )
+        assert twin.digest == message.digest
+        # The piggybacked payload is transport, not signed content.
+        assert twin.request is None
+
+    @given(message=st.one_of(ACCEPTS, COMMITS, PROXY_PREPARES, INFORMS))
+    def test_attributed_votes_round_trip(self, message):
+        twin = decode(encode(message))
+        assert type(twin) is type(message)
+        assert (twin.view, twin.sequence, twin.mode) == (
+            message.view,
+            message.sequence,
+            message.mode,
+        )
+        assert twin.digest == message.digest
+        assert twin.replica_id == message.replica_id
+
+    @given(checkpoint=CHECKPOINTS)
+    def test_checkpoints_round_trip(self, checkpoint):
+        twin = decode(encode(checkpoint))
+        assert type(twin) is Checkpoint
+        assert (twin.sequence, twin.mode) == (checkpoint.sequence, checkpoint.mode)
+        assert twin.state_digest == checkpoint.state_digest
+        assert twin.replica_id == checkpoint.replica_id
+
+    @given(message=HOT_MESSAGES)
+    def test_reencoding_a_decoded_message_is_byte_identical(self, message):
+        """encode ∘ decode is the identity on every frame encode produces."""
+        frame = encode(message)
+        assert encode(decode(frame)) == frame
+
+    @given(message=HOT_MESSAGES)
+    def test_decoded_messages_carry_no_signature(self, message):
+        assert decode(encode(message)).signature is None
+
+
+# ---------------------------------------------------------------------------
+# differential digest equivalence vs the legacy canonical form
+# ---------------------------------------------------------------------------
+
+
+class TestDifferentialDigests:
+    @given(message=HOT_MESSAGES)
+    def test_digest_of_is_the_frame_digest(self, message):
+        """The cached digest layer hashes exactly the wire slice."""
+        assert digest_of(message) == digest_bytes(wire_slice_of(message))
+        assert wire_slice_of(message) == message.signing_bytes()
+
+    @given(message=HOT_MESSAGES)
+    def test_decoding_preserves_the_digest(self, message):
+        """A decoded twin digests identically to the source message."""
+        assert digest_of(decode(encode(message))) == digest_of(message)
+
+    @given(first=HOT_MESSAGES, second=HOT_MESSAGES)
+    def test_frames_distinguish_everything_the_legacy_form_did(self, first, second):
+        """Any two messages with distinct legacy canonical forms have
+        distinct frames — the codec never *merges* messages the JSON form
+        told apart, so no digest-equality argument is weakened."""
+        if legacy_canonical_bytes(first) != legacy_canonical_bytes(second):
+            assert encode(first) != encode(second)
+
+    @given(
+        first=st.one_of(REPLIES, PREPARES, ACCEPTS, COMMITS, CHECKPOINTS),
+        second=st.one_of(REPLIES, PREPARES, ACCEPTS, COMMITS, CHECKPOINTS),
+    )
+    def test_digest_carrying_types_match_the_legacy_equality_exactly(self, first, second):
+        """For types whose signed fields are all carried (votes, replies,
+        checkpoints) frame equality *iff* legacy-canonical equality."""
+        legacy_equal = legacy_canonical_bytes(first) == legacy_canonical_bytes(second)
+        assert (encode(first) == encode(second)) == legacy_equal
+
+    @given(request=REQUESTS, payload=TEXT)
+    def test_request_frames_are_strictly_finer_than_the_legacy_form(self, request, payload):
+        """The legacy request form covered only the payload *length*; the
+        frame covers its content, distinguishing strictly more."""
+        if payload == request.operation.payload:
+            return
+        sibling = Request(
+            operation=Operation(
+                kind=request.operation.kind,
+                args=request.operation.args,
+                payload=payload,
+            ),
+            timestamp=request.timestamp,
+            client_id=request.client_id,
+        )
+        assert encode(sibling) != encode(request)
+
+    def test_unsupported_argument_types_digest_but_refuse_to_decode(self):
+        """The opaque repr capsule keeps digests faithful for exotic args
+        while refusing to fabricate a decoded value."""
+
+        class Exotic:
+            def __repr__(self):
+                return "Exotic()"
+
+        request = Request(
+            operation=Operation("op", (Exotic(),)), timestamp=1, client_id="c"
+        )
+        frame = encode(request)
+        assert digest_of(request) == digest_bytes(frame)
+        with pytest.raises(WireDecodeError):
+            decode(frame)
+
+
+# ---------------------------------------------------------------------------
+# rejection of truncated / garbled frames
+# ---------------------------------------------------------------------------
+
+
+class TestRejection:
+    @given(message=HOT_MESSAGES, data=st.data())
+    @settings(max_examples=200)
+    def test_any_strict_prefix_is_rejected(self, message, data):
+        frame = encode(message)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(WireDecodeError):
+            decode(frame[:cut])
+
+    @given(message=HOT_MESSAGES, suffix=st.binary(min_size=1, max_size=8))
+    def test_trailing_bytes_are_rejected(self, message, suffix):
+        with pytest.raises(WireDecodeError):
+            decode(encode(message) + suffix)
+
+    @given(body=st.binary(max_size=64), tag=st.integers(min_value=0, max_value=255))
+    def test_unknown_tags_are_rejected(self, body, tag):
+        if tag in (0x01, 0x02, 0x03, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16):
+            return
+        with pytest.raises(WireDecodeError):
+            decode(bytes([tag]) + body)
+
+    @given(data=st.binary(max_size=256))
+    @settings(max_examples=300)
+    def test_arbitrary_bytes_never_raise_anything_but_wire_decode_error(self, data):
+        """Hostile input is rejected cleanly: no struct errors, no unicode
+        errors, no allocation bombs from huge length prefixes."""
+        try:
+            message = decode(data)
+        except WireDecodeError:
+            return
+        assert type(message) in (
+            Request,
+            Batch,
+            Reply,
+            Prepare,
+            PrePrepare,
+            Accept,
+            Commit,
+            ProxyPrepare,
+            Inform,
+            Checkpoint,
+        )
+
+    @given(message=HOT_MESSAGES, data=st.data())
+    @settings(max_examples=200)
+    def test_single_byte_corruption_never_yields_the_same_digest(self, message, data):
+        """Flipping any byte of a frame either fails to decode or decodes
+        to a message whose re-encoded frame differs — corruption can never
+        masquerade as the original under the frame digest."""
+        frame = bytearray(encode(message))
+        index = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        frame[index] ^= flip
+        mutated = bytes(frame)
+        try:
+            twin = decode(mutated)
+        except WireDecodeError:
+            return
+        assert digest_bytes(encode(twin)) != digest_bytes(encode(message))
+
+    def test_empty_frame_is_rejected(self):
+        with pytest.raises(WireDecodeError):
+            decode(b"")
+
+    def test_non_bytes_frames_are_rejected(self):
+        with pytest.raises(WireDecodeError):
+            decode("not-bytes")
+
+    def test_garbled_utf8_string_field_is_rejected(self):
+        frame = bytearray(encode(Request(Operation("op"), timestamp=1, client_id="ab")))
+        # client string starts after the 9-byte request head + 4-byte length.
+        frame[13] = 0xFF
+        with pytest.raises(WireDecodeError):
+            decode(bytes(frame))
+
+    def test_garbled_digest_flag_is_rejected(self):
+        checkpoint = Checkpoint(sequence=1, state_digest="ab" * 32, replica_id="r", mode=0)
+        frame = bytearray(encode(checkpoint))
+        # digest flag byte sits right after the 17-byte checkpoint head.
+        assert frame[17] in (0, 1)
+        frame[17] = 0x7F
+        with pytest.raises(WireDecodeError):
+            decode(bytes(frame))
+
+    def test_batch_embedding_a_non_request_frame_is_rejected(self):
+        inner = encode(Checkpoint(sequence=1, state_digest="d", replica_id="r", mode=0))
+        from repro.wire.primitives import BATCH_HEAD, TAG_BATCH, _U32
+
+        frame = BATCH_HEAD.pack(TAG_BATCH, 1) + _U32.pack(len(inner)) + inner
+        with pytest.raises(WireDecodeError):
+            decode(frame)
+
+    def test_empty_batch_frame_is_rejected(self):
+        from repro.wire.primitives import BATCH_HEAD, TAG_BATCH
+
+        with pytest.raises(WireDecodeError):
+            decode(BATCH_HEAD.pack(TAG_BATCH, 0))
+
+    def test_cold_types_have_no_wire_frame(self):
+        from repro.core.messages import ModeChange
+
+        cold = ModeChange(new_view=1, new_mode=2, replica_id="r")
+        with pytest.raises(TypeError):
+            wire_slice_of(cold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
