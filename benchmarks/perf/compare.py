@@ -41,7 +41,17 @@ from typing import Optional, Tuple
 
 def load(path: pathlib.Path) -> Tuple[dict, Optional[float]]:
     document = json.loads(pathlib.Path(path).read_text())
-    cases = {case["name"]: case for case in document["cases"]}
+    # Wall-clock rows (backend "aio") are trajectory datapoints, never part
+    # of the regression gate: their events/sec tracks machine load.  Rows
+    # predating the backend field are sim rows.
+    cases = {
+        case["name"]: case
+        for case in document["cases"]
+        if case.get("backend", "sim") == "sim"
+    }
+    skipped = len(document["cases"]) - len(cases)
+    if skipped:
+        print(f"note: {skipped} non-sim (wall-clock) case(s) in {path} excluded from the gate")
     calibration = document.get("host", {}).get("calibration_ops_per_second")
     return cases, calibration
 

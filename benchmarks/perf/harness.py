@@ -31,6 +31,8 @@ Schema (``schema_version`` 1)::
         {
           "name": "lion-f1-batched",
           "protocol": "seemore-lion",
+          "backend": "sim",            # or "aio": wall-clock over loopback TCP,
+                                       # reported but never regression-gated
           "crash_tolerance": 1, "byzantine_tolerance": 1,
           "batched": true, "fault_scenario": null,
           "sim_duration": 0.5,
@@ -115,6 +117,15 @@ class PerfCase:
     # ratio between sharded-Nx and sharded-1x is the scale-out headline.
     num_shards: int = 1
     cross_shard_fraction: float = 0.0
+    # Runtime backend.  "sim" measures the discrete-event engine (modeled
+    # time, deterministic, regression-gated); "aio" runs the same protocol
+    # over real loopback TCP and reports wall-clock throughput — recorded
+    # for the trajectory but never gated, since loopback numbers track
+    # machine load, not code quality.
+    backend: str = "sim"
+    # aio-only: the closed-loop request budget (aio cases run to a request
+    # count rather than to a simulated duration).
+    num_requests: int = 400
 
     def batch_policy(self) -> Optional[BatchPolicy]:
         if not self.batched:
@@ -208,11 +219,72 @@ def standard_cases(smoke: bool = False) -> List[PerfCase]:
     return cases
 
 
+def aio_cases() -> List[PerfCase]:
+    """Wall-clock cases on the asyncio-TCP backend (reported, never gated).
+
+    The case names deliberately mirror their sim counterparts; the
+    ``backend`` field is what tells the rows apart in the JSON.
+    """
+    return [
+        PerfCase(
+            name="lion-f1-batched",
+            protocol="seemore-lion",
+            backend="aio",
+            num_requests=400,
+            client_window=16,
+        )
+    ]
+
+
 # -- running one case -------------------------------------------------------------
+
+
+def _run_once_aio(case: PerfCase) -> Dict[str, Any]:
+    """One wall-clock execution over real loopback TCP.
+
+    Reuses the conformance harness's cluster construction so the perf and
+    conformance paths cannot drift apart; "events" on this backend means
+    messages delivered over the wire.
+    """
+    from repro.runtime.aio import AioRuntime
+    from repro.runtime.conformance import _build_cluster
+
+    runtime = AioRuntime()
+    replicas, client = _build_cluster(
+        runtime,
+        _MODES[case.protocol],
+        num_requests=case.num_requests,
+        window=case.client_window,
+        request_timeout=5.0,
+        client_timeout=2.0,
+        max_batch=STANDARD_BATCH["max_batch"],
+        seed=case.seed,
+    )
+    start = time.perf_counter()
+    finished = runtime.run(
+        kickoff=client.start,
+        until=lambda: client.completed_count >= case.num_requests,
+        timeout=120.0,
+    )
+    wall = time.perf_counter() - start
+    if not finished:
+        raise AssertionError(
+            f"aio case {case.name!r} timed out: "
+            f"{client.completed_count}/{case.num_requests} completed"
+        )
+    return {
+        "wall": wall,
+        "events": runtime.messages_delivered,
+        "completed": client.completed_count,
+        # Real time: one wall second buys exactly one second of protocol time.
+        "sim_seconds": wall,
+    }
 
 
 def _run_once(case: PerfCase) -> Dict[str, Any]:
     """One measured execution; returns wall time, events, completions."""
+    if case.backend == "aio":
+        return _run_once_aio(case)
     if case.fault_scenario is not None:
         from repro.scenarios.adaptive import ADAPTIVE_SCENARIOS, run_adaptive_scenario
         from repro.scenarios.engine import run_scenario
@@ -291,43 +363,55 @@ def run_case(case: PerfCase, repeats: int = 3, measure_heap: bool = True) -> Dic
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1: {repeats}")
-    runs = [_run_once(case) for _ in range(repeats)]
 
-    completions = {run["completed"] for run in runs}
-    events = {run["events"] for run in runs}
-    deterministic = len(completions) == 1 and len(events) == 1
-    if not deterministic:  # pragma: no cover - would indicate an engine bug
-        raise AssertionError(
-            f"case {case.name!r} is non-deterministic across repeats: "
-            f"completions={sorted(completions)}, events={sorted(events)}"
-        )
+    if case.backend != "sim":
+        # Wall-clock backends carry no determinism contract (real scheduling
+        # jitter moves batch boundaries) and no tracemalloc pass: a single
+        # run is the datapoint.
+        runs = [_run_once(case)]
+        deterministic = False
+        peak_heap = None
+    else:
+        runs = [_run_once(case) for _ in range(repeats)]
 
-    peak_heap = None
-    if measure_heap:
-        tracemalloc.start()
-        try:
-            _run_once(case)
-            _, peak_heap = tracemalloc.get_traced_memory()
-        finally:
-            tracemalloc.stop()
+        completions = {run["completed"] for run in runs}
+        events = {run["events"] for run in runs}
+        deterministic = len(completions) == 1 and len(events) == 1
+        if not deterministic:  # pragma: no cover - would indicate an engine bug
+            raise AssertionError(
+                f"case {case.name!r} is non-deterministic across repeats: "
+                f"completions={sorted(completions)}, events={sorted(events)}"
+            )
+
+        peak_heap = None
+        if measure_heap:
+            tracemalloc.start()
+            try:
+                _run_once(case)
+                _, peak_heap = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
 
     wall = min(run["wall"] for run in runs)
     reference = runs[0]
+    # On the wall-clock backend "duration" is the measured run itself.
+    duration = case.duration if case.backend == "sim" else reference["sim_seconds"]
     return {
         "name": case.name,
         "protocol": case.protocol,
+        "backend": case.backend,
         "crash_tolerance": case.crash_tolerance,
         "byzantine_tolerance": case.byzantine_tolerance,
         "batched": case.batched,
         "fault_scenario": case.fault_scenario,
         "num_shards": case.num_shards,
-        "sim_duration": case.duration,
+        "sim_duration": round(duration, 4),
         "completed_requests": reference["completed"],
         "events_processed": reference["events"],
         "wall_seconds": round(wall, 4),
         "events_per_second": round(reference["events"] / wall, 1),
         "sim_seconds_per_wall_second": round(reference["sim_seconds"] / wall, 4),
-        "throughput_requests_per_second": round(reference["completed"] / case.duration, 1),
+        "throughput_requests_per_second": round(reference["completed"] / duration, 1),
         "peak_heap_bytes": peak_heap,
         "deterministic": deterministic,
     }
@@ -382,7 +466,12 @@ def run_suite(
             progress(f"running {case.name} ...")
         rows.append(run_case(case, repeats=repeats, measure_heap=measure_heap))
 
-    batched_rows = [row for row in rows if row["batched"] and not row["fault_scenario"]]
+    # Summary geomeans cover the sim backend only: wall-clock rows are
+    # machine-load-dependent datapoints, not part of the gated trajectory.
+    sim_rows = [row for row in rows if row["backend"] == "sim"]
+    batched_rows = [
+        row for row in sim_rows if row["batched"] and not row["fault_scenario"]
+    ]
     heap_values = [row["peak_heap_bytes"] for row in rows if row["peak_heap_bytes"]]
     return {
         "schema_version": SCHEMA_VERSION,
@@ -397,7 +486,7 @@ def run_suite(
         "cases": rows,
         "summary": {
             "events_per_second_geomean": _round(
-                _geomean([row["events_per_second"] for row in rows])
+                _geomean([row["events_per_second"] for row in sim_rows])
             ),
             "batched_events_per_second_geomean": _round(
                 _geomean([row["events_per_second"] for row in batched_rows])

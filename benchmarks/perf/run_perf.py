@@ -19,7 +19,13 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from harness import default_output_path, run_suite, write_bench  # noqa: E402
+from harness import (  # noqa: E402
+    aio_cases,
+    default_output_path,
+    run_suite,
+    standard_cases,
+    write_bench,
+)
 
 
 def main(argv=None) -> int:
@@ -34,9 +40,27 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-heap", action="store_true", help="skip the tracemalloc peak-heap pass"
     )
+    parser.add_argument(
+        "--aio",
+        action="store_true",
+        help="append the wall-clock asyncio-TCP cases (reported, never gated)",
+    )
+    parser.add_argument(
+        "--aio-only",
+        action="store_true",
+        help="run only the wall-clock asyncio-TCP cases",
+    )
     args = parser.parse_args(argv)
 
+    if args.aio_only:
+        cases = aio_cases()
+    else:
+        cases = standard_cases(smoke=args.smoke)
+        if args.aio:
+            cases = cases + aio_cases()
+
     document = run_suite(
+        cases=cases,
         repeats=args.repeats,
         smoke=args.smoke,
         measure_heap=not args.no_heap,
@@ -53,8 +77,9 @@ def main(argv=None) -> int:
             f"{row['name'].ljust(width)}  {row['events_per_second']:>10,.0f}  "
             f"{row['sim_seconds_per_wall_second']:>12.3f}  {row['completed_requests']:>9}"
         )
-    summary = document["summary"]
-    print(f"\nevents/s geomean: {summary['events_per_second_geomean']:,.0f}")
+    geomean = document["summary"]["events_per_second_geomean"]
+    if geomean is not None:  # an --aio-only run has no sim rows to average
+        print(f"\nevents/s geomean: {geomean:,.0f}")
     return 0
 
 

@@ -108,18 +108,21 @@ class EvidenceLog:
     #: Retained-record ceiling; compaction drops the oldest half beyond it.
     MAX_BUFFERED = 4096
 
-    __slots__ = ("observer", "_simulator", "_records", "_dropped")
+    __slots__ = ("observer", "_clock", "_records", "_dropped")
 
-    def __init__(self, observer: str, simulator) -> None:
+    def __init__(self, observer: str, clock) -> None:
+        # ``clock`` is anything with a ``now`` property: a Simulator, a
+        # Runtime, or a test stub — the log stamps observation times and
+        # nothing else, so it works identically on every backend.
         self.observer = observer
-        self._simulator = simulator
+        self._clock = clock
         self._records: List[EvidenceRecord] = []
         self._dropped = 0
 
     def record(self, kind: EvidenceKind, suspect: Optional[str] = None, detail: str = "") -> None:
         self._records.append(
             EvidenceRecord(
-                at=self._simulator.now,
+                at=self._clock.now,
                 kind=kind,
                 observer=self.observer,
                 suspect=suspect,

@@ -25,7 +25,6 @@ from repro.baselines import messages as msgs
 from repro.baselines.config import BaselineConfig
 from repro.crypto.signatures import Signer, Verifier
 from repro.net.costs import NodeCostModel
-from repro.sim.simulator import Simulator
 from repro.smr.messages import Request
 from repro.smr.replica import ReplicaBase, request_digest
 from repro.smr.slots import Slot
@@ -46,7 +45,7 @@ class QuorumBFTReplica(ReplicaBase):
     def __init__(
         self,
         node_id: str,
-        simulator: Simulator,
+        runtime: Any,
         config: BaselineConfig,
         signer: Signer,
         verifier: Verifier,
@@ -55,7 +54,7 @@ class QuorumBFTReplica(ReplicaBase):
     ) -> None:
         if node_id not in config.replicas:
             raise ValueError(f"replica {node_id!r} is not part of the configuration")
-        super().__init__(node_id, simulator, signer, verifier, state_machine, cost_model)
+        super().__init__(node_id, runtime, signer, verifier, state_machine, cost_model)
         self.config = config
         self.in_view_change = False
         self.next_sequence = 1

@@ -29,7 +29,6 @@ from repro.baselines.config import PaxosConfig
 from repro.crypto.digest import digest
 from repro.crypto.signatures import Signer, Verifier
 from repro.net.costs import NodeCostModel
-from repro.sim.simulator import Simulator
 from repro.smr.messages import Request
 from repro.smr.replica import ReplicaBase, request_digest
 from repro.smr.state_machine import Operation, StateMachine
@@ -49,7 +48,7 @@ class PaxosReplica(ReplicaBase):
     def __init__(
         self,
         node_id: str,
-        simulator: Simulator,
+        runtime: Any,
         config: PaxosConfig,
         signer: Signer,
         verifier: Verifier,
@@ -58,7 +57,7 @@ class PaxosReplica(ReplicaBase):
     ) -> None:
         if node_id not in config.replicas:
             raise ValueError(f"replica {node_id!r} is not part of the configuration")
-        super().__init__(node_id, simulator, signer, verifier, state_machine, cost_model)
+        super().__init__(node_id, runtime, signer, verifier, state_machine, cost_model)
         self.config = config
         self.in_view_change = False
         self.next_sequence = 1

@@ -37,6 +37,7 @@ from repro.net.costs import NodeCostModel
 from repro.net.latency import CloudAwareLatencyModel
 from repro.net.network import Network
 from repro.net.topology import Cloud, Placement
+from repro.runtime.sim import SimRuntime
 from repro.shard import (
     ShardedClientPool,
     ShardedDeployment,
@@ -78,7 +79,7 @@ def _build_fabric(
     seed: int,
     cross_cloud_latency: Optional[float],
     cost_model: Optional[NodeCostModel],
-) -> tuple:
+) -> SimRuntime:
     simulator = Simulator()
     latency = CloudAwareLatencyModel(
         placement=placement,
@@ -94,13 +95,12 @@ def _build_fabric(
         cost_model=cost_model or NodeCostModel(),
         seed=seed,
     )
-    return simulator, network
+    return SimRuntime(simulator, network)
 
 
 def _finish_deployment(
     protocol: str,
-    simulator: Simulator,
-    network: Network,
+    runtime: SimRuntime,
     placement: Placement,
     keystore: KeyStore,
     replicas: Dict,
@@ -112,8 +112,7 @@ def _finish_deployment(
 ) -> Deployment:
     metrics = MetricsCollector()
     pool = ClientPool(
-        simulator=simulator,
-        network=network,
+        runtime=runtime,
         keystore=keystore,
         placement=placement,
         client_config=client_config,
@@ -123,14 +122,15 @@ def _finish_deployment(
     pool.spawn(num_clients, window=client_window)
     return Deployment(
         protocol=protocol,
-        simulator=simulator,
-        network=network,
+        simulator=runtime.simulator,
+        network=runtime.network,
         placement=placement,
         keystore=keystore,
         replicas=replicas,
         client_pool=pool,
         metrics=metrics,
         extras=extras or {},
+        runtime=runtime,
     )
 
 
@@ -140,8 +140,7 @@ def _finish_deployment(
 def _spawn_seemore_cluster(
     config: SeeMoReConfig,
     mode: Mode,
-    simulator: Simulator,
-    network: Network,
+    runtime: SimRuntime,
     keystore: KeyStore,
     placement: Placement,
     workload: Workload,
@@ -151,8 +150,8 @@ def _spawn_seemore_cluster(
 
     Shared by the single-cluster builder and the sharded builder: the
     latter calls it once per shard with shard-prefixed replica ids, so N
-    independently configured clusters coexist on one simulator, network,
-    placement, and keystore.
+    independently configured clusters coexist on one runtime, placement,
+    and keystore.
     """
     placement.assign_many(config.private_replicas, Cloud.PRIVATE)
     placement.assign_many(config.public_replicas, Cloud.PUBLIC)
@@ -165,7 +164,7 @@ def _spawn_seemore_cluster(
     for replica_id in config.all_replicas:
         replica = SeeMoReReplica(
             node_id=replica_id,
-            simulator=simulator,
+            runtime=runtime,
             config=config,
             signer=keystore.signer_for(replica_id),
             verifier=verifier,
@@ -173,7 +172,7 @@ def _spawn_seemore_cluster(
             initial_mode=mode,
             cost_model=cost_model,
         )
-        network.register(replica)
+        runtime.register(replica)
         replicas[replica_id] = replica
     return replicas
 
@@ -219,17 +218,16 @@ def build_seemore(
         batch_policy=batch_policy or BatchPolicy(),
     )
     placement = Placement()
-    simulator, network = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
+    runtime = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
     keystore = KeyStore(seed=f"seemore-{seed}")
     replicas = _spawn_seemore_cluster(
-        config, mode, simulator, network, keystore, placement, workload, cost_model
+        config, mode, runtime, keystore, placement, workload, cost_model
     )
 
     client_config = client_config_for_mode(config, mode, request_timeout=client_timeout)
     deployment = _finish_deployment(
         protocol=f"seemore-{mode.name.lower()}",
-        simulator=simulator,
-        network=network,
+        runtime=runtime,
         placement=placement,
         keystore=keystore,
         replicas=replicas,
@@ -333,7 +331,7 @@ def build_sharded_seemore(
         workload = workload.with_partitioner(partitioner)
 
     placement = Placement()
-    simulator, network = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
+    runtime = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
     keystore = KeyStore(seed=f"seemore-sharded-{seed}")
 
     shards: List[Deployment] = []
@@ -350,7 +348,7 @@ def build_sharded_seemore(
             batch_policy=spec.batch_policy or BatchPolicy(),
         )
         replicas = _spawn_seemore_cluster(
-            config, spec.mode, simulator, network, keystore, placement, workload, cost_model
+            config, spec.mode, runtime, keystore, placement, workload, cost_model
         )
         metrics = MetricsCollector()
         client_config = client_config_for_mode(config, spec.mode, request_timeout=client_timeout)
@@ -360,8 +358,7 @@ def build_sharded_seemore(
         # key to this one shard, silently breaking the keyspace partition —
         # surge load through ShardedDeployment.add_clients instead.
         pool = ClientPool(
-            simulator=simulator,
-            network=network,
+            runtime=runtime,
             keystore=keystore,
             placement=placement,
             client_config=client_config,
@@ -373,14 +370,15 @@ def build_sharded_seemore(
         shards.append(
             Deployment(
                 protocol=f"seemore-{spec.mode.name.lower()}-s{index}",
-                simulator=simulator,
-                network=network,
+                simulator=runtime.simulator,
+                network=runtime.network,
                 placement=placement,
                 keystore=keystore,
                 replicas=replicas,
                 client_pool=pool,
                 metrics=metrics,
                 extras={"config": config, "mode": spec.mode, "shard_index": index},
+                runtime=runtime,
             )
         )
         shard_configs[index] = config
@@ -399,8 +397,7 @@ def build_sharded_seemore(
 
     aggregate_metrics = MetricsCollector()
     pool = ShardedClientPool(
-        simulator=simulator,
-        network=network,
+        runtime=runtime,
         keystore=keystore,
         placement=placement,
         session_factory=session_factory,
@@ -433,8 +430,8 @@ def build_sharded_seemore(
 
     return ShardedDeployment(
         protocol=f"seemore-sharded-{len(specs)}x",
-        simulator=simulator,
-        network=network,
+        simulator=runtime.simulator,
+        network=runtime.network,
         placement=placement,
         keystore=keystore,
         shards=shards,
@@ -477,7 +474,7 @@ def build_paxos(
     placement = Placement()
     placement.assign_many(config.replicas, Cloud.PRIVATE)
 
-    simulator, network = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
+    runtime = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
     keystore = KeyStore(seed=f"paxos-{seed}")
     for replica_id in config.replicas:
         keystore.register(replica_id)
@@ -488,21 +485,20 @@ def build_paxos(
     for replica_id in config.replicas:
         replica = PaxosReplica(
             node_id=replica_id,
-            simulator=simulator,
+            runtime=runtime,
             config=config,
             signer=keystore.signer_for(replica_id),
             verifier=verifier,
             state_machine=state_machine_factory(),
             cost_model=cost_model,
         )
-        network.register(replica)
+        runtime.register(replica)
         replicas[replica_id] = replica
 
     client_config = paxos_client_config(config, request_timeout=client_timeout)
     return _finish_deployment(
         protocol="cft",
-        simulator=simulator,
-        network=network,
+        runtime=runtime,
         placement=placement,
         keystore=keystore,
         replicas=replicas,
@@ -536,7 +532,7 @@ def build_pbft(
     placement = Placement()
     placement.assign_many(config.replicas, Cloud.PUBLIC)
 
-    simulator, network = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
+    runtime = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
     keystore = KeyStore(seed=f"pbft-{seed}")
     for replica_id in config.replicas:
         keystore.register(replica_id)
@@ -547,21 +543,20 @@ def build_pbft(
     for replica_id in config.replicas:
         replica = QuorumBFTReplica(
             node_id=replica_id,
-            simulator=simulator,
+            runtime=runtime,
             config=config,
             signer=keystore.signer_for(replica_id),
             verifier=verifier,
             state_machine=state_machine_factory(),
             cost_model=cost_model,
         )
-        network.register(replica)
+        runtime.register(replica)
         replicas[replica_id] = replica
 
     client_config = pbft_client_config(config, request_timeout=client_timeout)
     return _finish_deployment(
         protocol="bft",
-        simulator=simulator,
-        network=network,
+        runtime=runtime,
         placement=placement,
         keystore=keystore,
         replicas=replicas,
@@ -600,7 +595,7 @@ def build_upright(
     placement.assign_many(config.replicas[:private_count], Cloud.PRIVATE)
     placement.assign_many(config.replicas[private_count:], Cloud.PUBLIC)
 
-    simulator, network = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
+    runtime = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
     keystore = KeyStore(seed=f"upright-{seed}")
     for replica_id in config.replicas:
         keystore.register(replica_id)
@@ -611,21 +606,20 @@ def build_upright(
     for replica_id in config.replicas:
         replica = QuorumBFTReplica(
             node_id=replica_id,
-            simulator=simulator,
+            runtime=runtime,
             config=config,
             signer=keystore.signer_for(replica_id),
             verifier=verifier,
             state_machine=state_machine_factory(),
             cost_model=cost_model,
         )
-        network.register(replica)
+        runtime.register(replica)
         replicas[replica_id] = replica
 
     client_config = upright_client_config(config, request_timeout=client_timeout)
     return _finish_deployment(
         protocol="s-upright",
-        simulator=simulator,
-        network=network,
+        runtime=runtime,
         placement=placement,
         keystore=keystore,
         replicas=replicas,

@@ -8,6 +8,7 @@ from typing import Any, Dict, List, Optional
 from repro.crypto.keys import KeyStore
 from repro.net.network import Network
 from repro.net.topology import Placement
+from repro.runtime.api import Runtime
 from repro.sim.simulator import Simulator
 from repro.smr.ledger import CommitLedger, find_safety_violations
 from repro.smr.replica import ReplicaBase
@@ -31,6 +32,10 @@ class Deployment:
         faulty_replicas: ids of replicas an experiment made faulty (crashed or
             Byzantine); excluded from safety checks.
         extras: protocol-specific configuration (e.g. the SeeMoRe config).
+        runtime: the runtime facade the nodes were built against.  Builders
+            always populate it; ``simulator``/``network`` stay as first-class
+            fields because the scenario/adaptive/fault layers are sim-only
+            tooling and reach into the discrete-event internals directly.
     """
 
     protocol: str
@@ -43,6 +48,7 @@ class Deployment:
     metrics: MetricsCollector
     faulty_replicas: set = field(default_factory=set)
     extras: Dict[str, Any] = field(default_factory=dict)
+    runtime: Optional[Runtime] = None
     # Per-replica count of batch sizes already pulled into the metrics, so
     # collect_batch_sizes() can be called once per phase without re-counting.
     _batch_sizes_collected: Dict[str, int] = field(default_factory=dict)

@@ -9,9 +9,10 @@ A :class:`SeeMoReReplica` glues together:
 * the view-change / mode-switch manager.
 
 The replica itself is sans-IO with respect to time: all waiting is expressed
-through the simulator's timers, and all communication goes through the
-network node interface, so the same code runs under any latency/fault
-scenario the experiment harness sets up.
+through the runtime's timers, and all communication goes through the node's
+transport interface, so the same code runs under any latency/fault scenario
+the experiment harness sets up — and under either runtime backend (the
+deterministic simulator or the asyncio-TCP runtime).
 """
 
 from __future__ import annotations
@@ -32,7 +33,6 @@ from repro.core.view_change import NOOP_CLIENT, ViewChangeManager
 from repro.crypto.digest import digest
 from repro.crypto.signatures import Signer, Verifier
 from repro.net.costs import NodeCostModel
-from repro.sim.simulator import Simulator
 from repro.smr.executor import ExecutionResult
 from repro.smr.messages import Request, requests_of
 from repro.smr.replica import ReplicaBase
@@ -52,7 +52,7 @@ class SeeMoReReplica(ReplicaBase):
     def __init__(
         self,
         node_id: str,
-        simulator: Simulator,
+        runtime: Any,
         config: SeeMoReConfig,
         signer: Signer,
         verifier: Verifier,
@@ -62,7 +62,7 @@ class SeeMoReReplica(ReplicaBase):
     ) -> None:
         if node_id not in config.all_replicas:
             raise ValueError(f"replica {node_id!r} is not part of the configuration")
-        super().__init__(node_id, simulator, signer, verifier, state_machine, cost_model)
+        super().__init__(node_id, runtime, signer, verifier, state_machine, cost_model)
         self.config = config
         self.mode = initial_mode
         self.strategy = _STRATEGIES[initial_mode]

@@ -1,8 +1,12 @@
-"""Base class for every server and client in the simulation.
+"""Base class for every server and client, on either runtime backend.
 
-A :class:`Node` couples a single-threaded CPU (:class:`repro.sim.Process`)
-with a network attachment.  Protocol replicas and clients subclass it and
-implement :meth:`Node.handle_message`.
+A :class:`Node` couples a single-threaded CPU (:class:`repro.runtime.api.Cpu`)
+with a transport attachment.  Protocol replicas and clients subclass it and
+implement :meth:`Node.handle_message`.  The node is sans-IO: it never
+touches the simulator or the network machinery directly — everything goes
+through the :class:`~repro.runtime.api.Runtime` it was built on, so the
+same protocol code runs under the deterministic simulator and under the
+asyncio-TCP backend.
 
 Message accounting follows the paper's deployment:
 
@@ -11,19 +15,20 @@ Message accounting follows the paper's deployment:
 * every *sent* message charges serialization + signature/MAC CPU on the
   sender; a multicast signs the content once and then pays only the
   per-destination serialization cost.
+
+The node only *classifies* each message (wire size, signed or not, how
+many signatures to verify); turning that classification into CPU cost is
+the runtime's job — modeled service times in the sim backend, measured
+elapsed time in the aio backend.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, TYPE_CHECKING
+from typing import Any, Iterable, Optional
 
 from repro.crypto.digest import WIRE_SIZE_CACHE_ATTR
 from repro.net.costs import NodeCostModel
-from repro.sim.process import Process
-from repro.sim.simulator import Simulator, Timer
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
-    from repro.net.network import Network
+from repro.runtime.api import Runtime, TimerHandle, Transport, as_runtime
 
 
 def wire_size_of(payload: Any) -> int:
@@ -64,38 +69,42 @@ def signature_count_of(payload: Any) -> int:
 
 
 class Node:
-    """A simulated machine: one CPU, one network interface, many timers."""
+    """A machine: one CPU, one transport interface, many timers."""
 
     def __init__(
         self,
         node_id: str,
-        simulator: Simulator,
+        runtime: Any,
         cost_model: Optional[NodeCostModel] = None,
     ) -> None:
         self.node_id = node_id
-        self.simulator = simulator
+        # Accepts a Runtime or (for compatibility with the many tests and
+        # tools that build nodes directly) a bare Simulator, which gets a
+        # transport-less sim runtime wrapped around it.
+        self.runtime: Runtime = as_runtime(runtime)
         self.cost_model = cost_model or NodeCostModel()
-        self.process = Process(simulator, name=node_id)
-        self._network: Optional["Network"] = None
+        self.process = self.runtime.create_cpu(node_id, self.cost_model)
+        self._transport: Optional[Transport] = None
         self.messages_handled = 0
         self.messages_sent = 0
         self.bytes_sent = 0
 
     # -- wiring -----------------------------------------------------------
 
-    def attach(self, network: "Network") -> None:
-        """Called by the network when the node is registered."""
-        self._network = network
+    def attach(self, transport: Transport) -> None:
+        """Called by the transport/network when the node is registered."""
+        self._transport = transport
 
     @property
-    def network(self) -> "Network":
-        if self._network is None:
-            raise RuntimeError(f"node {self.node_id!r} is not attached to a network")
-        return self._network
+    def network(self) -> Transport:
+        """The attached transport (named for the sim network, its usual form)."""
+        if self._transport is None:
+            raise RuntimeError(f"node {self.node_id!r} is not attached to a transport")
+        return self._transport
 
     @property
     def now(self) -> float:
-        return self.simulator.now
+        return self.runtime.now
 
     @property
     def crashed(self) -> bool:
@@ -108,9 +117,9 @@ class Node:
     def recover(self) -> None:
         self.process.recover()
 
-    def create_timer(self, callback, label: str = "") -> Timer:
+    def create_timer(self, callback, label: str = "") -> TimerHandle:
         """Create an unarmed timer owned by this node."""
-        return self.simulator.timer(callback, label=f"{self.node_id}:{label}")
+        return self.runtime.timer(callback, label=f"{self.node_id}:{label}")
 
     # -- sending ----------------------------------------------------------
 
@@ -119,8 +128,9 @@ class Node:
         process = self.process
         if process.crashed:
             return
-        # Inlined wire_size_of cache probe and cost-model memo probe: both
-        # hit on virtually every send of a steady-state run.
+        # Inlined wire_size_of cache probe: it hits on virtually every
+        # send of a steady-state run.  The cost lookup happens inside the
+        # CPU (modeled in sim, measured in aio).
         try:
             size = payload.__dict__.get(WIRE_SIZE_CACHE_ATTR)
         except AttributeError:
@@ -128,11 +138,7 @@ class Node:
         if size is None:
             size = wire_size_of(payload)
         signed = True if getattr(payload, "signed", False) else False
-        cost_model = self.cost_model
-        cost = cost_model._cost_memo.get((size, signed))
-        if cost is None:
-            cost = cost_model.send_cost(size, signed)
-        process.submit(cost, self._transmit, (dst, payload, size))
+        process.submit_send(size, signed, self._transmit, (dst, payload, size))
 
     def multicast(self, destinations: Iterable[str], payload: Any) -> None:
         """Send the same message to many destinations.
@@ -147,15 +153,12 @@ class Node:
             return
         size = wire_size_of(payload)
         signed = is_signed(payload)
-        first_cost = self.cost_model.send_cost(size, signed)
-        rest_cost = self.cost_model.send_cost(size, False)
 
         def transmit_all() -> None:
             for dst in targets:
                 self._transmit(dst, payload, size)
 
-        total_cost = first_cost + rest_cost * (len(targets) - 1)
-        self.process.submit(total_cost, transmit_all)
+        self.process.submit_multicast(size, signed, len(targets), transmit_all)
 
     def _transmit(self, dst: str, payload: Any, size: int) -> None:
         if self.process.crashed:
@@ -164,12 +167,12 @@ class Node:
         self.bytes_sent += size
         # Direct attribute read: a detached node cannot have queued CPU work,
         # so the property's guard would never fire here anyway.
-        self._network.deliver(self.node_id, dst, payload, size)
+        self._transport.deliver(self.node_id, dst, payload, size)
 
     # -- receiving --------------------------------------------------------
 
     def deliver(self, src: str, payload: Any, size: int) -> None:
-        """Called by the network when a message arrives at this node.
+        """Called by the transport when a message arrives at this node.
 
         The message waits in the CPU queue and is handled once the CPU has
         paid its receive cost.  Crashed nodes drop everything.
@@ -177,19 +180,15 @@ class Node:
         process = self.process
         if process.crashed:
             return
-        # Inlined is_signed / signature_count_of and the cost-model memo
-        # probe: a few getattrs and call frames per delivery add up at
-        # hundreds of thousands of messages.
+        # Inlined is_signed / signature_count_of: a few getattrs and call
+        # frames per delivery add up at hundreds of thousands of messages.
         if getattr(payload, "signed", False):
             count = getattr(payload, "signature_count", None)
-            key = (size, True, 1 if count is None else int(count))
+            process.submit_receive(
+                size, True, 1 if count is None else int(count), self._handle, (src, payload)
+            )
         else:
-            key = (size, False, 0)
-        cost_model = self.cost_model
-        cost = cost_model._cost_memo.get(key)
-        if cost is None:
-            cost = cost_model.receive_cost(size, key[1], key[2])
-        process.submit(cost, self._handle, (src, payload))
+            process.submit_receive(size, False, 0, self._handle, (src, payload))
 
     def _handle(self, src: str, payload: Any) -> None:
         if self.process.crashed:

@@ -1,0 +1,39 @@
+"""Runtime backends: what the protocol core runs *on*.
+
+The protocol layers (``repro.core``, ``repro.smr``, ``repro.net.node``)
+are written against the narrow interfaces in :mod:`repro.runtime.api` —
+a clock, timers, a CPU, and a transport — and never import the
+discrete-event simulator or the asyncio machinery directly.  Two
+backends implement those interfaces:
+
+* :mod:`repro.runtime.sim` — the deterministic discrete-event backend
+  (the default for experiments, scenarios, and the perf harness);
+* :mod:`repro.runtime.aio` — real asyncio tasks speaking the binary
+  wire codec over length-prefixed loopback TCP, with monotonic-clock
+  timers and measured (not modeled) CPU time.
+
+:mod:`repro.runtime.conformance` runs the same workload through both
+and asserts the committed ledgers agree — the simulator's results are
+only trustworthy because this oracle ties them to a real network stack.
+
+Only ``api`` is re-exported here: importing a backend pulls in its
+machinery, so callers name the backend they want explicitly.
+"""
+
+from repro.runtime.api import (
+    ClockSource,
+    Cpu,
+    Runtime,
+    TimerHandle,
+    Transport,
+    as_runtime,
+)
+
+__all__ = [
+    "ClockSource",
+    "Cpu",
+    "Runtime",
+    "TimerHandle",
+    "Transport",
+    "as_runtime",
+]

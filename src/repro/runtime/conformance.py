@@ -1,0 +1,354 @@
+"""Conformance oracle: the sim and aio backends must commit the same thing.
+
+The discrete-event simulator is only a trustworthy measurement instrument
+if the protocol code it runs behaves identically on a real network stack.
+This harness runs the *same* workload — same cluster shape, same client,
+same request count — through both runtime backends and asserts:
+
+* **safety within each backend**: every correct replica's flattened
+  committed-request sequence is a prefix of every other's (batch
+  boundaries may differ, so the comparison flattens batches to the inner
+  ``(client_id, timestamp)`` pairs and drops view-change noops);
+* **exactly-once**: no backend commits a client request twice;
+* **ledger conformance across backends**: the two canonical committed
+  sequences agree on their common prefix, and both contain every issued
+  request;
+* **reply conformance**: for every timestamp, the result digest the
+  replicas cached (what clients vote on) is identical across backends.
+
+Batch boundaries and cross-slot grouping legitimately differ between
+backends — real scheduling jitter changes how many requests share a
+batch — which is why the oracle compares flattened per-client sequences
+rather than slot-by-slot ledgers.  With a single client the flattened
+sequence is total, so this is a complete ordering check.
+
+Run directly for the standard matrix (all three modes, f=1)::
+
+    PYTHONPATH=src python -m repro.runtime.conformance
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import BatchPolicy, Mode, SeeMoReConfig, SeeMoReReplica, client_config_for_mode
+from repro.core.view_change import NOOP_CLIENT
+from repro.crypto.keys import KeyStore
+from repro.net.latency import UniformLatencyModel
+from repro.net.network import Network
+from repro.runtime.aio import AioRuntime
+from repro.runtime.sim import SimRuntime
+from repro.sim.simulator import Simulator
+from repro.smr.client import Client
+from repro.smr.ledger import find_safety_violations
+from repro.smr.messages import _result_digest, requests_of
+from repro.workload.generator import microbenchmark
+
+CLIENT_ID = "conformance-client"
+
+#: Conservative real-time knobs for the aio leg: loopback scheduling noise
+#: must never masquerade as a fault, so view-change and client-retransmit
+#: timers are far above any plausible event-loop stall.
+AIO_REQUEST_TIMEOUT = 5.0
+AIO_CLIENT_TIMEOUT = 2.0
+
+
+class RecordingReplica(SeeMoReReplica):
+    """A replica that records its flattened commit order.
+
+    ``commit_slot`` is the backend-agnostic choke point every committed
+    slot passes through, on every mode and every runtime; appending the
+    inner request ids there yields exactly the sequence the oracle
+    compares.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.commit_trace: List[Tuple[str, int]] = []
+
+    def commit_slot(self, sequence, request, view, send_reply, mode_id=0):
+        for each in requests_of(request):
+            if each.client_id != NOOP_CLIENT:
+                self.commit_trace.append((each.client_id, each.timestamp))
+        return super().commit_slot(sequence, request, view, send_reply, mode_id)
+
+
+@dataclass
+class BackendTrace:
+    """What one backend committed, flattened and canonicalized."""
+
+    backend: str
+    mode: Mode
+    completed: int
+    commit_trace: Tuple[Tuple[str, int], ...]
+    reply_digests: Dict[int, str]
+
+
+def _build_cluster(
+    runtime,
+    mode: Mode,
+    num_requests: int,
+    window: int,
+    request_timeout: float,
+    client_timeout: float,
+    max_batch: int,
+    seed: int,
+) -> Tuple[Dict[str, RecordingReplica], Client]:
+    """Stand one SeeMoRe cluster plus a closed-loop client on ``runtime``.
+
+    Built by hand (not via the cluster builders) because the builders are
+    deliberately sim-only: they own latency models and fault tooling that
+    have no aio counterpart.  Everything here goes through the runtime
+    interface alone, which is the point of the exercise.
+    """
+    config = SeeMoReConfig.build(
+        1,
+        1,
+        request_timeout=request_timeout,
+        batch_policy=BatchPolicy(max_batch=max_batch),
+    )
+    workload = microbenchmark("0/0")
+    keystore = KeyStore(seed=f"conformance-{seed}")
+    for replica_id in config.all_replicas:
+        keystore.register(replica_id)
+    keystore.register(CLIENT_ID)
+    verifier = keystore.verifier()
+
+    state_machine_factory = workload.state_machine_factory()
+    replicas: Dict[str, RecordingReplica] = {}
+    for replica_id in config.all_replicas:
+        replica = RecordingReplica(
+            node_id=replica_id,
+            runtime=runtime,
+            config=config,
+            signer=keystore.signer_for(replica_id),
+            verifier=verifier,
+            state_machine=state_machine_factory(),
+            initial_mode=mode,
+        )
+        runtime.register(replica)
+        replicas[replica_id] = replica
+
+    client = Client(
+        node_id=CLIENT_ID,
+        runtime=runtime,
+        signer=keystore.signer_for(CLIENT_ID),
+        verifier=verifier,
+        config=client_config_for_mode(config, mode, request_timeout=client_timeout),
+        operation_factory=workload.operation_factory(client_seed=0),
+        max_requests=num_requests,
+        window=window,
+    )
+    runtime.register(client)
+    return replicas, client
+
+
+def _canonical_trace(
+    backend: str, replicas: Dict[str, RecordingReplica], num_requests: int
+) -> Tuple[Tuple[str, int], ...]:
+    """The longest commit trace, after asserting all
+
+    replicas agree on their common prefixes and nothing committed twice.
+    """
+    violations = find_safety_violations([replica.ledger for replica in replicas.values()])
+    if violations:
+        raise AssertionError(f"[{backend}] ledger safety violated: {violations[0]}")
+    traces = sorted(
+        (replica.commit_trace for replica in replicas.values()), key=len, reverse=True
+    )
+    canonical = tuple(traces[0])
+    for trace in traces[1:]:
+        if tuple(trace) != canonical[: len(trace)]:
+            raise AssertionError(
+                f"[{backend}] replicas disagree on flattened commit order"
+            )
+    seen = set()
+    for entry in canonical:
+        if entry in seen:
+            raise AssertionError(f"[{backend}] request committed twice: {entry}")
+        seen.add(entry)
+    if len(canonical) < num_requests:
+        raise AssertionError(
+            f"[{backend}] committed only {len(canonical)}/{num_requests} requests"
+        )
+    return canonical
+
+
+def _reply_digests(
+    replicas: Dict[str, RecordingReplica], num_requests: int
+) -> Dict[int, str]:
+    executor = max(replicas.values(), key=lambda replica: replica.last_executed).executor
+    digests: Dict[int, str] = {}
+    for timestamp in range(1, num_requests + 1):
+        result = executor.cached_reply(CLIENT_ID, timestamp)
+        if result is not None:
+            digests[timestamp] = _result_digest(result)
+    return digests
+
+
+def run_sim(
+    mode: Mode, num_requests: int, window: int, max_batch: int, seed: int = 0
+) -> BackendTrace:
+    """One deterministic leg on the discrete-event backend."""
+    simulator = Simulator()
+    network = Network(
+        simulator, latency_model=UniformLatencyModel(base=0.0002, jitter=0.0), seed=seed
+    )
+    runtime = SimRuntime(simulator, network)
+    replicas, client = _build_cluster(
+        runtime,
+        mode,
+        num_requests=num_requests,
+        window=window,
+        request_timeout=0.02,
+        client_timeout=0.2,
+        max_batch=max_batch,
+        seed=seed,
+    )
+    client.start()
+    simulator.run(until=60.0)
+    if client.completed_count < num_requests:
+        raise AssertionError(
+            f"[sim] client completed {client.completed_count}/{num_requests}"
+        )
+    return BackendTrace(
+        backend="sim",
+        mode=mode,
+        completed=client.completed_count,
+        commit_trace=_canonical_trace("sim", replicas, num_requests),
+        reply_digests=_reply_digests(replicas, num_requests),
+    )
+
+
+def run_aio(
+    mode: Mode,
+    num_requests: int,
+    window: int,
+    max_batch: int,
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> BackendTrace:
+    """One real-network leg: asyncio tasks over loopback TCP."""
+    runtime = AioRuntime()
+    replicas, client = _build_cluster(
+        runtime,
+        mode,
+        num_requests=num_requests,
+        window=window,
+        request_timeout=AIO_REQUEST_TIMEOUT,
+        client_timeout=AIO_CLIENT_TIMEOUT,
+        max_batch=max_batch,
+        seed=seed,
+    )
+    finished = runtime.run(
+        kickoff=client.start,
+        until=lambda: client.completed_count >= num_requests,
+        timeout=timeout,
+    )
+    if not finished:
+        raise AssertionError(
+            f"[aio] timed out with {client.completed_count}/{num_requests} completed"
+        )
+    return BackendTrace(
+        backend="aio",
+        mode=mode,
+        completed=client.completed_count,
+        commit_trace=_canonical_trace("aio", replicas, num_requests),
+        reply_digests=_reply_digests(replicas, num_requests),
+    )
+
+
+def check_mode(
+    mode: Mode,
+    num_requests: int = 120,
+    window: int = 8,
+    max_batch: int = 8,
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> Dict[str, object]:
+    """Run both backends for ``mode`` and assert they conform.
+
+    Returns a small summary dict (used by the CLI entry point and tests).
+    """
+    sim = run_sim(mode, num_requests, window, max_batch, seed=seed)
+    aio = run_aio(mode, num_requests, window, max_batch, seed=seed, timeout=timeout)
+
+    common = min(len(sim.commit_trace), len(aio.commit_trace))
+    if sim.commit_trace[:common] != aio.commit_trace[:common]:
+        for index in range(common):
+            if sim.commit_trace[index] != aio.commit_trace[index]:
+                raise AssertionError(
+                    f"[{mode.name}] committed sequences diverge at position {index}: "
+                    f"sim={sim.commit_trace[index]} aio={aio.commit_trace[index]}"
+                )
+    for timestamp in range(1, num_requests + 1):
+        sim_digest = sim.reply_digests.get(timestamp)
+        aio_digest = aio.reply_digests.get(timestamp)
+        if sim_digest is None or aio_digest is None:
+            raise AssertionError(
+                f"[{mode.name}] missing cached reply for timestamp {timestamp} "
+                f"(sim={sim_digest is not None}, aio={aio_digest is not None})"
+            )
+        if sim_digest != aio_digest:
+            raise AssertionError(
+                f"[{mode.name}] reply digests differ at timestamp {timestamp}"
+            )
+    return {
+        "mode": mode.name,
+        "requests": num_requests,
+        "sim_committed": len(sim.commit_trace),
+        "aio_committed": len(aio.commit_trace),
+        "common_prefix": common,
+        "replies_compared": num_requests,
+    }
+
+
+def check_all(
+    modes: Tuple[Mode, ...] = (Mode.LION, Mode.DOG, Mode.PEACOCK),
+    num_requests: int = 120,
+    window: int = 8,
+    max_batch: int = 8,
+    timeout: float = 60.0,
+) -> List[Dict[str, object]]:
+    """The standard conformance matrix: batched Lion/Dog/Peacock at f=1."""
+    return [
+        check_mode(mode, num_requests=num_requests, window=window,
+                   max_batch=max_batch, timeout=timeout)
+        for mode in modes
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=120)
+    parser.add_argument("--window", type=int, default=8)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument(
+        "--mode",
+        choices=[mode.name.lower() for mode in Mode],
+        default=None,
+        help="check a single mode instead of the full matrix",
+    )
+    args = parser.parse_args(argv)
+    modes = (Mode[args.mode.upper()],) if args.mode else (Mode.LION, Mode.DOG, Mode.PEACOCK)
+    for summary in check_all(
+        modes=modes,
+        num_requests=args.requests,
+        window=args.window,
+        max_batch=args.max_batch,
+        timeout=args.timeout,
+    ):
+        print(
+            "conformance OK: mode={mode} requests={requests} "
+            "sim_committed={sim_committed} aio_committed={aio_committed} "
+            "common_prefix={common_prefix}".format(**summary)
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

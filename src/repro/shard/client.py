@@ -27,11 +27,10 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional
 from repro.crypto.keys import KeyStore
 from repro.crypto.signatures import Signer, Verifier
 from repro.net.costs import NodeCostModel
-from repro.net.network import Network
 from repro.net.topology import Cloud, Placement
+from repro.runtime.api import Runtime, as_runtime
 from repro.shard.coordinator import CrossShardCoordinator, TransactionRecord
 from repro.shard.router import ShardRouter
-from repro.sim.simulator import Simulator
 from repro.smr.client import Client, ClientConfig, CompletedRequest, _PendingRequest
 from repro.smr.messages import Reply, Request
 from repro.smr.state_machine import Operation
@@ -71,7 +70,7 @@ class ShardedClient(Client):
     def __init__(
         self,
         node_id: str,
-        simulator: Simulator,
+        runtime: Runtime,
         signer: Signer,
         verifier: Verifier,
         sessions: Dict[int, ShardSession],
@@ -88,7 +87,7 @@ class ShardedClient(Client):
             raise ValueError("a sharded client needs at least one shard session")
         super().__init__(
             node_id=node_id,
-            simulator=simulator,
+            runtime=runtime,
             signer=signer,
             verifier=verifier,
             # The base class keeps a single config; sharded routing consults
@@ -110,7 +109,7 @@ class ShardedClient(Client):
         self._txn_parent: Dict[str, int] = {}
         self.coordinator = CrossShardCoordinator(
             submit=self._submit_subrequest,
-            schedule=lambda delay, action: self.simulator.call_later(
+            schedule=lambda delay, action: self.runtime.call_later(
                 delay, action, label=f"{node_id}:txn-timeout"
             ),
             now=lambda: self.now,
@@ -264,8 +263,7 @@ class ShardedClientPool:
 
     def __init__(
         self,
-        simulator: Simulator,
-        network: Network,
+        runtime: Runtime,
         keystore: KeyStore,
         placement: Placement,
         session_factory: Callable[[], Dict[int, ShardSession]],
@@ -276,8 +274,7 @@ class ShardedClientPool:
         txn_timeout: Optional[float] = None,
         name_prefix: str = "client",
     ) -> None:
-        self.simulator = simulator
-        self.network = network
+        self.runtime = as_runtime(runtime)
         self.keystore = keystore
         self.placement = placement
         self.session_factory = session_factory
@@ -307,7 +304,7 @@ class ShardedClientPool:
             self.placement.assign(client_id, Cloud.CLIENT)
             client = ShardedClient(
                 node_id=client_id,
-                simulator=self.simulator,
+                runtime=self.runtime,
                 signer=self.keystore.signer_for(client_id),
                 verifier=verifier,
                 sessions=self.session_factory(),
@@ -319,7 +316,7 @@ class ShardedClientPool:
                 window=window,
                 txn_timeout=self.txn_timeout,
             )
-            self.network.register(client)
+            self.runtime.register(client)
             created.append(client)
         self.clients.extend(created)
         return created

@@ -73,6 +73,10 @@ class Event:
         else:
             self.cancelled = True
 
+    #: Runtime-interface spelling: ``Runtime.call_later`` promises a handle
+    #: with ``stop()``, matching :class:`repro.runtime.api.TimerHandle`.
+    stop = cancel
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
         return f"Event(t={self.time}, seq={self.seq}, {state}, label={self.label!r})"

@@ -36,7 +36,6 @@ from repro.crypto.digest import (
 from repro.crypto.signatures import Signer, Verifier, WindowVerifier
 from repro.net.costs import NodeCostModel
 from repro.net.node import Node
-from repro.sim.simulator import Simulator
 from repro.smr.messages import _HEADER_BYTES, _SIGNATURE_BYTES, Reply, Request
 from repro.smr.state_machine import Operation
 from repro.wire.primitives import encode_request
@@ -145,7 +144,7 @@ class Client(Node):
     def __init__(
         self,
         node_id: str,
-        simulator: Simulator,
+        runtime: Any,
         signer: Signer,
         verifier: Verifier,
         config: ClientConfig,
@@ -155,7 +154,7 @@ class Client(Node):
         cost_model: Optional[NodeCostModel] = None,
         window: int = 1,
     ) -> None:
-        super().__init__(node_id, simulator, cost_model=cost_model)
+        super().__init__(node_id, runtime, cost_model=cost_model)
         if window < 1:
             raise ValueError(f"client window must be at least 1: {window}")
         self.signer = signer
@@ -176,7 +175,7 @@ class Client(Node):
         # Fault evidence this client observed (signed replies carrying a
         # result the accepted quorum contradicts); consumed by the adaptive
         # controller.
-        self.evidence = EvidenceLog(node_id, simulator)
+        self.evidence = EvidenceLog(node_id, self.runtime)
 
         self._next_timestamp = 0
         # Acceptance rules memoized per mode id: (trusted set, quorum,

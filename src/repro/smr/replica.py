@@ -23,7 +23,6 @@ from repro.crypto.digest import (
 from repro.crypto.signatures import Signer, Verifier, WindowVerifier
 from repro.net.costs import NodeCostModel
 from repro.net.node import Node
-from repro.sim.simulator import Simulator
 from repro.smr.executor import ExecutionResult, OrderedExecutor
 from repro.smr.ledger import CommitLedger, LedgerEntry
 from repro.smr.messages import Reply, Request, _result_digest, requests_of
@@ -51,13 +50,13 @@ class ReplicaBase(Node):
     def __init__(
         self,
         node_id: str,
-        simulator: Simulator,
+        runtime: Any,
         signer: Signer,
         verifier: Verifier,
         state_machine: StateMachine,
         cost_model: Optional[NodeCostModel] = None,
     ) -> None:
-        super().__init__(node_id, simulator, cost_model=cost_model)
+        super().__init__(node_id, runtime, cost_model=cost_model)
         self.signer = signer
         self.verifier = verifier
         # Batch-amortized front for the verifier: rolling per-sender
@@ -74,7 +73,7 @@ class ReplicaBase(Node):
         self.replies_sent = 0
         # Runtime fault evidence this replica observed (timeouts, conflicting
         # votes, invalid signatures...); consumed by the adaptive controller.
-        self.evidence = EvidenceLog(node_id, simulator)
+        self.evidence = EvidenceLog(node_id, self.runtime)
 
     # -- dispatch -----------------------------------------------------------
 

@@ -5,9 +5,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.crypto.keys import KeyStore
-from repro.net.network import Network
 from repro.net.topology import Cloud, Placement
-from repro.sim.simulator import Simulator
+from repro.runtime.api import Runtime, as_runtime
 from repro.smr.client import Client, ClientConfig
 from repro.workload.generator import Workload
 from repro.workload.metrics import MetricsCollector
@@ -18,8 +17,7 @@ class ClientPool:
 
     def __init__(
         self,
-        simulator: Simulator,
-        network: Network,
+        runtime: Runtime,
         keystore: KeyStore,
         placement: Placement,
         client_config: ClientConfig,
@@ -27,8 +25,7 @@ class ClientPool:
         metrics: Optional[MetricsCollector] = None,
         name_prefix: str = "client",
     ) -> None:
-        self.simulator = simulator
-        self.network = network
+        self.runtime = as_runtime(runtime)
         self.keystore = keystore
         self.placement = placement
         self.client_config = client_config
@@ -43,7 +40,7 @@ class ClientPool:
         max_requests_each: Optional[int] = None,
         window: Optional[int] = None,
     ) -> List[Client]:
-        """Create ``count`` clients and attach them to the network.
+        """Create ``count`` clients and attach them to the transport.
 
         ``window`` pipelines that many requests per client (defaults to the
         workload's ``client_window``, normally 1 — the paper's closed loop).
@@ -60,7 +57,7 @@ class ClientPool:
             self.placement.assign(client_id, Cloud.CLIENT)
             client = Client(
                 node_id=client_id,
-                simulator=self.simulator,
+                runtime=self.runtime,
                 signer=self.keystore.signer_for(client_id),
                 verifier=verifier,
                 config=self.client_config,
@@ -69,7 +66,7 @@ class ClientPool:
                 max_requests=max_requests_each,
                 window=window,
             )
-            self.network.register(client)
+            self.runtime.register(client)
             created.append(client)
         self.clients.extend(created)
         return created

@@ -25,11 +25,11 @@ compare = _load("compare")
 
 
 REQUIRED_CASE_KEYS = {
-    "name", "protocol", "crash_tolerance", "byzantine_tolerance", "batched",
-    "fault_scenario", "num_shards", "sim_duration", "completed_requests",
-    "events_processed", "wall_seconds", "events_per_second",
-    "sim_seconds_per_wall_second", "throughput_requests_per_second",
-    "peak_heap_bytes", "deterministic",
+    "name", "protocol", "backend", "crash_tolerance", "byzantine_tolerance",
+    "batched", "fault_scenario", "num_shards", "sim_duration",
+    "completed_requests", "events_processed", "wall_seconds",
+    "events_per_second", "sim_seconds_per_wall_second",
+    "throughput_requests_per_second", "peak_heap_bytes", "deterministic",
 }
 
 

@@ -1,0 +1,110 @@
+"""Import-boundary enforcement for the runtime abstraction.
+
+The whole point of ``repro.runtime`` is that the protocol core sees only
+the narrow runtime interface, never a concrete backend.  These tests walk
+the import statements (via ``ast``, so string mentions in docstrings and
+comments don't count) of every module under ``repro/core`` and
+``repro/smr`` and fail if any of them reaches into the simulator or the
+simulated network directly.  ``repro/runtime/api.py`` must additionally
+stay a dependency leaf: it is imported by everything, so it may import
+nothing from ``repro`` at module scope.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Modules the protocol core must never import: the concrete simulator
+#: package and the simulated network.  ``repro.net.node``/``repro.net.latency``
+#: are allowed — the base Node class and latency models are backend-neutral.
+FORBIDDEN_PREFIXES = ("repro.sim", "repro.net.network")
+
+PROTOCOL_PACKAGES = ("core", "smr")
+
+
+def iter_imports(path, top_level_only=False):
+    """Yield (lineno, dotted_module) for every import in ``path``.
+
+    For ``from X import Y`` the dotted module is ``X`` — good enough to
+    prefix-match against forbidden packages.  Relative imports resolve
+    against the file's package so ``from ..sim import x`` can't sneak by.
+    With ``top_level_only`` only module-scope statements count, leaving
+    deliberate function-scope lazy imports out of scope.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    parts = path.parts
+    # Package path anchored at the last 'repro' directory, e.g. ('repro', 'core').
+    anchor = max(i for i, part in enumerate(parts) if part == "repro")
+    package_parts = parts[anchor:-1]
+    nodes = tree.body if top_level_only else ast.walk(tree)
+    for node in nodes:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                yield node.lineno, node.module or ""
+            else:
+                base = package_parts[: len(package_parts) - node.level + 1]
+                suffix = (node.module,) if node.module else ()
+                yield node.lineno, ".".join(base + suffix)
+
+
+def forbidden_imports(path):
+    return [
+        f"{path.relative_to(SRC.parent)}:{lineno} imports {module}"
+        for lineno, module in iter_imports(path)
+        if module.startswith(FORBIDDEN_PREFIXES)
+    ]
+
+
+class TestProtocolCoreIsBackendAgnostic:
+    def test_no_module_under_core_or_smr_imports_a_backend(self):
+        offenders = []
+        for package in PROTOCOL_PACKAGES:
+            for path in sorted((SRC / package).rglob("*.py")):
+                offenders.extend(forbidden_imports(path))
+        assert offenders == [], (
+            "protocol modules must depend only on repro.runtime, never on "
+            "the simulator or simulated network:\n" + "\n".join(offenders)
+        )
+
+    def test_the_walk_actually_sees_the_protocol_modules(self):
+        # Guard against a refactor silently emptying the walk.
+        seen = [
+            path
+            for package in PROTOCOL_PACKAGES
+            for path in (SRC / package).rglob("*.py")
+        ]
+        assert len(seen) >= 10
+
+
+class TestRuntimeApiIsALeaf:
+    def test_api_module_imports_nothing_from_repro(self):
+        offenders = [
+            f"api.py:{lineno} imports {module}"
+            for lineno, module in iter_imports(
+                SRC / "runtime" / "api.py", top_level_only=True
+            )
+            if module.startswith("repro")
+        ]
+        assert offenders == [], (
+            "repro.runtime.api must stay a dependency leaf (backend imports "
+            "belong in as_runtime's lazy import):\n" + "\n".join(offenders)
+        )
+
+
+class TestDetectorDetects:
+    def test_forbidden_import_is_caught(self, tmp_path):
+        sample = tmp_path / "repro"
+        (sample / "core").mkdir(parents=True)
+        bad = sample / "core" / "bad.py"
+        bad.write_text("from repro.sim.simulator import Simulator\n")
+        # Re-point the resolver at the sample tree by mimicking its layout.
+        tree_offenders = [
+            module
+            for _, module in iter_imports(bad)
+            if module.startswith(FORBIDDEN_PREFIXES)
+        ]
+        assert tree_offenders == ["repro.sim.simulator"]

@@ -1,0 +1,44 @@
+"""Fast-tier slice of the sim/aio conformance oracle.
+
+The full matrix (120 requests x 3 modes) runs in CI's dedicated
+``runtime-conformance`` job via ``python -m repro.runtime.conformance``;
+here each mode runs a reduced request count so the default test tier
+still exercises real loopback TCP without dominating its wall time.
+"""
+
+import pytest
+
+from repro.core import Mode
+from repro.runtime.conformance import check_mode, run_aio
+
+REQUESTS = 40
+
+
+@pytest.mark.parametrize("mode", [Mode.LION, Mode.DOG, Mode.PEACOCK])
+def test_sim_and_aio_commit_the_same_sequence(mode):
+    summary = check_mode(mode, num_requests=REQUESTS, window=8, max_batch=8,
+                         timeout=30.0)
+    assert summary["common_prefix"] >= REQUESTS
+    assert summary["sim_committed"] >= REQUESTS
+    assert summary["aio_committed"] >= REQUESTS
+
+
+def test_aio_loopback_smoke():
+    """The asyncio backend alone: real sockets, real timers, clean exit."""
+    trace = run_aio(Mode.LION, num_requests=20, window=4, max_batch=4,
+                    timeout=20.0)
+    assert trace.completed == 20
+    assert len(trace.commit_trace) >= 20
+    # Exactly-once over the flattened trace.
+    assert len(set(trace.commit_trace)) == len(trace.commit_trace)
+    # Every issued timestamp got a cached reply digest.
+    assert set(trace.reply_digests) == set(range(1, 21))
+
+
+def test_aio_runtime_can_run_twice_in_one_process():
+    """Server sockets and tasks from a finished run must not leak into or
+    wedge a subsequent run (each ``run`` builds a fresh loop)."""
+    first = run_aio(Mode.LION, num_requests=10, window=4, max_batch=4, timeout=20.0)
+    second = run_aio(Mode.LION, num_requests=10, window=4, max_batch=4, timeout=20.0)
+    assert first.completed == second.completed == 10
+    assert first.commit_trace[:10] == second.commit_trace[:10]

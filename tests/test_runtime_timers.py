@@ -1,0 +1,181 @@
+"""Timer semantics are identical on both runtime backends.
+
+The :class:`repro.runtime.api.TimerHandle` contract (idempotent stop,
+restart racing expiry, disarm-before-fire, timers surviving a CPU crash)
+is what the protocol's view-change and retransmission logic leans on.
+Each scenario here runs once per backend through a shared driver: the sim
+backend advances virtual time, the aio backend runs the real event loop
+for a fraction of a second.
+"""
+
+import pytest
+
+from repro.runtime.aio import AioRuntime
+from repro.runtime.sim import SimRuntime
+from repro.sim.simulator import Simulator
+
+#: One virtual/real time unit per backend.  The aio unit is large enough
+#: that event-loop scheduling jitter cannot reorder arm/fire boundaries.
+UNIT = {"sim": 1.0, "aio": 0.05}
+
+BACKENDS = ["sim", "aio"]
+
+
+def drive(backend, setup, duration_units):
+    """Build a runtime, let ``setup`` arm timers, run for ``duration_units``.
+
+    ``setup(runtime, unit)`` runs inside the backend's scheduling context
+    (plain call for sim, kickoff inside the loop for aio) and may return a
+    state object that the test inspects afterwards.
+    """
+    unit = UNIT[backend]
+    state = {}
+    if backend == "sim":
+        simulator = Simulator()
+        runtime = SimRuntime(simulator)
+        state["result"] = setup(runtime, unit)
+        simulator.run(until=duration_units * unit)
+    else:
+        runtime = AioRuntime()
+
+        def kickoff():
+            state["result"] = setup(runtime, unit)
+
+        runtime.run(kickoff=kickoff, timeout=duration_units * unit)
+    return state["result"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestTimerContract:
+    def test_fires_once_after_delay(self, backend):
+        def setup(runtime, unit):
+            fired = []
+            timer = runtime.timer(lambda: fired.append(runtime.now), label="t")
+            timer.start(1 * unit)
+            return fired
+
+        fired = drive(backend, setup, 3)
+        assert len(fired) == 1
+
+    def test_stop_is_idempotent_and_safe_unarmed(self, backend):
+        def setup(runtime, unit):
+            fired = []
+            timer = runtime.timer(lambda: fired.append(1), label="t")
+            timer.stop()  # never started
+            timer.stop()
+            timer.start(1 * unit)
+            timer.stop()
+            timer.stop()  # stop twice after arming
+            assert not timer.active
+            return fired
+
+        fired = drive(backend, setup, 3)
+        assert fired == []
+
+    def test_restart_supersedes_previous_arming(self, backend):
+        def setup(runtime, unit):
+            fired = []
+            timer = runtime.timer(lambda: fired.append(1), label="t")
+            timer.start(1 * unit)
+            # Re-arm before expiry: only the later deadline may fire.
+            runtime.call_later(0.5 * unit, lambda: timer.restart(2 * unit))
+            return fired
+
+        fired = drive(backend, setup, 5)
+        assert len(fired) == 1
+
+    def test_fire_disarms_before_callback_so_it_can_rearm(self, backend):
+        def setup(runtime, unit):
+            fired = []
+            holder = {}
+
+            def on_fire():
+                fired.append(runtime.now)
+                assert not holder["timer"].active  # disarmed before callback
+                if len(fired) < 3:
+                    holder["timer"].start(0.5 * unit)
+
+            holder["timer"] = runtime.timer(on_fire, label="t")
+            holder["timer"].start(0.5 * unit)
+            return fired
+
+        fired = drive(backend, setup, 5)
+        assert len(fired) == 3
+
+    def test_stop_after_fire_is_safe(self, backend):
+        def setup(runtime, unit):
+            fired = []
+            timer = runtime.timer(lambda: fired.append(1), label="t")
+            timer.start(0.5 * unit)
+            # Stop long after the expiry already fired: must be a no-op.
+            runtime.call_later(2 * unit, timer.stop)
+            return fired
+
+        fired = drive(backend, setup, 4)
+        assert fired == [1]
+
+    def test_timer_fires_after_cpu_crash(self, backend):
+        """Timers belong to the runtime, not the CPU: a crashed node's
+        timers still fire (protocol callbacks guard on the crash flag
+        themselves, as they always did under the simulator)."""
+
+        def setup(runtime, unit):
+            cpu = runtime.create_cpu("n0")
+            fired = []
+            timer = runtime.timer(lambda: fired.append(cpu.crashed), label="t")
+            timer.start(1 * unit)
+            cpu.crash()
+            return fired
+
+        fired = drive(backend, setup, 3)
+        assert fired == [True]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCpuAccounting:
+    """Both backends account CPU work into the same stats fields: the sim
+    charges the modeled cost, the aio backend measures real elapsed time —
+    either way ``busy_time``/``items_processed``/``utilisation`` exist and
+    move when work runs."""
+
+    def test_submitted_work_runs_and_is_accounted(self, backend):
+        def setup(runtime, unit):
+            cpu = runtime.create_cpu("n0")
+            ran = []
+            for index in range(3):
+                cpu.submit(0.1 * unit, ran.append, (index,))
+            return (cpu, ran)
+
+        cpu, ran = drive(backend, setup, 3)
+        assert ran == [0, 1, 2]
+        assert cpu.items_processed == 3
+        if backend == "sim":
+            # Modeled cost is exact on the virtual clock.
+            assert cpu.busy_time == pytest.approx(0.3 * UNIT["sim"])
+        else:
+            # Real elapsed time: positive, but no exactness to promise.
+            assert cpu.busy_time >= 0.0
+        assert cpu.utilisation(elapsed=10.0) >= 0.0
+
+    def test_crashed_cpu_drops_work_silently(self, backend):
+        def setup(runtime, unit):
+            cpu = runtime.create_cpu("n0")
+            ran = []
+            cpu.crash()
+            cpu.submit(0.1 * unit, ran.append, (1,))
+            return (cpu, ran)
+
+        cpu, ran = drive(backend, setup, 3)
+        assert ran == []
+        assert cpu.crashed
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_call_later_returns_a_stoppable_handle(backend):
+    def setup(runtime, unit):
+        fired = []
+        handle = runtime.call_later(1 * unit, lambda: fired.append(1))
+        runtime.call_later(0.4 * unit, handle.stop)
+        return fired
+
+    assert drive(backend, setup, 3) == []

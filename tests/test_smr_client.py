@@ -34,7 +34,7 @@ class ScriptedReplica(Node):
         )
         reply.sign(self.signer)
         if self.delay:
-            self.simulator.call_later(self.delay, lambda: self.send(src, reply))
+            self.runtime.call_later(self.delay, lambda: self.send(src, reply))
         else:
             self.send(src, reply)
 
@@ -73,7 +73,7 @@ def build_harness(replica_specs, replies_needed=1, trusted=frozenset(), timeout=
     metrics = MetricsCollector()
     client = Client(
         node_id="client-0",
-        simulator=simulator,
+        runtime=simulator,
         signer=keystore.signer_for("client-0"),
         verifier=keystore.verifier(),
         config=config,
