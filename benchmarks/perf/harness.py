@@ -31,10 +31,13 @@ Schema (``schema_version`` 1)::
         {
           "name": "lion-f1-batched",
           "protocol": "seemore-lion",
-          "backend": "sim",            # or "aio": wall-clock over loopback TCP,
-                                       # reported but never regression-gated
+          "backend": "sim",            # or "aio"/"proc": wall-clock over
+                                       # loopback TCP, reported but never
+                                       # regression-gated
           "crash_tolerance": 1, "byzantine_tolerance": 1,
           "batched": true, "fault_scenario": null,
+          "num_procs": 1,              # proc rows: replica worker processes
+          "cpu_count": N,              # cores on the measuring host
           "sim_duration": 0.5,
           "completed_requests": N, "events_processed": N,
           "wall_seconds": <min over repeats>,
@@ -44,9 +47,14 @@ Schema (``schema_version`` 1)::
         }, ...
       ],
       "summary": {
-        "events_per_second_geomean": ...,
+        "events_per_second_geomean": ...,        # sim rows only
         "batched_events_per_second_geomean": ...,
-        "peak_heap_bytes_max": N
+        "peak_heap_bytes_max": N,
+        # present per wall-clock backend that ran:
+        "wallclock_aio_events_per_second_geomean": ...,
+        "wallclock_aio_requests_per_second_geomean": ...,
+        "wallclock_proc_events_per_second_geomean": ...,
+        "wallclock_proc_requests_per_second_geomean": ...
       }
     }
 
@@ -63,6 +71,7 @@ import json
 import math
 import hashlib
 import heapq
+import os
 import pathlib
 import platform
 import sys
@@ -119,13 +128,16 @@ class PerfCase:
     cross_shard_fraction: float = 0.0
     # Runtime backend.  "sim" measures the discrete-event engine (modeled
     # time, deterministic, regression-gated); "aio" runs the same protocol
-    # over real loopback TCP and reports wall-clock throughput — recorded
-    # for the trajectory but never gated, since loopback numbers track
-    # machine load, not code quality.
+    # over real loopback TCP on one event loop and "proc" splits the
+    # cluster across OS processes — both report wall-clock throughput,
+    # recorded for the trajectory but never gated, since loopback numbers
+    # track machine load, not code quality.
     backend: str = "sim"
-    # aio-only: the closed-loop request budget (aio cases run to a request
-    # count rather than to a simulated duration).
+    # Wall-clock backends only: the closed-loop request budget (aio/proc
+    # cases run to a request count rather than to a simulated duration).
     num_requests: int = 400
+    # proc-only: replica worker processes (the core-scaling knob).
+    num_procs: int = 1
 
     def batch_policy(self) -> Optional[BatchPolicy]:
         if not self.batched:
@@ -236,6 +248,31 @@ def aio_cases() -> List[PerfCase]:
     ]
 
 
+def proc_cases(max_procs: int = 4) -> List[PerfCase]:
+    """The multiprocess core-scaling sweep (reported, never gated).
+
+    One ``lion-f1-batched`` wall-clock case per power-of-two replica
+    process count up to ``max_procs``; identical request budget and
+    client window to the aio case, so the p1 row isolates the IPC tax of
+    the process split and the p2/p4 rows show what extra cores buy.
+    """
+    sweep = []
+    procs = 1
+    while procs <= max_procs:
+        sweep.append(
+            PerfCase(
+                name=f"lion-f1-batched-p{procs}",
+                protocol="seemore-lion",
+                backend="proc",
+                num_requests=400,
+                client_window=16,
+                num_procs=procs,
+            )
+        )
+        procs *= 2
+    return sweep
+
+
 # -- running one case -------------------------------------------------------------
 
 
@@ -281,10 +318,46 @@ def _run_once_aio(case: PerfCase) -> Dict[str, Any]:
     }
 
 
+def _run_once_proc(case: PerfCase) -> Dict[str, Any]:
+    """One wall-clock execution across worker processes.
+
+    The wall time is the supervisor's go-to-done span (endpoint broadcast
+    until the client's completion report), so process spawn and handshake
+    cost is excluded — the number measures steady-state throughput, same
+    as the aio case's loop-resident measurement.  "events" aggregates
+    messages delivered across every worker runtime.
+    """
+    from repro.cluster.builders import build_proc_seemore
+
+    cluster = build_proc_seemore(
+        mode=_MODES[case.protocol],
+        num_procs=case.num_procs,
+        num_requests=case.num_requests,
+        window=case.client_window,
+        max_batch=STANDARD_BATCH["max_batch"],
+        seed=case.seed,
+    )
+    result = cluster.run(timeout=180.0)
+    if not result.met:
+        completed = result.harvests.get("client", {}).get("completed", "?")
+        raise AssertionError(
+            f"proc case {case.name!r} failed: {completed}/{case.num_requests} "
+            f"completed (deaths={result.deaths}, errors={result.errors})"
+        )
+    return {
+        "wall": result.wall_seconds,
+        "events": result.messages_delivered(),
+        "completed": result.harvests["client"]["completed"],
+        "sim_seconds": result.wall_seconds,
+    }
+
+
 def _run_once(case: PerfCase) -> Dict[str, Any]:
     """One measured execution; returns wall time, events, completions."""
     if case.backend == "aio":
         return _run_once_aio(case)
+    if case.backend == "proc":
+        return _run_once_proc(case)
     if case.fault_scenario is not None:
         from repro.scenarios.adaptive import ADAPTIVE_SCENARIOS, run_adaptive_scenario
         from repro.scenarios.engine import run_scenario
@@ -405,6 +478,10 @@ def run_case(case: PerfCase, repeats: int = 3, measure_heap: bool = True) -> Dic
         "batched": case.batched,
         "fault_scenario": case.fault_scenario,
         "num_shards": case.num_shards,
+        "num_procs": case.num_procs,
+        # Wall-clock rows are only comparable on similar hardware; record
+        # the core count beside every row so baselines are self-describing.
+        "cpu_count": os.cpu_count(),
         "sim_duration": round(duration, 4),
         "completed_requests": reference["completed"],
         "events_processed": reference["events"],
@@ -466,33 +543,48 @@ def run_suite(
             progress(f"running {case.name} ...")
         rows.append(run_case(case, repeats=repeats, measure_heap=measure_heap))
 
-    # Summary geomeans cover the sim backend only: wall-clock rows are
-    # machine-load-dependent datapoints, not part of the gated trajectory.
+    # The headline geomeans cover the sim backend only: wall-clock rows
+    # are machine-load-dependent datapoints, not part of the gated
+    # trajectory.  Each wall-clock backend present gets its own
+    # ``wallclock_<backend>_*`` geomeans so WALLCLOCK documents are
+    # self-describing instead of carrying an all-null summary.
     sim_rows = [row for row in rows if row["backend"] == "sim"]
     batched_rows = [
         row for row in sim_rows if row["batched"] and not row["fault_scenario"]
     ]
     heap_values = [row["peak_heap_bytes"] for row in rows if row["peak_heap_bytes"]]
+    summary: Dict[str, Any] = {
+        "events_per_second_geomean": _round(
+            _geomean([row["events_per_second"] for row in sim_rows])
+        ),
+        "batched_events_per_second_geomean": _round(
+            _geomean([row["events_per_second"] for row in batched_rows])
+        ),
+        "peak_heap_bytes_max": max(heap_values) if heap_values else None,
+    }
+    wallclock_rows = [row for row in rows if row["backend"] != "sim"]
+    for backend in sorted({row["backend"] for row in wallclock_rows}):
+        backend_rows = [row for row in wallclock_rows if row["backend"] == backend]
+        summary[f"wallclock_{backend}_events_per_second_geomean"] = _round(
+            _geomean([row["events_per_second"] for row in backend_rows])
+        )
+        summary[f"wallclock_{backend}_requests_per_second_geomean"] = _round(
+            _geomean(
+                [row["throughput_requests_per_second"] for row in backend_rows]
+            )
+        )
     return {
         "schema_version": SCHEMA_VERSION,
         "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "host": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
-            "cpu_count": __import__("os").cpu_count(),
+            "cpu_count": os.cpu_count(),
             "calibration_ops_per_second": round(calibration_score(), 1),
         },
         "config": {"repeats": repeats, "smoke": smoke},
         "cases": rows,
-        "summary": {
-            "events_per_second_geomean": _round(
-                _geomean([row["events_per_second"] for row in sim_rows])
-            ),
-            "batched_events_per_second_geomean": _round(
-                _geomean([row["events_per_second"] for row in batched_rows])
-            ),
-            "peak_heap_bytes_max": max(heap_values) if heap_values else None,
-        },
+        "summary": summary,
     }
 
 

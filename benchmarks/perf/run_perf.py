@@ -22,6 +22,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 from harness import (  # noqa: E402
     aio_cases,
     default_output_path,
+    proc_cases,
     run_suite,
     standard_cases,
     write_bench,
@@ -48,7 +49,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--aio-only",
         action="store_true",
-        help="run only the wall-clock asyncio-TCP cases",
+        help="run only the wall-clock cases (asyncio-TCP, plus the "
+        "multiprocess sweep when --procs is given)",
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="append the multiprocess core-scaling sweep: one proc case per "
+        "power-of-two replica process count up to N (reported, never gated)",
     )
     args = parser.parse_args(argv)
 
@@ -58,6 +68,8 @@ def main(argv=None) -> int:
         cases = standard_cases(smoke=args.smoke)
         if args.aio:
             cases = cases + aio_cases()
+    if args.procs > 0:
+        cases = cases + proc_cases(max_procs=args.procs)
 
     document = run_suite(
         cases=cases,
@@ -77,9 +89,13 @@ def main(argv=None) -> int:
             f"{row['name'].ljust(width)}  {row['events_per_second']:>10,.0f}  "
             f"{row['sim_seconds_per_wall_second']:>12.3f}  {row['completed_requests']:>9}"
         )
-    geomean = document["summary"]["events_per_second_geomean"]
+    summary = document["summary"]
+    geomean = summary["events_per_second_geomean"]
     if geomean is not None:  # an --aio-only run has no sim rows to average
         print(f"\nevents/s geomean: {geomean:,.0f}")
+    for key in sorted(summary):
+        if key.startswith("wallclock_") and summary[key] is not None:
+            print(f"{key}: {summary[key]:,.0f}")
     return 0
 
 

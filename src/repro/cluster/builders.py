@@ -37,6 +37,7 @@ from repro.net.costs import NodeCostModel
 from repro.net.latency import CloudAwareLatencyModel
 from repro.net.network import Network
 from repro.net.topology import Cloud, Placement
+from repro.runtime.proc import ProcCluster, WorkerSpec
 from repro.runtime.sim import SimRuntime
 from repro.shard import (
     ShardedClientPool,
@@ -442,6 +443,232 @@ def build_sharded_seemore(
         metrics=aggregate_metrics,
         extras=extras,
     )
+
+
+# -- multiprocess SeeMoRe ---------------------------------------------------------------
+
+
+def _proc_seemore_setup(
+    crash_tolerance: int,
+    byzantine_tolerance: int,
+    request_timeout: float,
+    max_batch: int,
+    seed: int,
+    client_id: str,
+):
+    """Deterministically rebuild the shared cluster material inside a worker.
+
+    Every proc worker derives the *same* config, key material, and
+    workload from the same scalar kwargs — :class:`KeyStore` is seeded,
+    so independently constructed stores agree on every HMAC key and
+    cross-process signature verification just works.
+    """
+    config = SeeMoReConfig.build(
+        crash_tolerance,
+        byzantine_tolerance,
+        request_timeout=request_timeout,
+        batch_policy=BatchPolicy(max_batch=max_batch),
+    )
+    keystore = KeyStore(seed=f"seemore-proc-{seed}")
+    for replica_id in config.all_replicas:
+        keystore.register(replica_id)
+    keystore.register(client_id)
+    return config, keystore, microbenchmark("0/0")
+
+
+def _proc_replica_worker(
+    runtime,
+    replica_ids: Sequence[str],
+    mode_name: str,
+    crash_tolerance: int,
+    byzantine_tolerance: int,
+    request_timeout: float,
+    max_batch: int,
+    seed: int,
+    client_id: str,
+):
+    """Build callable for one replica-group worker process.
+
+    Module-level (picklable under the ``spawn`` start method); runs inside
+    the child, registering its slice of the replica set on the worker's
+    runtime.  Harvests each replica's flattened commit trace, ledger, and
+    cached-reply digests so the supervisor can run the conformance checks
+    without shipping live protocol objects across the process boundary.
+    """
+    from repro.runtime.conformance import RecordingReplica
+    from repro.runtime.proc import WorkerPlan
+    from repro.smr.messages import _result_digest
+
+    config, keystore, workload = _proc_seemore_setup(
+        crash_tolerance, byzantine_tolerance, request_timeout, max_batch, seed, client_id
+    )
+    verifier = keystore.verifier()
+    state_machine_factory = workload.state_machine_factory()
+    mode = Mode[mode_name]
+    replicas = {}
+    for replica_id in replica_ids:
+        replica = RecordingReplica(
+            node_id=replica_id,
+            runtime=runtime,
+            config=config,
+            signer=keystore.signer_for(replica_id),
+            verifier=verifier,
+            state_machine=state_machine_factory(),
+            initial_mode=mode,
+        )
+        runtime.register(replica)
+        replicas[replica_id] = replica
+
+    def harvest():
+        out = {}
+        for replica_id, replica in replicas.items():
+            digests = {}
+            for (cid, timestamp), result in replica.executor.snapshot()["replies"].items():
+                if cid == client_id:
+                    digests[timestamp] = _result_digest(result)
+            out[replica_id] = {
+                "commit_trace": list(replica.commit_trace),
+                "ledger": replica.ledger,
+                "committed_count": replica.committed_count,
+                "last_executed": replica.last_executed,
+                "reply_digests": digests,
+            }
+        return out
+
+    return WorkerPlan(
+        harvest=harvest,
+        progress=lambda: {
+            replica_id: replica.committed_count
+            for replica_id, replica in replicas.items()
+        },
+    )
+
+
+def _proc_client_worker(
+    runtime,
+    mode_name: str,
+    crash_tolerance: int,
+    byzantine_tolerance: int,
+    request_timeout: float,
+    client_timeout: float,
+    max_batch: int,
+    seed: int,
+    client_id: str,
+    num_requests: int,
+    window: int,
+):
+    """Build callable for the client worker process (closed-loop driver)."""
+    from repro.runtime.proc import WorkerPlan
+    from repro.smr.client import Client
+
+    config, keystore, workload = _proc_seemore_setup(
+        crash_tolerance, byzantine_tolerance, request_timeout, max_batch, seed, client_id
+    )
+    mode = Mode[mode_name]
+    client = Client(
+        node_id=client_id,
+        runtime=runtime,
+        signer=keystore.signer_for(client_id),
+        verifier=keystore.verifier(),
+        config=client_config_for_mode(config, mode, request_timeout=client_timeout),
+        operation_factory=workload.operation_factory(client_seed=0),
+        max_requests=num_requests,
+        window=window,
+    )
+    runtime.register(client)
+    return WorkerPlan(
+        kickoff=client.start,
+        until=lambda: client.completed_count >= num_requests,
+        harvest=lambda: {
+            "completed": client.completed_count,
+            "timeouts": client.timeouts,
+        },
+        progress=lambda: client.completed_count,
+    )
+
+
+def build_proc_seemore(
+    mode: Mode = Mode.LION,
+    num_procs: int = 2,
+    num_requests: int = 200,
+    window: int = 8,
+    max_batch: int = 8,
+    crash_tolerance: int = 1,
+    byzantine_tolerance: int = 1,
+    request_timeout: float = 5.0,
+    client_timeout: float = 2.0,
+    seed: int = 0,
+    client_id: str = "proc-client",
+    start_method: Optional[str] = None,
+    stats_interval: float = 0.25,
+) -> ProcCluster:
+    """Build a multiprocess SeeMoRe cluster: real TCP, one process per group.
+
+    The replica set is split round-robin into ``num_procs`` worker
+    processes (clamped to the replica count) plus one client worker, each
+    running its own :class:`~repro.runtime.proc.ProcWorkerRuntime`.  The
+    default timeouts mirror the conformance oracle's aio leg: real-clock
+    view-change and client-retransmit timers far above loopback
+    scheduling noise, so jitter never masquerades as a fault.
+
+    Returns an *unstarted* :class:`~repro.runtime.proc.ProcCluster`;
+    call ``run()`` (or drive ``start``/``wait``/``shutdown`` manually).
+    ``extras`` carries the parent-side ``config``, the worker→replica-ids
+    grouping, and the client worker's name for tests and tools.
+    """
+    config = SeeMoReConfig.build(
+        crash_tolerance,
+        byzantine_tolerance,
+        request_timeout=request_timeout,
+        batch_policy=BatchPolicy(max_batch=max_batch),
+    )
+    replica_ids = list(config.all_replicas)
+    num_procs = max(1, min(num_procs, len(replica_ids)))
+    groups = [tuple(replica_ids[index::num_procs]) for index in range(num_procs)]
+    shared = {
+        "mode_name": mode.name,
+        "crash_tolerance": crash_tolerance,
+        "byzantine_tolerance": byzantine_tolerance,
+        "request_timeout": request_timeout,
+        "max_batch": max_batch,
+        "seed": seed,
+        "client_id": client_id,
+    }
+    workers = [
+        WorkerSpec(
+            name=f"replicas-{index}",
+            build=_proc_replica_worker,
+            kwargs={"replica_ids": group, **shared},
+        )
+        for index, group in enumerate(groups)
+    ]
+    workers.append(
+        WorkerSpec(
+            name="client",
+            build=_proc_client_worker,
+            kwargs={
+                **shared,
+                "client_timeout": client_timeout,
+                "num_requests": num_requests,
+                "window": window,
+            },
+        )
+    )
+    cluster = ProcCluster(
+        workers, start_method=start_method, stats_interval=stats_interval
+    )
+    cluster.extras.update(
+        {
+            "config": config,
+            "mode": mode,
+            "replica_groups": {
+                f"replicas-{index}": group for index, group in enumerate(groups)
+            },
+            "client_worker": "client",
+            "num_requests": num_requests,
+        }
+    )
+    return cluster
 
 
 # -- baselines --------------------------------------------------------------------------

@@ -144,22 +144,19 @@ def _build_cluster(
     return replicas, client
 
 
-def _canonical_trace(
-    backend: str, replicas: Dict[str, RecordingReplica], num_requests: int
+def _canonical_sequence(
+    backend: str, traces, num_requests: int
 ) -> Tuple[Tuple[str, int], ...]:
-    """The longest commit trace, after asserting all
+    """The longest commit trace, after asserting all traces agree on their
+    common prefixes and nothing committed twice.
 
-    replicas agree on their common prefixes and nothing committed twice.
+    Works on plain flattened traces so the proc backend can feed it
+    harvested data from worker processes.
     """
-    violations = find_safety_violations([replica.ledger for replica in replicas.values()])
-    if violations:
-        raise AssertionError(f"[{backend}] ledger safety violated: {violations[0]}")
-    traces = sorted(
-        (replica.commit_trace for replica in replicas.values()), key=len, reverse=True
-    )
-    canonical = tuple(traces[0])
-    for trace in traces[1:]:
-        if tuple(trace) != canonical[: len(trace)]:
+    ordered = sorted((list(trace) for trace in traces), key=len, reverse=True)
+    canonical = tuple(tuple(entry) for entry in ordered[0])
+    for trace in ordered[1:]:
+        if tuple(tuple(entry) for entry in trace) != canonical[: len(trace)]:
             raise AssertionError(
                 f"[{backend}] replicas disagree on flattened commit order"
             )
@@ -173,6 +170,19 @@ def _canonical_trace(
             f"[{backend}] committed only {len(canonical)}/{num_requests} requests"
         )
     return canonical
+
+
+def _canonical_trace(
+    backend: str, replicas: Dict[str, RecordingReplica], num_requests: int
+) -> Tuple[Tuple[str, int], ...]:
+    violations = find_safety_violations([replica.ledger for replica in replicas.values()])
+    if violations:
+        raise AssertionError(f"[{backend}] ledger safety violated: {violations[0]}")
+    return _canonical_sequence(
+        backend,
+        [replica.commit_trace for replica in replicas.values()],
+        num_requests,
+    )
 
 
 def _reply_digests(
@@ -259,6 +269,65 @@ def run_aio(
     )
 
 
+def run_proc(
+    mode: Mode,
+    num_requests: int,
+    window: int,
+    max_batch: int,
+    seed: int = 0,
+    timeout: float = 60.0,
+    num_procs: int = 2,
+) -> BackendTrace:
+    """One multiprocess leg: worker processes over loopback TCP.
+
+    Replica ledgers, flattened commit traces, and cached-reply digests are
+    harvested from the worker processes at shutdown and fed through the
+    same canonicalization as the in-process backends.
+    """
+    from repro.cluster.builders import build_proc_seemore
+
+    cluster = build_proc_seemore(
+        mode=mode,
+        num_procs=num_procs,
+        num_requests=num_requests,
+        window=window,
+        max_batch=max_batch,
+        request_timeout=AIO_REQUEST_TIMEOUT,
+        client_timeout=AIO_CLIENT_TIMEOUT,
+        seed=seed,
+        client_id=CLIENT_ID,
+    )
+    result = cluster.run(timeout=timeout)
+    if not result.met:
+        completed = result.harvests.get("client", {}).get("completed", "?")
+        raise AssertionError(
+            f"[proc] timed out with {completed}/{num_requests} completed "
+            f"(deaths={result.deaths}, errors={result.errors})"
+        )
+    harvested: Dict[str, Dict[str, object]] = {}
+    for name, harvest in result.harvests.items():
+        if name.startswith("replicas-"):
+            harvested.update(harvest)
+    violations = find_safety_violations([data["ledger"] for data in harvested.values()])
+    if violations:
+        raise AssertionError(f"[proc] ledger safety violated: {violations[0]}")
+    best = max(harvested.values(), key=lambda data: data["last_executed"])
+    return BackendTrace(
+        backend="proc",
+        mode=mode,
+        completed=result.harvests["client"]["completed"],
+        commit_trace=_canonical_sequence(
+            "proc",
+            [data["commit_trace"] for data in harvested.values()],
+            num_requests,
+        ),
+        reply_digests=dict(best["reply_digests"]),
+    )
+
+
+_REAL_BACKENDS = {"aio": run_aio, "proc": run_proc}
+
+
 def check_mode(
     mode: Mode,
     num_requests: int = 120,
@@ -266,39 +335,53 @@ def check_mode(
     max_batch: int = 8,
     seed: int = 0,
     timeout: float = 60.0,
+    backend: str = "aio",
+    num_procs: int = 2,
 ) -> Dict[str, object]:
-    """Run both backends for ``mode`` and assert they conform.
+    """Run the sim oracle plus one real backend for ``mode`` and assert
+    they conform.
 
+    ``backend`` picks the real leg: ``"aio"`` (one event loop) or
+    ``"proc"`` (``num_procs`` replica processes + a client process).
     Returns a small summary dict (used by the CLI entry point and tests).
     """
     sim = run_sim(mode, num_requests, window, max_batch, seed=seed)
-    aio = run_aio(mode, num_requests, window, max_batch, seed=seed, timeout=timeout)
+    if backend == "aio":
+        real = run_aio(mode, num_requests, window, max_batch, seed=seed, timeout=timeout)
+    elif backend == "proc":
+        real = run_proc(
+            mode, num_requests, window, max_batch,
+            seed=seed, timeout=timeout, num_procs=num_procs,
+        )
+    else:
+        raise ValueError(f"unknown real backend {backend!r}; choose aio or proc")
 
-    common = min(len(sim.commit_trace), len(aio.commit_trace))
-    if sim.commit_trace[:common] != aio.commit_trace[:common]:
+    common = min(len(sim.commit_trace), len(real.commit_trace))
+    if sim.commit_trace[:common] != real.commit_trace[:common]:
         for index in range(common):
-            if sim.commit_trace[index] != aio.commit_trace[index]:
+            if sim.commit_trace[index] != real.commit_trace[index]:
                 raise AssertionError(
                     f"[{mode.name}] committed sequences diverge at position {index}: "
-                    f"sim={sim.commit_trace[index]} aio={aio.commit_trace[index]}"
+                    f"sim={sim.commit_trace[index]} {backend}={real.commit_trace[index]}"
                 )
     for timestamp in range(1, num_requests + 1):
         sim_digest = sim.reply_digests.get(timestamp)
-        aio_digest = aio.reply_digests.get(timestamp)
-        if sim_digest is None or aio_digest is None:
+        real_digest = real.reply_digests.get(timestamp)
+        if sim_digest is None or real_digest is None:
             raise AssertionError(
                 f"[{mode.name}] missing cached reply for timestamp {timestamp} "
-                f"(sim={sim_digest is not None}, aio={aio_digest is not None})"
+                f"(sim={sim_digest is not None}, {backend}={real_digest is not None})"
             )
-        if sim_digest != aio_digest:
+        if sim_digest != real_digest:
             raise AssertionError(
                 f"[{mode.name}] reply digests differ at timestamp {timestamp}"
             )
     return {
         "mode": mode.name,
+        "backend": backend,
         "requests": num_requests,
         "sim_committed": len(sim.commit_trace),
-        "aio_committed": len(aio.commit_trace),
+        "real_committed": len(real.commit_trace),
         "common_prefix": common,
         "replies_compared": num_requests,
     }
@@ -310,11 +393,14 @@ def check_all(
     window: int = 8,
     max_batch: int = 8,
     timeout: float = 60.0,
+    backend: str = "aio",
+    num_procs: int = 2,
 ) -> List[Dict[str, object]]:
     """The standard conformance matrix: batched Lion/Dog/Peacock at f=1."""
     return [
         check_mode(mode, num_requests=num_requests, window=window,
-                   max_batch=max_batch, timeout=timeout)
+                   max_batch=max_batch, timeout=timeout,
+                   backend=backend, num_procs=num_procs)
         for mode in modes
     ]
 
@@ -333,6 +419,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="check a single mode instead of the full matrix",
     )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(_REAL_BACKENDS),
+        default="aio",
+        help="which real backend to check against the sim oracle",
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=2,
+        help="replica worker processes for --backend proc",
+    )
     args = parser.parse_args(argv)
     modes = (Mode[args.mode.upper()],) if args.mode else (Mode.LION, Mode.DOG, Mode.PEACOCK)
     for summary in check_all(
@@ -341,10 +439,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         window=args.window,
         max_batch=args.max_batch,
         timeout=args.timeout,
+        backend=args.backend,
+        num_procs=args.procs,
     ):
         print(
-            "conformance OK: mode={mode} requests={requests} "
-            "sim_committed={sim_committed} aio_committed={aio_committed} "
+            "conformance OK: mode={mode} backend={backend} requests={requests} "
+            "sim_committed={sim_committed} real_committed={real_committed} "
             "common_prefix={common_prefix}".format(**summary)
         )
     return 0

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import importlib.util
 import json
+import os
 import pathlib
 import sys
 
@@ -26,8 +27,8 @@ compare = _load("compare")
 
 REQUIRED_CASE_KEYS = {
     "name", "protocol", "backend", "crash_tolerance", "byzantine_tolerance",
-    "batched", "fault_scenario", "num_shards", "sim_duration",
-    "completed_requests", "events_processed", "wall_seconds",
+    "batched", "fault_scenario", "num_shards", "num_procs", "cpu_count",
+    "sim_duration", "completed_requests", "events_processed", "wall_seconds",
     "events_per_second", "sim_seconds_per_wall_second",
     "throughput_requests_per_second", "peak_heap_bytes", "deterministic",
 }
@@ -64,6 +65,31 @@ class TestHarnessDocument:
         # Every smoke case exists in the full matrix so CI can compare
         # against the committed full baseline.
         assert smoke_names <= set(names)
+
+    def test_proc_sweep_is_powers_of_two_with_distinct_names(self):
+        sweep = harness.proc_cases(max_procs=4)
+        assert [case.num_procs for case in sweep] == [1, 2, 4]
+        assert len({case.name for case in sweep}) == 3
+        assert all(case.backend == "proc" for case in sweep)
+
+    def test_wallclock_rows_get_their_own_summary_geomeans(self):
+        # A wall-clock document must be self-describing instead of
+        # carrying an all-null summary (sim geomeans legitimately stay
+        # null: there are no sim rows to average).
+        case = harness.PerfCase(
+            name="tiny-aio",
+            protocol="seemore-lion",
+            backend="aio",
+            num_requests=30,
+            client_window=8,
+        )
+        document = harness.run_suite(cases=[case], repeats=1, measure_heap=False)
+        summary = document["summary"]
+        assert summary["events_per_second_geomean"] is None
+        assert summary["wallclock_aio_events_per_second_geomean"] > 0
+        assert summary["wallclock_aio_requests_per_second_geomean"] > 0
+        (row,) = document["cases"]
+        assert row["cpu_count"] == os.cpu_count()
 
 
 class TestCompareGate:

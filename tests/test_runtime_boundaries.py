@@ -95,6 +95,33 @@ class TestRuntimeApiIsALeaf:
         )
 
 
+class TestProcBackendLayering:
+    """The proc backend is a sibling of aio, not a protocol dependency.
+
+    ``repro/runtime/proc.py`` may build on the api and reuse the aio
+    runtime it embeds in each worker, but it must not reach into the
+    protocol, cluster, or simulator layers at module scope — cluster
+    wiring lives in ``repro.cluster.builders``, which imports proc, never
+    the other way around.
+    """
+
+    ALLOWED_REPRO_IMPORTS = {"repro.runtime.api", "repro.runtime.aio"}
+
+    def test_proc_module_imports_stay_within_the_runtime_layer(self):
+        offenders = [
+            f"proc.py:{lineno} imports {module}"
+            for lineno, module in iter_imports(
+                SRC / "runtime" / "proc.py", top_level_only=True
+            )
+            if module.startswith("repro") and module not in self.ALLOWED_REPRO_IMPORTS
+        ]
+        assert offenders == [], (
+            "repro.runtime.proc may import only repro.runtime.api and "
+            "repro.runtime.aio from repro at module scope:\n"
+            + "\n".join(offenders)
+        )
+
+
 class TestDetectorDetects:
     def test_forbidden_import_is_caught(self, tmp_path):
         sample = tmp_path / "repro"

@@ -1,26 +1,28 @@
-"""Fast-tier slice of the sim/aio conformance oracle.
+"""Fast-tier slice of the sim/aio/proc conformance oracle.
 
 The full matrix (120 requests x 3 modes) runs in CI's dedicated
 ``runtime-conformance`` job via ``python -m repro.runtime.conformance``;
 here each mode runs a reduced request count so the default test tier
-still exercises real loopback TCP without dominating its wall time.
+still exercises real loopback TCP — both single-loop (aio) and
+multiprocess (proc) — without dominating its wall time.
 """
 
 import pytest
 
 from repro.core import Mode
-from repro.runtime.conformance import check_mode, run_aio
+from repro.runtime.conformance import check_mode, run_aio, run_proc
 
 REQUESTS = 40
 
 
+@pytest.mark.parametrize("backend", ["aio", "proc"])
 @pytest.mark.parametrize("mode", [Mode.LION, Mode.DOG, Mode.PEACOCK])
-def test_sim_and_aio_commit_the_same_sequence(mode):
+def test_sim_and_real_backends_commit_the_same_sequence(mode, backend):
     summary = check_mode(mode, num_requests=REQUESTS, window=8, max_batch=8,
-                         timeout=30.0)
+                         timeout=30.0, backend=backend, num_procs=2)
     assert summary["common_prefix"] >= REQUESTS
     assert summary["sim_committed"] >= REQUESTS
-    assert summary["aio_committed"] >= REQUESTS
+    assert summary["real_committed"] >= REQUESTS
 
 
 def test_aio_loopback_smoke():
@@ -32,6 +34,16 @@ def test_aio_loopback_smoke():
     # Exactly-once over the flattened trace.
     assert len(set(trace.commit_trace)) == len(trace.commit_trace)
     # Every issued timestamp got a cached reply digest.
+    assert set(trace.reply_digests) == set(range(1, 21))
+
+
+def test_proc_loopback_smoke():
+    """The multiprocess backend alone: worker processes, harvested traces."""
+    trace = run_proc(Mode.LION, num_requests=20, window=4, max_batch=4,
+                     timeout=30.0, num_procs=2)
+    assert trace.completed == 20
+    assert len(trace.commit_trace) >= 20
+    assert len(set(trace.commit_trace)) == len(trace.commit_trace)
     assert set(trace.reply_digests) == set(range(1, 21))
 
 

@@ -1,12 +1,16 @@
-"""Timer semantics are identical on both runtime backends.
+"""Timer semantics are identical on every runtime backend.
 
 The :class:`repro.runtime.api.TimerHandle` contract (idempotent stop,
 restart racing expiry, disarm-before-fire, timers surviving a CPU crash)
 is what the protocol's view-change and retransmission logic leans on.
 Each scenario here runs once per backend through a shared driver: the sim
 backend advances virtual time, the aio backend runs the real event loop
-for a fraction of a second.
+for a fraction of a second, and the proc backend runs the same scenario
+inside a supervised worker process (results are snapshotted to picklable
+stand-ins before crossing the process boundary).
 """
+
+import multiprocessing
 
 import pytest
 
@@ -14,19 +18,67 @@ from repro.runtime.aio import AioRuntime
 from repro.runtime.sim import SimRuntime
 from repro.sim.simulator import Simulator
 
-#: One virtual/real time unit per backend.  The aio unit is large enough
-#: that event-loop scheduling jitter cannot reorder arm/fire boundaries.
-UNIT = {"sim": 1.0, "aio": 0.05}
+#: One virtual/real time unit per backend.  The real-clock units are large
+#: enough that scheduling jitter (event-loop or cross-process) cannot
+#: reorder arm/fire boundaries.
+UNIT = {"sim": 1.0, "aio": 0.05, "proc": 0.1}
 
-BACKENDS = ["sim", "aio"]
+BACKENDS = [
+    "sim",
+    "aio",
+    pytest.param(
+        "proc",
+        marks=pytest.mark.skipif(
+            "fork" not in multiprocessing.get_all_start_methods(),
+            reason="proc timer scenarios pass closures via fork",
+        ),
+    ),
+]
+
+
+class CpuSnapshot:
+    """Picklable stand-in for a worker process's Cpu, same stats surface."""
+
+    def __init__(self, cpu):
+        self.crashed = cpu.crashed
+        self.busy_time = cpu.busy_time
+        self.items_processed = cpu.items_processed
+        self.queue_depth = cpu.queue_depth
+
+    def utilisation(self, elapsed=None):
+        if not elapsed or elapsed <= 0:
+            return 0.0
+        return self.busy_time / elapsed
+
+
+def _snapshot_result(value):
+    if isinstance(value, tuple):
+        return tuple(_snapshot_result(item) for item in value)
+    if hasattr(value, "busy_time"):
+        return CpuSnapshot(value)
+    return value
+
+
+def _probe_worker(runtime, setup, unit):
+    """Run one timer scenario inside a proc worker (fork: closures pass)."""
+    from repro.runtime.proc import WorkerPlan
+
+    state = {}
+
+    def kickoff():
+        state["result"] = setup(runtime, unit)
+
+    return WorkerPlan(
+        kickoff=kickoff, harvest=lambda: _snapshot_result(state.get("result"))
+    )
 
 
 def drive(backend, setup, duration_units):
     """Build a runtime, let ``setup`` arm timers, run for ``duration_units``.
 
     ``setup(runtime, unit)`` runs inside the backend's scheduling context
-    (plain call for sim, kickoff inside the loop for aio) and may return a
-    state object that the test inspects afterwards.
+    (plain call for sim, kickoff inside the loop for aio/proc) and may
+    return a state object that the test inspects afterwards.
     """
     unit = UNIT[backend]
     state = {}
@@ -35,13 +87,30 @@ def drive(backend, setup, duration_units):
         runtime = SimRuntime(simulator)
         state["result"] = setup(runtime, unit)
         simulator.run(until=duration_units * unit)
-    else:
+    elif backend == "aio":
         runtime = AioRuntime()
 
         def kickoff():
             state["result"] = setup(runtime, unit)
 
         runtime.run(kickoff=kickoff, timeout=duration_units * unit)
+    else:
+        from repro.runtime.proc import ProcCluster, WorkerSpec
+
+        cluster = ProcCluster(
+            [
+                WorkerSpec(
+                    name="probe",
+                    build=_probe_worker,
+                    kwargs={"setup": setup, "unit": unit},
+                )
+            ],
+            start_method="fork",
+            stats_interval=30.0,
+        )
+        result = cluster.run(timeout=duration_units * unit, grace=20.0)
+        assert result.met, (result.deaths, result.errors)
+        state["result"] = result.harvests["probe"]
     return state["result"]
 
 
