@@ -27,7 +27,7 @@ from typing import Dict, List, Sequence
 import pytest
 
 from repro.cluster import RunResult, builder_for, run_deployment
-from repro.workload import Workload, microbenchmark
+from repro.workload import Workload
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.json"
 
@@ -119,7 +119,7 @@ def run_point(
         crash_tolerance=crash_tolerance,
         byzantine_tolerance=byzantine_tolerance,
         num_clients=num_clients,
-        workload=workload or microbenchmark("0/0"),
+        workload=workload or Workload.build("0/0"),
         seed=seed,
         **builder_kwargs,
     )
@@ -160,5 +160,5 @@ def curve_rows(curves: Dict[str, List[RunResult]]) -> List[Dict]:
     rows = []
     for protocol, results in curves.items():
         for result in results:
-            rows.append(result.as_row())
+            rows.append(result.report_row())
     return rows

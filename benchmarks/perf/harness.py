@@ -87,7 +87,7 @@ from repro.cluster import (
     run_sharded_deployment,
 )
 from repro.core import BatchPolicy, Mode
-from repro.workload import microbenchmark, sharded_kv_workload
+from repro.workload import Workload, WorkloadSpec
 
 SCHEMA_VERSION = 1
 
@@ -138,6 +138,16 @@ class PerfCase:
     num_requests: int = 400
     # proc-only: replica worker processes (the core-scaling knob).
     num_procs: int = 1
+    # Whether this row participates in the regression gate (compare.py and
+    # the sim geomeans).  Open-loop rows are reported-only: their headline
+    # numbers are latency percentiles under deliberate overload, not
+    # engine speed, so gating them would alarm on workload-shape tweaks.
+    gated: bool = True
+    # Open-loop cases: a name from
+    # :data:`repro.scenarios.openloop.OPEN_LOOP_SCENARIOS`, with an
+    # optional surge-rate override for the offered-load sweep.
+    open_loop_scenario: Optional[str] = None
+    surge_rate: Optional[float] = None
 
     def batch_policy(self) -> Optional[BatchPolicy]:
         if not self.batched:
@@ -273,6 +283,45 @@ def proc_cases(max_procs: int = 4) -> List[PerfCase]:
     return sweep
 
 
+def openloop_cases() -> List[PerfCase]:
+    """The open-loop offered-load sweep (reported, never gated).
+
+    Three surge rates over the admission-controlled scenario show how
+    served latency degrades as offered load climbs past capacity, and the
+    no-admission case at the middle rate is the bufferbloat control: same
+    surge, no shedding, latency an order of magnitude worse.
+    """
+    sweep = [
+        PerfCase(
+            name=f"openloop-surge-{label}",
+            protocol="seemore-lion",
+            open_loop_scenario="surge-admission-on",
+            surge_rate=rate,
+            duration=1.0,
+            warmup=0.25,
+            gated=False,
+        )
+        for label, rate in (("2x", 3_200.0), ("5x", 8_000.0), ("10x", 16_000.0))
+    ]
+    sweep.append(
+        PerfCase(
+            name="openloop-surge-5x-noadmission",
+            protocol="seemore-lion",
+            open_loop_scenario="surge-admission-off",
+            surge_rate=8_000.0,
+            duration=1.0,
+            warmup=0.25,
+            gated=False,
+        )
+    )
+    return sweep
+
+
+#: The one open-loop row CI's perf-smoke run reports alongside the gated
+#: smoke subset (the cheapest point of the sweep).
+OPENLOOP_SMOKE_CASE_NAME = "openloop-surge-2x"
+
+
 # -- running one case -------------------------------------------------------------
 
 
@@ -358,6 +407,8 @@ def _run_once(case: PerfCase) -> Dict[str, Any]:
         return _run_once_aio(case)
     if case.backend == "proc":
         return _run_once_proc(case)
+    if case.open_loop_scenario is not None:
+        return _run_once_open_loop(case)
     if case.fault_scenario is not None:
         from repro.scenarios.adaptive import ADAPTIVE_SCENARIOS, run_adaptive_scenario
         from repro.scenarios.engine import run_scenario
@@ -386,8 +437,12 @@ def _run_once(case: PerfCase) -> Dict[str, Any]:
             crash_tolerance=case.crash_tolerance,
             byzantine_tolerance=case.byzantine_tolerance,
             num_clients=case.num_clients,
-            workload=sharded_kv_workload(
-                seed=case.seed, cross_shard_fraction=case.cross_shard_fraction
+            workload=Workload.build(
+                WorkloadSpec(
+                    kind="sharded-kv",
+                    seed=case.seed,
+                    cross_shard_fraction=case.cross_shard_fraction,
+                )
             ),
             seed=case.seed,
             batch_policy=case.batch_policy(),
@@ -410,7 +465,7 @@ def _run_once(case: PerfCase) -> Dict[str, Any]:
         crash_tolerance=case.crash_tolerance,
         byzantine_tolerance=case.byzantine_tolerance,
         num_clients=case.num_clients,
-        workload=microbenchmark("0/0"),
+        workload=Workload.build("0/0"),
         seed=case.seed,
         batch_policy=case.batch_policy(),
         client_window=case.client_window,
@@ -423,6 +478,53 @@ def _run_once(case: PerfCase) -> Dict[str, Any]:
         "events": deployment.simulator.events_processed,
         "completed": result.completed,
         "sim_seconds": deployment.simulator.now,
+    }
+
+
+def _run_once_open_loop(case: PerfCase) -> Dict[str, Any]:
+    """One open-loop scenario execution on the sim backend.
+
+    The ``extra`` dict carries the open-loop headline numbers (offered
+    load, served percentiles, shed/dropped counters, SLO verdict) into the
+    case row; the base keys keep the usual events/sec accounting working.
+    """
+    import dataclasses
+
+    from repro.cluster.runner import run_open_loop
+    from repro.scenarios.openloop import OPEN_LOOP_SCENARIOS, build_open_loop_deployment
+
+    scenario = OPEN_LOOP_SCENARIOS[case.open_loop_scenario]
+    overrides: Dict[str, Any] = {"duration": case.duration, "warmup": case.warmup}
+    if case.surge_rate is not None:
+        overrides["surge_rate"] = case.surge_rate
+    scenario = dataclasses.replace(scenario, **overrides)
+    deployment, driver = build_open_loop_deployment(scenario, _MODES[case.protocol])
+    start = time.perf_counter()
+    result = run_open_loop(
+        deployment,
+        driver,
+        duration=scenario.duration,
+        warmup=scenario.warmup,
+        slo=scenario.slo,
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall": wall,
+        "events": deployment.simulator.events_processed,
+        "completed": result.completed,
+        "sim_seconds": deployment.simulator.now,
+        "extra": {
+            "offered_rate_reqs_per_s": round(result.offered_rate, 1),
+            "p50_latency_ms": round(result.latency.p50 * 1000.0, 3),
+            "p99_latency_ms": round(result.latency.p99 * 1000.0, 3),
+            "p999_latency_ms": round(result.latency.p999 * 1000.0, 3),
+            "offered": result.offered,
+            "dropped": result.dropped,
+            "shed": result.shed,
+            "busy_rejects": result.busy_rejects,
+            "slo_holds": result.slo_holds,
+            "admission": scenario.admission is not None,
+        },
     }
 
 
@@ -469,7 +571,7 @@ def run_case(case: PerfCase, repeats: int = 3, measure_heap: bool = True) -> Dic
     reference = runs[0]
     # On the wall-clock backend "duration" is the measured run itself.
     duration = case.duration if case.backend == "sim" else reference["sim_seconds"]
-    return {
+    row = {
         "name": case.name,
         "protocol": case.protocol,
         "backend": case.backend,
@@ -491,7 +593,10 @@ def run_case(case: PerfCase, repeats: int = 3, measure_heap: bool = True) -> Dic
         "throughput_requests_per_second": round(reference["completed"] / duration, 1),
         "peak_heap_bytes": peak_heap,
         "deterministic": deterministic,
+        "gated": case.gated,
     }
+    row.update(reference.get("extra", {}))
+    return row
 
 
 # -- the full suite ---------------------------------------------------------------
@@ -548,7 +653,9 @@ def run_suite(
     # trajectory.  Each wall-clock backend present gets its own
     # ``wallclock_<backend>_*`` geomeans so WALLCLOCK documents are
     # self-describing instead of carrying an all-null summary.
-    sim_rows = [row for row in rows if row["backend"] == "sim"]
+    sim_rows = [
+        row for row in rows if row["backend"] == "sim" and row.get("gated", True)
+    ]
     batched_rows = [
         row for row in sim_rows if row["batched"] and not row["fault_scenario"]
     ]
@@ -572,6 +679,18 @@ def run_suite(
             _geomean(
                 [row["throughput_requests_per_second"] for row in backend_rows]
             )
+        )
+    # Open-loop rows (reported, never gated): worst served p99 across the
+    # sweep and whether every admission-controlled point held its SLO.
+    openloop_rows = [row for row in rows if "p99_latency_ms" in row]
+    if openloop_rows:
+        summary["openloop_p99_latency_ms_max"] = max(
+            row["p99_latency_ms"] for row in openloop_rows
+        )
+        summary["openloop_slo_all_hold"] = all(
+            row["slo_holds"]
+            for row in openloop_rows
+            if row.get("admission") and row["slo_holds"] is not None
         )
     return {
         "schema_version": SCHEMA_VERSION,

@@ -20,8 +20,10 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from harness import (  # noqa: E402
+    OPENLOOP_SMOKE_CASE_NAME,
     aio_cases,
     default_output_path,
+    openloop_cases,
     proc_cases,
     run_suite,
     standard_cases,
@@ -53,6 +55,11 @@ def main(argv=None) -> int:
         "multiprocess sweep when --procs is given)",
     )
     parser.add_argument(
+        "--openloop",
+        action="store_true",
+        help="append the open-loop offered-load sweep (reported, never gated)",
+    )
+    parser.add_argument(
         "--procs",
         type=int,
         default=0,
@@ -68,6 +75,16 @@ def main(argv=None) -> int:
         cases = standard_cases(smoke=args.smoke)
         if args.aio:
             cases = cases + aio_cases()
+        if args.openloop:
+            cases = cases + openloop_cases()
+        elif args.smoke:
+            # The smoke run reports one open-loop point (never gated) so
+            # the CI trajectory records served percentiles under surge.
+            cases = cases + [
+                case
+                for case in openloop_cases()
+                if case.name == OPENLOOP_SMOKE_CASE_NAME
+            ]
     if args.procs > 0:
         cases = cases + proc_cases(max_procs=args.procs)
 

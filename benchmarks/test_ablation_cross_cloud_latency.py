@@ -17,7 +17,7 @@ import pytest
 from repro.analysis import format_results_table
 from repro.cluster import build_seemore, run_deployment
 from repro.core import Mode
-from repro.workload import microbenchmark
+from repro.workload import Workload
 
 CROSS_CLOUD_LATENCIES = (0.0002, 0.002, 0.01, 0.03)
 
@@ -27,7 +27,7 @@ def latency_for(mode: Mode, cross_cloud_latency: float) -> float:
         crash_tolerance=1,
         byzantine_tolerance=1,
         mode=mode,
-        workload=microbenchmark("0/0"),
+        workload=Workload.build("0/0"),
         num_clients=2,
         seed=70,
         cross_cloud_latency=cross_cloud_latency,

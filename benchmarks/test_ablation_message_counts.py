@@ -12,7 +12,7 @@ import pytest
 
 from repro.analysis import format_results_table, messages_per_request
 from repro.cluster import builder_for, run_deployment
-from repro.workload import microbenchmark
+from repro.workload import Workload
 
 PROTOCOLS = ("seemore-lion", "seemore-dog", "seemore-peacock", "cft", "bft", "s-upright")
 
@@ -22,7 +22,7 @@ def measure_messages(protocol: str):
         crash_tolerance=1,
         byzantine_tolerance=1,
         num_clients=4,
-        workload=microbenchmark("0/0"),
+        workload=Workload.build("0/0"),
         seed=60,
         checkpoint_period=10_000,  # keep checkpoint traffic out of the count
     )

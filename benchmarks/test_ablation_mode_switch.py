@@ -12,7 +12,7 @@ import pytest
 from repro.analysis import format_results_table
 from repro.cluster import build_seemore
 from repro.core import Mode
-from repro.workload import microbenchmark
+from repro.workload import Workload
 
 PHASE_LENGTH = 0.35
 SCHEDULE = [Mode.DOG, Mode.PEACOCK, Mode.LION]
@@ -23,7 +23,7 @@ def run_mode_switch_experiment():
         crash_tolerance=1,
         byzantine_tolerance=1,
         mode=Mode.LION,
-        workload=microbenchmark("0/0"),
+        workload=Workload.build("0/0"),
         num_clients=6,
         seed=50,
         client_timeout=0.1,

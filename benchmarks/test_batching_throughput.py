@@ -19,7 +19,7 @@ import pytest
 from repro.analysis import format_results_table
 from repro.cluster import build_seemore, run_deployment
 from repro.core import BatchPolicy, Mode
-from repro.workload import microbenchmark
+from repro.workload import Workload
 
 # f=3 (c=1, m=2): the mid-size network of Figure 2, where per-slot agreement
 # cost is pronounced enough that batching's amortization shows cleanly.
@@ -46,7 +46,7 @@ def run_batching_curves():
                 crash_tolerance=CRASH_TOLERANCE,
                 byzantine_tolerance=BYZANTINE_TOLERANCE,
                 mode=mode,
-                workload=microbenchmark("0/0").with_client_window(CLIENT_WINDOW),
+                workload=Workload.build("0/0").with_client_window(CLIENT_WINDOW),
                 num_clients=NUM_CLIENTS,
                 batch_policy=policy,
                 seed=7,

@@ -13,7 +13,7 @@ and the 4/0 micro-benchmark (4 KB requests).  The paper's findings:
 import pytest
 
 from repro.analysis import format_results_table
-from repro.workload import microbenchmark
+from repro.workload import Workload
 
 from benchmarks.conftest import curve_rows, peak, run_curves
 
@@ -39,7 +39,7 @@ def test_fig3a_benchmark_0_4(benchmark, report):
     curves = benchmark.pedantic(
         run_curves,
         args=(1, 1),
-        kwargs={"workload": microbenchmark("0/4"), "seed": 31},
+        kwargs={"workload": Workload.build("0/4"), "seed": 31},
         rounds=1,
         iterations=1,
     )
@@ -56,7 +56,7 @@ def test_fig3b_benchmark_4_0(benchmark, report):
     curves_4_0 = benchmark.pedantic(
         run_curves,
         args=(1, 1),
-        kwargs={"workload": microbenchmark("4/0"), "seed": 32},
+        kwargs={"workload": Workload.build("4/0"), "seed": 32},
         rounds=1,
         iterations=1,
     )
@@ -68,7 +68,7 @@ def test_fig3b_benchmark_4_0(benchmark, report):
 
     # Cross-panel comparison: request payloads are replicated to every
     # replica, so 4/0 costs more than 0/4 for the replica-heavy protocols.
-    curves_0_4 = run_curves(1, 1, workload=microbenchmark("0/4"), seed=31, protocols=("bft",))
+    curves_0_4 = run_curves(1, 1, workload=Workload.build("0/4"), seed=31, protocols=("bft",))
     report.line("")
     report.line(
         "request-vs-reply payload check (BFT): "

@@ -16,7 +16,7 @@ import pytest
 from repro.analysis import format_timeline
 from repro.cluster import builder_for, run_timeline
 from repro.faults import FaultPlan
-from repro.workload import microbenchmark
+from repro.workload import Workload
 
 PROTOCOLS = ("bft", "s-upright", "seemore-peacock", "seemore-dog", "seemore-lion")
 CRASH_AT = 0.3
@@ -29,7 +29,7 @@ def run_view_change_timeline(protocol: str):
         crash_tolerance=1,
         byzantine_tolerance=1,
         num_clients=6,
-        workload=microbenchmark("0/0"),
+        workload=Workload.build("0/0"),
         seed=40,
         checkpoint_period=10_000,
         client_timeout=0.1,

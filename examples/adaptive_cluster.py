@@ -19,7 +19,7 @@ from repro import Mode, build_seemore
 from repro.adaptive import AdaptivePolicy
 from repro.analysis import format_adaptive_decisions
 from repro.faults import make_byzantine, restore_honest
-from repro.workload import microbenchmark
+from repro.workload import Workload
 
 
 def completed_between(deployment, start, end):
@@ -33,7 +33,7 @@ def main() -> None:
         crash_tolerance=1,
         byzantine_tolerance=1,
         mode=Mode.LION,
-        workload=microbenchmark("0/0"),
+        workload=Workload.build("0/0"),
         num_clients=4,
         seed=21,
         client_timeout=0.1,

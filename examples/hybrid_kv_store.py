@@ -20,7 +20,7 @@ Run with:  python examples/hybrid_kv_store.py
 
 from repro import Mode, build_seemore, plan_with_failure_ratio
 from repro.faults import crash_replica, make_byzantine
-from repro.workload import kv_workload
+from repro.workload import Workload, WorkloadSpec
 
 
 def main() -> None:
@@ -40,7 +40,9 @@ def main() -> None:
         crash_tolerance=1,
         byzantine_tolerance=1,
         mode=Mode.LION,
-        workload=kv_workload(key_space=500, value_size=128, read_fraction=0.5, seed=7),
+        workload=Workload.build(
+            WorkloadSpec(kind="kv", key_space=500, value_size=128, read_fraction=0.5, seed=7)
+        ),
         num_clients=6,
         seed=7,
         client_timeout=0.1,

@@ -15,7 +15,7 @@ Run with:  python examples/mode_switching.py
 """
 
 from repro import Mode, build_seemore
-from repro.workload import microbenchmark
+from repro.workload import Workload
 
 
 def completed_between(deployment, start, end):
@@ -29,7 +29,7 @@ def main() -> None:
         crash_tolerance=1,
         byzantine_tolerance=1,
         mode=Mode.LION,
-        workload=microbenchmark("0/0"),
+        workload=Workload.build("0/0"),
         num_clients=6,
         seed=21,
         client_timeout=0.1,

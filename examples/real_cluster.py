@@ -16,7 +16,7 @@ from repro.crypto.keys import KeyStore
 from repro.runtime.aio import AioRuntime
 from repro.smr.client import Client
 from repro.smr.ledger import find_safety_violations
-from repro.workload.generator import microbenchmark
+from repro.workload.generator import Workload
 
 NUM_REQUESTS = 120
 WINDOW = 4
@@ -40,7 +40,7 @@ def main() -> None:
     print(f"mode: {Mode.LION.name} — trusted primary, f = c = 1\n")
 
     runtime = AioRuntime()
-    workload = microbenchmark("0/0")
+    workload = Workload.build("0/0")
     keystore = KeyStore(seed="real-cluster")
     for replica_id in config.all_replicas:
         keystore.register(replica_id)

@@ -25,7 +25,7 @@ from repro.cluster import build_sharded_seemore
 from repro.core import Mode
 from repro.scenarios.sharded import HealShards, IsolateShard
 from repro.shard import ShardSpec
-from repro.workload import per_shard_load, sharded_kv_workload
+from repro.workload import Workload, WorkloadSpec, per_shard_load
 
 
 def main() -> None:
@@ -39,11 +39,14 @@ def main() -> None:
     )
     deployment = build_sharded_seemore(
         shard_specs=specs,
-        workload=sharded_kv_workload(
-            key_space=1000,
-            cross_shard_fraction=0.1,
-            key_distribution="zipfian",
-            seed=13,
+        workload=Workload.build(
+            WorkloadSpec(
+                kind="sharded-kv",
+                key_space=1000,
+                cross_shard_fraction=0.1,
+                key_distribution="zipfian",
+                seed=13,
+            )
         ),
         num_clients=8,
         client_window=2,

@@ -18,6 +18,7 @@ from repro.analysis.comparison import (
 from repro.analysis.report import (
     format_adaptive_decisions,
     format_results_table,
+    format_run_report,
     format_scenario_results,
     format_series,
     format_sharded_results,
@@ -31,6 +32,7 @@ __all__ = [
     "messages_per_request",
     "format_adaptive_decisions",
     "format_results_table",
+    "format_run_report",
     "format_scenario_results",
     "format_series",
     "format_sharded_results",

@@ -41,6 +41,31 @@ def format_series(
     return "\n".join(lines)
 
 
+def format_run_report(reports: Iterable, title: str = "Run results") -> str:
+    """Summarise runs through the :class:`~repro.cluster.runner.RunReport` protocol.
+
+    ``reports`` is an iterable of anything implementing RunReport —
+    :class:`~repro.cluster.runner.RunResult`,
+    :class:`~repro.shard.runner.ShardedRunResult`,
+    :class:`~repro.cluster.runner.OpenLoopRunResult`, or
+    :class:`~repro.runtime.proc.ProcResult` — so one formatter covers every
+    backend instead of duck-typing each result shape.  Rows come from
+    ``report_row()``; runs with violations are flagged under the table.
+    """
+    reports = list(reports)
+    if not reports:
+        return f"{title}\n(no results)"
+    rows = [report.report_row() for report in reports]
+    lines = [title, format_results_table(rows)]
+    violating = [report for report in reports if report.violation_count]
+    for report in violating:
+        lines.append(
+            f"VIOLATIONS: {report.report_row().get('protocol', '?')} reported "
+            f"{report.violation_count} violation(s) over {report.committed} committed"
+        )
+    return "\n".join(lines)
+
+
 def format_scenario_results(results: Iterable, title: str = "Fault scenarios") -> str:
     """Summarise fault-scenario runs (one row per scenario × mode).
 

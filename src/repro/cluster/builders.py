@@ -31,7 +31,14 @@ from repro.baselines import (
     upright_client_config,
 )
 from repro.cluster.deployment import Deployment
-from repro.core import BatchPolicy, Mode, SeeMoReConfig, SeeMoReReplica, client_config_for_mode
+from repro.core import (
+    AdmissionPolicy,
+    BatchPolicy,
+    Mode,
+    SeeMoReConfig,
+    SeeMoReReplica,
+    client_config_for_mode,
+)
 from repro.crypto.keys import KeyStore
 from repro.net.costs import NodeCostModel
 from repro.net.latency import CloudAwareLatencyModel
@@ -50,12 +57,7 @@ from repro.shard import (
 from repro.sim.simulator import Simulator
 from repro.smr.client import ClientConfig
 from repro.workload.client_pool import ClientPool
-from repro.workload.generator import (
-    ShardedKeyValueWorkload,
-    Workload,
-    microbenchmark,
-    sharded_kv_workload,
-)
+from repro.workload.generator import ShardedKeyValueWorkload, Workload, WorkloadSpec
 from repro.workload.metrics import MetricsCollector
 
 DEFAULT_INTRA_CLOUD_LATENCY = 0.0002
@@ -120,7 +122,10 @@ def _finish_deployment(
         workload=workload,
         metrics=metrics,
     )
-    pool.spawn(num_clients, window=client_window)
+    # num_clients == 0 leaves the pool empty for open-loop deployments,
+    # whose connections are spawned by ClientPool.spawn_open_loop instead.
+    if num_clients > 0:
+        pool.spawn(num_clients, window=client_window)
     return Deployment(
         protocol=protocol,
         simulator=runtime.simulator,
@@ -193,6 +198,7 @@ def build_seemore(
     batch_policy: Optional[BatchPolicy] = None,
     client_window: Optional[int] = None,
     adaptive: AdaptiveSpec = None,
+    admission: Optional[AdmissionPolicy] = None,
 ) -> Deployment:
     """Build a SeeMoRe deployment in the given mode.
 
@@ -209,14 +215,21 @@ def build_seemore(
     default policy, or an :class:`~repro.adaptive.AdaptivePolicy`); the
     controller is started on the simulator clock and exposed as
     ``deployment.extras["adaptive"]``.
+
+    ``admission`` attaches primary-side admission control (see
+    :class:`~repro.core.admission.AdmissionPolicy`): past the watermark the
+    primary sheds new requests with a signed ``Busy`` instead of queueing
+    them.  ``num_clients=0`` builds the deployment with an empty client
+    pool so an open-loop driver can spawn its own connections.
     """
-    workload = workload or microbenchmark("0/0")
+    workload = workload or Workload.build("0/0")
     config = SeeMoReConfig.build(
         crash_tolerance,
         byzantine_tolerance,
         checkpoint_period=checkpoint_period,
         request_timeout=request_timeout,
         batch_policy=batch_policy or BatchPolicy(),
+        admission=admission,
     )
     placement = Placement()
     runtime = _build_fabric(placement, seed, cross_cloud_latency, cost_model)
@@ -327,7 +340,9 @@ def build_sharded_seemore(
     router = ShardRouter(partitioner)
 
     if workload is None:
-        workload = sharded_kv_workload(seed=seed, partitioner=partitioner)
+        workload = Workload.build(
+            WorkloadSpec(kind="sharded-kv", seed=seed, partitioner=partitioner)
+        )
     elif isinstance(workload, ShardedKeyValueWorkload) and workload.partitioner is None:
         workload = workload.with_partitioner(partitioner)
 
@@ -473,7 +488,7 @@ def _proc_seemore_setup(
     for replica_id in config.all_replicas:
         keystore.register(replica_id)
     keystore.register(client_id)
-    return config, keystore, microbenchmark("0/0")
+    return config, keystore, Workload.build("0/0")
 
 
 def _proc_replica_worker(
@@ -691,7 +706,7 @@ def build_paxos(
     The paper configures CFT to tolerate the same *total* number of failures
     as SeeMoRe, so the builder accepts both tolerances and adds them.
     """
-    workload = workload or microbenchmark("0/0")
+    workload = workload or Workload.build("0/0")
     fault_tolerance = crash_tolerance + byzantine_tolerance
     config = PaxosConfig.build(
         fault_tolerance,
@@ -749,7 +764,7 @@ def build_pbft(
     cost_model: Optional[NodeCostModel] = None,
 ) -> Deployment:
     """Build the BFT baseline sized to tolerate ``f = c + m`` Byzantine failures."""
-    workload = workload or microbenchmark("0/0")
+    workload = workload or Workload.build("0/0")
     fault_tolerance = crash_tolerance + byzantine_tolerance
     config = PBFTConfig.build(
         fault_tolerance,
@@ -807,7 +822,7 @@ def build_upright(
     cost_model: Optional[NodeCostModel] = None,
 ) -> Deployment:
     """Build the S-UpRight baseline (hybrid sizing, PBFT-like agreement)."""
-    workload = workload or microbenchmark("0/0")
+    workload = workload or Workload.build("0/0")
     config = UpRightConfig.build(
         crash_tolerance,
         byzantine_tolerance,

@@ -16,6 +16,7 @@ the dynamic mode-switching technique of Section 5.4.
 """
 
 from repro.core.modes import Mode
+from repro.core.admission import AdmissionPolicy
 from repro.core.batching import Batcher, BatchPolicy
 from repro.core.config import SeeMoReConfig
 from repro.core.replica import SeeMoReReplica
@@ -24,6 +25,7 @@ from repro.core import messages
 
 __all__ = [
     "Mode",
+    "AdmissionPolicy",
     "BatchPolicy",
     "Batcher",
     "SeeMoReConfig",

@@ -1,0 +1,54 @@
+"""Primary-side admission control: shed load instead of queueing it forever.
+
+An open-loop population keeps sending whether or not the primary keeps up,
+so an overload surge would otherwise grow the batcher's queue without
+bound — every admitted request then pays the whole backlog's drain time and
+tail latency collapses for the rest of the run (bufferbloat).  The paper's
+"heavy traffic" regime needs the standard production answer: a watermark on
+the primary's outstanding work; past it, new requests are rejected with a
+signed ``Busy`` so clients back off (capped exponential) and the queue —
+and therefore the latency of every request the primary *does* accept —
+stays bounded.
+
+The watermark covers both sides of the batcher: ``queued`` (requests not
+yet proposed) and ``in_flight`` (slots proposed but not yet committed),
+because a pipelining primary can hold a small queue while the commit
+pipeline is what's actually saturated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Watermark configuration for primary-side load shedding.
+
+    Attributes:
+        max_outstanding: reject new client requests while the batcher's
+            outstanding work — queued requests plus proposed-but-uncommitted
+            slots — is at or above this value.  The bound is what keeps
+            accepted-request latency bounded during overload: at service
+            rate ``μ`` the worst queueing delay an admitted request sees is
+            roughly ``max_outstanding / μ``.
+    """
+
+    max_outstanding: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding < 1:
+            raise ValueError(
+                f"admission watermark must be at least 1: {self.max_outstanding}"
+            )
+
+    def should_shed(self, queued: int, in_flight: int) -> bool:
+        """Whether a newly arrived request must be rejected right now.
+
+        ``queued`` counts requests awaiting proposal; ``in_flight`` counts
+        slots proposed but not yet committed.
+        """
+        return queued + in_flight >= self.max_outstanding
+
+
+__all__ = ["AdmissionPolicy"]

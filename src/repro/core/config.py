@@ -16,8 +16,9 @@ together with the quorum sizes of Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.admission import AdmissionPolicy
 from repro.core.batching import BatchPolicy
 from repro.core.modes import Mode
 from repro.planner.sizing import hybrid_network_size, hybrid_quorum_size
@@ -57,6 +58,9 @@ class SeeMoReConfig:
     request_timeout: float = 0.02
     view_change_timeout: float = 0.04
     batch_policy: BatchPolicy = field(default_factory=BatchPolicy)
+    # Primary-side admission control (None = accept everything, the paper's
+    # closed-loop setting; see repro.core.admission for the open-loop story).
+    admission: Optional[AdmissionPolicy] = None
     # Memo for proxies_of_view, keyed by ``view mod public_size``.  Derived
     # state only: excluded from equality/hash/repr, never serialized.
     _proxy_cache: Dict[int, List[str]] = field(

@@ -34,7 +34,7 @@ from repro.crypto.digest import digest
 from repro.crypto.signatures import Signer, Verifier
 from repro.net.costs import NodeCostModel
 from repro.smr.executor import ExecutionResult
-from repro.smr.messages import Request, requests_of
+from repro.smr.messages import Busy, Request, requests_of
 from repro.smr.replica import ReplicaBase
 from repro.smr.slots import Slot
 from repro.smr.state_machine import StateMachine
@@ -85,6 +85,7 @@ class SeeMoReReplica(ReplicaBase):
         )
         self._assigned_sequences: Dict[tuple, int] = {}
         self._assignment_generation = 0
+        self.busy_rejects_sent = 0
         self._request_timer = self.create_timer(self._on_request_timeout, "request-timeout")
 
         # Catch-up (state transfer) bookkeeping: a replica that falls far
@@ -225,6 +226,34 @@ class SeeMoReReplica(ReplicaBase):
 
     def already_assigned(self, request: Request) -> bool:
         return (request.client_id, request.timestamp) in self._assigned_sequences
+
+    def shed_if_overloaded(self, request: Request) -> bool:
+        """Admission control at the primary: reject ``request`` if saturated.
+
+        Returns ``True`` when the request was shed (a signed ``Busy`` went
+        back to the client) and must not be enqueued.  With no admission
+        policy configured — the paper's closed-loop setting — this is a
+        single ``None`` check on the hot path.
+        """
+        policy = self.config.admission
+        if policy is None:
+            return False
+        queued = self.batcher.queued
+        in_flight = self.batcher.in_flight
+        if not policy.should_shed(queued, in_flight):
+            return False
+        busy = Busy(
+            mode=int(self.mode),
+            view=self.view,
+            timestamp=request.timestamp,
+            client_id=request.client_id,
+            replica_id=self.node_id,
+            queue_depth=queued + in_flight,
+        )
+        busy.sign(self.signer)
+        self.send(request.client_id, busy)
+        self.busy_rejects_sent += 1
+        return True
 
     def mark_assigned(self, payload: Any, sequence: int) -> None:
         """Record the sequence assignment of every request in ``payload``."""
@@ -612,6 +641,7 @@ class SeeMoReReplica(ReplicaBase):
                 "view_changes": self.view_changes.view_changes_completed,
                 "batches_proposed": self.batcher.batches_proposed,
                 "mean_batch_size": round(self.batcher.mean_batch_size(), 2),
+                "busy_rejects_sent": self.busy_rejects_sent,
             }
         )
         return summary

@@ -44,6 +44,8 @@ class ModeStrategy:
             return
         if replica.already_assigned(request):
             return
+        if replica.shed_if_overloaded(request):
+            return
         replica.batcher.enqueue(request)
 
     def propose_payload(self, replica: "SeeMoReReplica", payload: Any) -> Optional[int]:

@@ -43,7 +43,7 @@ from repro.sim.simulator import Simulator
 from repro.smr.client import Client
 from repro.smr.ledger import find_safety_violations
 from repro.smr.messages import _result_digest, requests_of
-from repro.workload.generator import microbenchmark
+from repro.workload.generator import Workload
 
 CLIENT_ID = "conformance-client"
 
@@ -108,7 +108,7 @@ def _build_cluster(
         request_timeout=request_timeout,
         batch_policy=BatchPolicy(max_batch=max_batch),
     )
-    workload = microbenchmark("0/0")
+    workload = Workload.build("0/0")
     keystore = KeyStore(seed=f"conformance-{seed}")
     for replica_id in config.all_replicas:
         keystore.register(replica_id)

@@ -286,6 +286,36 @@ class ProcResult:
             merged.update(snapshot.get("nodes", {}))
         return merged
 
+    # -- RunReport (see repro.cluster.runner.RunReport) ----------------------
+
+    @property
+    def committed(self) -> int:
+        """Requests the client worker(s) completed end to end."""
+        total = 0
+        for harvest in self.harvests.values():
+            if isinstance(harvest, dict):
+                total += int(harvest.get("completed", 0) or 0)
+        return total
+
+    @property
+    def metrics_collector(self) -> Optional[Any]:
+        """Always ``None``: per-request records die with the worker processes."""
+        return None
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.errors) + len(self.deaths)
+
+    def report_row(self) -> Dict[str, Any]:
+        return {
+            "protocol": "proc",
+            "completed": self.committed,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "met": self.met,
+            "deaths": len(self.deaths),
+            "errors": len(self.errors),
+        }
+
     def message_type_counts(self) -> Counter:
         counts: Counter = Counter()
         for snapshot in self.stats.values():

@@ -25,7 +25,7 @@ from repro.core.batching import BatchPolicy
 from repro.core.modes import Mode
 from repro.scenarios.events import _MODE_CYCLE, ScenarioEvent, resolve_target
 from repro.scenarios.invariants import InvariantChecker, default_checkers
-from repro.workload.generator import microbenchmark
+from repro.workload.generator import Workload
 
 # -- expectations -----------------------------------------------------------------
 
@@ -251,7 +251,7 @@ def build_scenario_deployment(scenario: Scenario, mode: Mode, **overrides) -> De
         crash_tolerance=scenario.crash_tolerance,
         byzantine_tolerance=scenario.byzantine_tolerance,
         mode=mode,
-        workload=microbenchmark(scenario.workload),
+        workload=Workload.build(scenario.workload),
         num_clients=scenario.num_clients,
         seed=scenario.seed,
         client_timeout=scenario.client_timeout,

@@ -31,7 +31,7 @@ from repro.core.modes import Mode
 from repro.scenarios.events import Byzantine, Crash, ModeSwitch, Recover, ScenarioEvent
 from repro.scenarios.invariants import InvariantChecker, default_checkers
 from repro.shard.deployment import ShardedDeployment, ShardSpec
-from repro.workload.generator import sharded_kv_workload
+from repro.workload.generator import Workload, WorkloadSpec
 
 # -- events -----------------------------------------------------------------------
 
@@ -371,12 +371,15 @@ def build_sharded_scenario_deployment(scenario: ShardedScenario, **overrides) ->
         )
         for mode in scenario.modes
     )
-    workload = sharded_kv_workload(
-        key_space=scenario.key_space,
-        read_fraction=scenario.read_fraction,
-        seed=scenario.seed,
-        cross_shard_fraction=scenario.cross_shard_fraction,
-        key_distribution=scenario.key_distribution,
+    workload = Workload.build(
+        WorkloadSpec(
+            kind="sharded-kv",
+            key_space=scenario.key_space,
+            read_fraction=scenario.read_fraction,
+            seed=scenario.seed,
+            cross_shard_fraction=scenario.cross_shard_fraction,
+            key_distribution=scenario.key_distribution,
+        )
     )
     build_kwargs = dict(
         shard_specs=specs,

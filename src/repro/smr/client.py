@@ -36,7 +36,7 @@ from repro.crypto.digest import (
 from repro.crypto.signatures import Signer, Verifier, WindowVerifier
 from repro.net.costs import NodeCostModel
 from repro.net.node import Node
-from repro.smr.messages import _HEADER_BYTES, _SIGNATURE_BYTES, Reply, Request
+from repro.smr.messages import _HEADER_BYTES, _SIGNATURE_BYTES, Busy, Reply, Request
 from repro.smr.state_machine import Operation
 from repro.wire.primitives import encode_request
 
@@ -73,6 +73,16 @@ class ClientConfig:
         replies_by_mode: optional per-mode override of ``replies_needed``;
             used when the deployment can switch modes dynamically.
         trusted_by_mode: optional per-mode override of ``trusted_replicas``.
+        busy_backoff_base: first re-send delay after a signed ``Busy``
+            reject from an admission-controlled primary; doubles per
+            consecutive reject of the same request.
+        busy_backoff_cap: upper bound on the per-request backoff delay.
+        max_busy_retries: give up on a request after this many consecutive
+            ``Busy`` rejects (the request is *shed*: dropped and counted,
+            never completed).  ``None`` — the closed-loop default — retries
+            forever; open-loop populations set a small bound so offered
+            load actually drops during overload instead of queueing at the
+            clients.
     """
 
     request_targets: TargetSelector
@@ -85,6 +95,9 @@ class ClientConfig:
     initial_mode: int = 0
     replies_by_mode: Optional[Dict[int, int]] = None
     trusted_by_mode: Optional[Dict[int, FrozenSet[str]]] = None
+    busy_backoff_base: float = 0.005
+    busy_backoff_cap: float = 0.08
+    max_busy_retries: Optional[int] = None
 
     def targets_for_retransmit(self, view: int, mode: int) -> List[str]:
         selector = self.retransmit_targets or self.request_targets
@@ -136,6 +149,7 @@ class _PendingRequest:
     last_sent_at: float
     retransmitted: bool = False
     votes: Dict[str, set] = field(default_factory=dict)
+    busy_attempts: int = 0
 
 
 class Client(Node):
@@ -172,6 +186,10 @@ class Client(Node):
         self.known_mode = config.initial_mode
         self.completed: List[CompletedRequest] = []
         self.timeouts = 0
+        # Admission-control interactions: rejects received, and requests
+        # abandoned after ``max_busy_retries`` consecutive rejects.
+        self.busy_rejects = 0
+        self.shed_requests = 0
         # Fault evidence this client observed (signed replies carrying a
         # result the accepted quorum contradicts); consumed by the adaptive
         # controller.
@@ -184,6 +202,12 @@ class Client(Node):
         self._mode_rules_cache: Dict[int, tuple] = {}
         # Insertion-ordered map of timestamp -> pending request (oldest first).
         self._pending: Dict[int, _PendingRequest] = {}
+        # timestamp -> simulated time at which to re-send after a Busy
+        # reject; served by a dedicated timer so backoff delays (which
+        # shrink and grow per request) never disturb the retransmit timer's
+        # oldest-deadline bookkeeping.
+        self._busy_resends: Dict[int, float] = {}
+        self._busy_timer = self.create_timer(self._on_busy_resend, label="busy-backoff")
         self._timer = self.create_timer(self._on_timeout, label="request-timeout")
         # Deadline the timer is currently armed for; lets completions skip
         # re-arming when the oldest outstanding transmission is unchanged.
@@ -201,6 +225,7 @@ class Client(Node):
         """Stop issuing new requests (outstanding ones may still finish)."""
         self._stopped = True
         self._timer.stop()
+        self._busy_timer.stop()
 
     @property
     def completed_count(self) -> int:
@@ -228,9 +253,11 @@ class Client(Node):
             return False
         if self.max_requests is not None and self._next_timestamp >= self.max_requests:
             return False
+        operation = self._next_operation(self._next_timestamp + 1)
+        if operation is None:
+            return False
         self._next_timestamp += 1
         timestamp = self._next_timestamp
-        operation = self.operation_factory(timestamp)
         request = Request(
             operation=operation, timestamp=timestamp, client_id=self.node_id
         )
@@ -253,7 +280,7 @@ class Client(Node):
         })
         now = self.now
         self._pending[timestamp] = _PendingRequest(
-            request=request, sent_at=now, last_sent_at=now
+            request=request, sent_at=self._sent_time(), last_sent_at=now
         )
         targets = self.config.request_targets(self.known_view, self.known_mode)
         if len(targets) == 1:
@@ -268,6 +295,24 @@ class Client(Node):
         if not self._timer.active:
             self._schedule_timer()
         return True
+
+    def _next_operation(self, timestamp: int) -> Optional[Operation]:
+        """The operation the next request should carry (``None`` = nothing).
+
+        Closed-loop default: ask the operation factory, which always has a
+        next operation.  The open-loop connection overrides this to pull
+        from its driver's arrival backlog, which may be empty.
+        """
+        return self.operation_factory(timestamp)
+
+    def _sent_time(self) -> float:
+        """When the request being issued counts as sent, for latency records.
+
+        The open-loop connection overrides this to return the request's
+        *arrival* time, so queueing behind the bounded connection pool
+        counts toward the measured latency.
+        """
+        return self.now
 
     def _send_request(self, targets: Sequence[str], request: Request) -> None:
         unique_targets = list(dict.fromkeys(targets))
@@ -286,8 +331,9 @@ class Client(Node):
         if not self._pending or self._stopped:
             self._timer.stop()
             return
-        if self.timeouts:
-            # After any retransmission, per-entry deadlines are no longer
+        if self.timeouts or self.busy_rejects:
+            # After any retransmission (or Busy backoff, which parks
+            # last_sent_at in the future), per-entry deadlines are no longer
             # monotone in insertion order: scan for the minimum.  Plain
             # loop — a genexpr frame per window entry is measurable at
             # high request rates.
@@ -331,9 +377,88 @@ class Client(Node):
     # -- replies ------------------------------------------------------------
 
     def handle_message(self, src: str, payload: Any) -> None:
-        if not isinstance(payload, Reply):
+        if isinstance(payload, Reply):
+            self._on_reply(src, payload)
+        elif isinstance(payload, Busy):
+            self._on_busy(src, payload)
+
+    # -- admission-control backoff -------------------------------------------
+
+    def _on_busy(self, src: str, busy: Busy) -> None:
+        """Handle a signed admission-control reject from the primary.
+
+        The request stays pending but is re-sent only after a capped
+        exponential backoff; with ``max_busy_retries`` configured the
+        request is abandoned (shed) once the primary has rejected it that
+        many times in a row.
+        """
+        pending = self._pending.get(busy.timestamp)
+        if pending is None:
             return
-        self._on_reply(src, payload)
+        if busy.client_id != self.node_id:
+            return
+        if busy.replica_id != src:
+            return
+        if not self._window_verifier.verify(busy.replica_id, busy):
+            return
+        self.busy_rejects += 1
+        pending.busy_attempts += 1
+        limit = self.config.max_busy_retries
+        if limit is not None and pending.busy_attempts > limit:
+            self._shed(pending)
+            return
+        delay = min(
+            self.config.busy_backoff_cap,
+            self.config.busy_backoff_base * (2 ** (pending.busy_attempts - 1)),
+        )
+        resend_at = self.now + delay
+        self._busy_resends[busy.timestamp] = resend_at
+        # Park the retransmit deadline past the resend time so the regular
+        # timeout path cannot fire a wide retransmission mid-backoff (the
+        # overdue check sees a negative age and skips the entry).
+        pending.last_sent_at = resend_at
+        self._schedule_timer()
+        self._arm_busy_timer()
+
+    def _arm_busy_timer(self) -> None:
+        if not self._busy_resends or self._stopped:
+            self._busy_timer.stop()
+            return
+        earliest = min(self._busy_resends.values())
+        self._busy_timer.start(max(0.0, earliest - self.now))
+
+    def _on_busy_resend(self) -> None:
+        now = self.now
+        due = [ts for ts, when in self._busy_resends.items() if when <= now + 1e-12]
+        for timestamp in due:
+            del self._busy_resends[timestamp]
+            pending = self._pending.get(timestamp)
+            if pending is None:
+                continue
+            pending.last_sent_at = now
+            targets = self.config.request_targets(self.known_view, self.known_mode)
+            self._send_request(targets, pending.request)
+        self._arm_busy_timer()
+        self._schedule_timer()
+
+    def _shed(self, pending: _PendingRequest) -> None:
+        """Abandon a request the primary keeps rejecting (load shedding).
+
+        The request never completes and records no latency sample — it is
+        counted in :attr:`shed_requests` instead, which is exactly what
+        keeps an overloaded system's *served* latency honest: the excess
+        shows up as sheds, not as samples that would drown the percentile.
+        """
+        timestamp = pending.request.timestamp
+        self.shed_requests += 1
+        del self._pending[timestamp]
+        self._busy_resends.pop(timestamp, None)
+        self.on_shed(timestamp)
+        self._schedule_timer()
+        self._fill_window()
+
+    def on_shed(self, timestamp: int) -> None:
+        """Hook: called when a request is abandoned after repeated rejects."""
 
     def _on_reply(self, src: str, reply: Reply) -> None:
         pending = self._pending.get(reply.timestamp)
@@ -449,5 +574,7 @@ class Client(Node):
         self.known_view = max(self.known_view, reply.view)
         self.known_mode = reply.mode
         del self._pending[pending.request.timestamp]
+        if self._busy_resends:
+            self._busy_resends.pop(pending.request.timestamp, None)
         self._schedule_timer()
         self._fill_window()

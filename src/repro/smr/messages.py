@@ -326,6 +326,65 @@ class Reply(ProtocolMessage):
         return _HEADER_BYTES + _SIGNATURE_BYTES + 16 + self.result_payload_size()
 
 
+@dataclass(init=False)
+class Busy(ProtocolMessage):
+    """Admission-control reject: the primary shed this request under load.
+
+    Sent instead of ordering the request when the primary's queue-depth /
+    in-flight watermark is exceeded (see ``repro.core.admission``).  Signed
+    by the rejecting replica so a Byzantine node cannot forge rejects to
+    starve a client of an honest primary — clients verify before backing
+    off.  A cold type: it signs over its canonical JSON content via the
+    :meth:`ProtocolMessage.wire_slice` fallback, so it needs no binary
+    codec entry (the aio/proc envelope pickles cold types).
+    """
+
+    mode: int
+    view: int
+    timestamp: int
+    client_id: str
+    replica_id: str
+    queue_depth: int
+    signed: bool = True
+    signature: Optional[Signature] = None
+
+    def __init__(
+        self,
+        mode: int,
+        view: int,
+        timestamp: int,
+        client_id: str,
+        replica_id: str,
+        queue_depth: int,
+        signed: bool = True,
+        signature: Optional[Signature] = None,
+    ) -> None:
+        self.__dict__.update({
+            "mode": mode,
+            "view": view,
+            "timestamp": timestamp,
+            "client_id": client_id,
+            "replica_id": replica_id,
+            "queue_depth": queue_depth,
+            "signed": signed,
+            "signature": signature,
+        })
+
+    def signing_content(self) -> Dict[str, Any]:
+        return {
+            "type": "BUSY",
+            "mode": self.mode,
+            "view": self.view,
+            "timestamp": self.timestamp,
+            "client": self.client_id,
+            "replica": self.replica_id,
+            "queue_depth": self.queue_depth,
+        }
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SIGNATURE_BYTES + 8
+
+
 # Execution results repeat heavily — every no-op of an x/y micro-benchmark
 # returns the *same object* (see ``NullStateMachine``), and key-value reads
 # repeat values — so result digests are memoized at two levels:
@@ -480,6 +539,7 @@ __all__ = [
     "ProtocolMessage",
     "Request",
     "Reply",
+    "Busy",
     "Batch",
     "requests_of",
     "_HEADER_BYTES",

@@ -17,6 +17,7 @@ from repro.workload.generator import (
     KeyValueWorkload,
     ShardedKeyValueWorkload,
     Workload,
+    WorkloadSpec,
     kv_workload,
     microbenchmark,
     sharded_kv_workload,
@@ -29,9 +30,21 @@ from repro.workload.metrics import (
     per_shard_load,
 )
 from repro.workload.client_pool import ClientPool
+from repro.workload.openloop import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ClientPopulation,
+    DiurnalArrivals,
+    OpenLoopConnection,
+    OpenLoopDriver,
+    PoissonArrivals,
+    workload_operation_source,
+)
+from repro.workload.slo import SlaViolation, SloEvaluation, SloSpec, evaluate_slo
 
 __all__ = [
     "Workload",
+    "WorkloadSpec",
     "KeyValueWorkload",
     "ShardedKeyValueWorkload",
     "microbenchmark",
@@ -43,4 +56,16 @@ __all__ = [
     "ShardLoadSummary",
     "per_shard_load",
     "ClientPool",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "ClientPopulation",
+    "OpenLoopConnection",
+    "OpenLoopDriver",
+    "workload_operation_source",
+    "SloSpec",
+    "SloEvaluation",
+    "SlaViolation",
+    "evaluate_slo",
 ]

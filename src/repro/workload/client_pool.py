@@ -1,8 +1,9 @@
-"""A pool of closed-loop clients sharing one metrics collector."""
+"""A pool of clients sharing one metrics collector (closed or open loop)."""
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import replace as dataclass_replace
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.crypto.keys import KeyStore
 from repro.net.topology import Cloud, Placement
@@ -10,6 +11,9 @@ from repro.runtime.api import Runtime, as_runtime
 from repro.smr.client import Client, ClientConfig
 from repro.workload.generator import Workload
 from repro.workload.metrics import MetricsCollector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.openloop import ClientPopulation, OpenLoopDriver
 
 
 class ClientPool:
@@ -71,6 +75,62 @@ class ClientPool:
         self.clients.extend(created)
         return created
 
+    def spawn_open_loop(
+        self,
+        population: "ClientPopulation",
+        connections: int = 32,
+        max_backlog: int = 10_000,
+        max_busy_retries: Optional[int] = 8,
+        window: int = 1,
+    ) -> "OpenLoopDriver":
+        """Spawn a bounded open-loop connection pool driven by ``population``.
+
+        ``connections`` real connection objects multiplex the population's
+        arrivals — memory is O(connections + backlog), never O(users).
+        ``max_busy_retries`` bounds how often a request is re-sent after
+        signed ``Busy`` rejects before being shed (``None`` retries
+        forever, which re-queues overload instead of shedding it — only
+        sensible without admission control).  Returns the driver; callers
+        ``start()`` it alongside the deployment.
+        """
+        from repro.workload.openloop import (
+            OpenLoopConnection,
+            OpenLoopDriver,
+            workload_operation_source,
+        )
+
+        if connections < 1:
+            raise ValueError(f"connection count must be positive: {connections}")
+        config = self.client_config
+        if max_busy_retries is not None:
+            config = dataclass_replace(config, max_busy_retries=max_busy_retries)
+        verifier = self.keystore.verifier()
+        created: List[Client] = []
+        for index in range(connections):
+            client_id = f"{self.name_prefix}-{len(self.clients) + index}"
+            self.keystore.register(client_id)
+            self.placement.assign(client_id, Cloud.CLIENT)
+            connection = OpenLoopConnection(
+                node_id=client_id,
+                runtime=self.runtime,
+                signer=self.keystore.signer_for(client_id),
+                verifier=verifier,
+                config=config,
+                operation_factory=lambda timestamp: None,
+                recorder=self.metrics,
+                window=window,
+            )
+            self.runtime.register(connection)
+            created.append(connection)
+        self.clients.extend(created)
+        return OpenLoopDriver(
+            self.runtime,
+            population,
+            created,
+            workload_operation_source(self.workload),
+            max_backlog=max_backlog,
+        )
+
     def start_all(self) -> None:
         for client in self.clients:
             client.start()
@@ -86,3 +146,7 @@ class ClientPool:
     @property
     def total_timeouts(self) -> int:
         return sum(client.timeouts for client in self.clients)
+
+    @property
+    def total_shed(self) -> int:
+        return sum(client.shed_requests for client in self.clients)

@@ -9,12 +9,14 @@ replies the service returns.  The paper's micro-benchmarks are named
 from __future__ import annotations
 
 import random
+import warnings
 from bisect import bisect_right
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (shard -> workload)
     from repro.shard.partition import Partitioner
+    from repro.workload.openloop import ArrivalProcess
 
 from repro.smr.state_machine import (
     KeyValueStore,
@@ -25,6 +27,85 @@ from repro.smr.state_machine import (
 )
 
 KILOBYTE = 1024
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One declarative description of any workload this repo can generate.
+
+    The single entry point :meth:`Workload.build` turns a spec into the
+    right :class:`Workload` subclass, collapsing what used to be three
+    separate factory functions (``microbenchmark`` / ``kv_workload`` /
+    ``sharded_kv_workload``) into one dataclass: payload sizes, key
+    distribution, cross-shard fraction, and — for open-loop populations —
+    the arrival model, all in one place.
+
+    Attributes:
+        kind: ``"micro"`` (payload-only no-op service), ``"kv"``
+            (key-value store), or ``"sharded-kv"`` (transactional
+            key-value store with cross-shard transactions).
+        name: workload display name; derived from the knobs when ``None``.
+        request_kb / reply_kb: the paper's x/y micro-benchmark payload
+            sizes, in KB (used by every kind).
+        client_window: requests each closed-loop client pipelines.
+        key_space / value_size / read_fraction / seed / key_distribution /
+            zipf_theta: key-value knobs (``kv`` and ``sharded-kv``).
+        cross_shard_fraction / txn_size / partitioner: sharded knobs.
+        arrival: optional :class:`~repro.workload.openloop.ArrivalProcess`
+            describing open-loop offered load.  The workload itself is
+            arrival-agnostic; open-loop runners read this field off the
+            spec to build the :class:`~repro.workload.openloop.ClientPopulation`.
+    """
+
+    kind: str = "micro"
+    name: Optional[str] = None
+    request_kb: int = 0
+    reply_kb: int = 0
+    client_window: int = 1
+    key_space: int = 1000
+    value_size: int = 64
+    read_fraction: float = 0.5
+    seed: int = 0
+    key_distribution: str = "uniform"
+    zipf_theta: float = 0.99
+    cross_shard_fraction: float = 0.1
+    txn_size: int = 2
+    partitioner: Optional["Partitioner"] = None
+    arrival: Optional["ArrivalProcess"] = None
+
+    @classmethod
+    def micro(cls, name: str, **overrides) -> "WorkloadSpec":
+        """Spec for one of the paper's ``"x/y"`` micro-benchmarks."""
+        try:
+            request_kb_text, reply_kb_text = name.split("/")
+            request_kb = int(request_kb_text)
+            reply_kb = int(reply_kb_text)
+        except (ValueError, AttributeError):
+            raise ValueError(f"micro-benchmark names look like '0/4', got {name!r}") from None
+        return cls(kind="micro", name=name, request_kb=request_kb, reply_kb=reply_kb, **overrides)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("micro", "kv", "sharded-kv"):
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; "
+                f"choose 'micro', 'kv', or 'sharded-kv'"
+            )
+        if self.request_kb < 0 or self.reply_kb < 0:
+            raise ValueError(
+                f"payload sizes cannot be negative: {self.request_kb}/{self.reply_kb}"
+            )
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(f"read fraction must be in [0, 1]: {self.read_fraction}")
+        if not 0.0 <= self.cross_shard_fraction <= 1.0:
+            raise ValueError(
+                f"cross-shard fraction must be in [0, 1]: {self.cross_shard_fraction}"
+            )
+
+
+def _deprecated_factory(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new}", DeprecationWarning, stacklevel=3
+    )
 
 
 @dataclass(frozen=True)
@@ -51,6 +132,53 @@ class Workload:
             raise ValueError(f"client window must be at least 1: {window}")
         return replace(self, client_window=window)
 
+    @classmethod
+    def build(cls, spec: Union[str, WorkloadSpec]) -> "Workload":
+        """The one spec-driven workload entry point.
+
+        Accepts a full :class:`WorkloadSpec` or — as shorthand for the
+        overwhelmingly common case — a bare ``"x/y"`` micro-benchmark
+        name.  Returns the :class:`Workload` subclass the spec's ``kind``
+        calls for.
+        """
+        if isinstance(spec, str):
+            spec = WorkloadSpec.micro(spec)
+        if spec.kind == "micro":
+            return Workload(
+                name=spec.name or f"{spec.request_kb}/{spec.reply_kb}",
+                request_payload_bytes=spec.request_kb * KILOBYTE,
+                reply_payload_bytes=spec.reply_kb * KILOBYTE,
+                client_window=spec.client_window,
+            )
+        if spec.kind == "kv":
+            return KeyValueWorkload(
+                name=spec.name or f"kv-{int(spec.read_fraction * 100)}r",
+                request_payload_bytes=spec.request_kb * KILOBYTE,
+                reply_payload_bytes=spec.reply_kb * KILOBYTE,
+                client_window=spec.client_window,
+                key_space=spec.key_space,
+                value_size=spec.value_size,
+                read_fraction=spec.read_fraction,
+                seed=spec.seed,
+                key_distribution=spec.key_distribution,
+                zipf_theta=spec.zipf_theta,
+            )
+        return ShardedKeyValueWorkload(
+            name=spec.name or f"kv-sharded-{int(spec.cross_shard_fraction * 100)}x",
+            request_payload_bytes=spec.request_kb * KILOBYTE,
+            reply_payload_bytes=spec.reply_kb * KILOBYTE,
+            client_window=spec.client_window,
+            key_space=spec.key_space,
+            value_size=spec.value_size,
+            read_fraction=spec.read_fraction,
+            seed=spec.seed,
+            key_distribution=spec.key_distribution,
+            zipf_theta=spec.zipf_theta,
+            cross_shard_fraction=spec.cross_shard_fraction,
+            txn_size=spec.txn_size,
+            partitioner=spec.partitioner,
+        )
+
     def operation_factory(self, client_seed: int = 0) -> Callable[[int], Operation]:
         """Return a factory mapping a client timestamp to an operation."""
         payload = "x" * self.request_payload_bytes
@@ -71,26 +199,15 @@ class Workload:
 
 
 def microbenchmark(name: str) -> Workload:
-    """Build one of the paper's x/y micro-benchmarks.
+    """Deprecated shim: use ``Workload.build("x/y")``.
 
     >>> microbenchmark("0/0").request_payload_bytes
     0
     >>> microbenchmark("4/0").request_payload_bytes
     4096
     """
-    try:
-        request_kb_text, reply_kb_text = name.split("/")
-        request_kb = int(request_kb_text)
-        reply_kb = int(reply_kb_text)
-    except (ValueError, AttributeError):
-        raise ValueError(f"micro-benchmark names look like '0/4', got {name!r}") from None
-    if request_kb < 0 or reply_kb < 0:
-        raise ValueError(f"payload sizes cannot be negative: {name!r}")
-    return Workload(
-        name=name,
-        request_payload_bytes=request_kb * KILOBYTE,
-        reply_payload_bytes=reply_kb * KILOBYTE,
-    )
+    _deprecated_factory("microbenchmark(name)", "Workload.build(name)")
+    return Workload.build(name)
 
 
 @dataclass(frozen=True)
@@ -162,19 +279,18 @@ def kv_workload(
     key_distribution: str = "uniform",
     zipf_theta: float = 0.99,
 ) -> KeyValueWorkload:
-    """Convenience constructor for a key-value workload."""
-    if not 0.0 <= read_fraction <= 1.0:
-        raise ValueError(f"read fraction must be in [0, 1]: {read_fraction}")
-    return KeyValueWorkload(
-        name=f"kv-{int(read_fraction * 100)}r",
-        request_payload_bytes=0,
-        reply_payload_bytes=0,
-        key_space=key_space,
-        value_size=value_size,
-        read_fraction=read_fraction,
-        seed=seed,
-        key_distribution=key_distribution,
-        zipf_theta=zipf_theta,
+    """Deprecated shim: use ``Workload.build(WorkloadSpec(kind="kv", ...))``."""
+    _deprecated_factory("kv_workload(...)", "Workload.build(WorkloadSpec(kind='kv', ...))")
+    return Workload.build(
+        WorkloadSpec(
+            kind="kv",
+            key_space=key_space,
+            value_size=value_size,
+            read_fraction=read_fraction,
+            seed=seed,
+            key_distribution=key_distribution,
+            zipf_theta=zipf_theta,
+        )
     )
 
 
@@ -256,20 +372,21 @@ def sharded_kv_workload(
     zipf_theta: float = 0.99,
     partitioner: Optional[Partitioner] = None,
 ) -> ShardedKeyValueWorkload:
-    """Convenience constructor for a sharded key-value workload."""
-    if not 0.0 <= read_fraction <= 1.0:
-        raise ValueError(f"read fraction must be in [0, 1]: {read_fraction}")
-    if not 0.0 <= cross_shard_fraction <= 1.0:
-        raise ValueError(f"cross-shard fraction must be in [0, 1]: {cross_shard_fraction}")
-    return ShardedKeyValueWorkload(
-        name=f"kv-sharded-{int(cross_shard_fraction * 100)}x",
-        key_space=key_space,
-        value_size=value_size,
-        read_fraction=read_fraction,
-        seed=seed,
-        key_distribution=key_distribution,
-        zipf_theta=zipf_theta,
-        cross_shard_fraction=cross_shard_fraction,
-        txn_size=txn_size,
-        partitioner=partitioner,
+    """Deprecated shim: use ``Workload.build(WorkloadSpec(kind="sharded-kv", ...))``."""
+    _deprecated_factory(
+        "sharded_kv_workload(...)", "Workload.build(WorkloadSpec(kind='sharded-kv', ...))"
+    )
+    return Workload.build(
+        WorkloadSpec(
+            kind="sharded-kv",
+            key_space=key_space,
+            value_size=value_size,
+            read_fraction=read_fraction,
+            seed=seed,
+            key_distribution=key_distribution,
+            zipf_theta=zipf_theta,
+            cross_shard_fraction=cross_shard_fraction,
+            txn_size=txn_size,
+            partitioner=partitioner,
+        )
     )

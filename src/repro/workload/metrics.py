@@ -42,13 +42,13 @@ class BatchSizeSummary:
     batches: int
     requests: int
     mean: float
-    p50: int
+    p50: float
     maximum: int
     histogram: Dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def empty(cls) -> "BatchSizeSummary":
-        return cls(batches=0, requests=0, mean=0.0, p50=0, maximum=0, histogram={})
+        return cls(batches=0, requests=0, mean=0.0, p50=0.0, maximum=0, histogram={})
 
     @classmethod
     def of(cls, sizes: List[int]) -> "BatchSizeSummary":
@@ -62,7 +62,7 @@ class BatchSizeSummary:
             batches=len(sizes),
             requests=sum(sizes),
             mean=sum(sizes) / len(sizes),
-            p50=ordered[len(ordered) // 2],
+            p50=_percentile(ordered, 0.50),
             maximum=ordered[-1],
             histogram=histogram,
         )
@@ -78,17 +78,50 @@ class LatencySummary:
     p95: float
     p99: float
     maximum: float
+    p999: float = 0.0
 
     @classmethod
     def empty(cls) -> "LatencySummary":
-        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0, p999=0.0)
+
+    @classmethod
+    def of(cls, values: List[float]) -> "LatencySummary":
+        """Summarise a bare list of latency samples (need not be sorted)."""
+        if not values:
+            return cls.empty()
+        ordered = sorted(values)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            maximum=ordered[-1],
+            p999=_percentile(ordered, 0.999),
+        )
 
 
 def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Linearly interpolated percentile over an ascending sample list.
+
+    The shared helper behind every percentile this module reports (latency
+    p50/p95/p99/p999, batch-size p50): position ``fraction * (n - 1)`` is
+    interpolated between its two surrounding order statistics, so p50 of
+    ``[1, 2]`` is 1.5 rather than either sample, and p999 keeps resolving
+    between the two largest samples instead of saturating at the maximum
+    as the old nearest-rank rule did.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1]: {fraction}")
     if not sorted_values:
         return 0.0
-    index = min(len(sorted_values) - 1, max(0, math.ceil(fraction * len(sorted_values)) - 1))
-    return sorted_values[index]
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = math.floor(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
 
 
 @dataclass(frozen=True)
@@ -222,17 +255,7 @@ class MetricsCollector:
     def latency(self, start: Optional[float] = None, end: Optional[float] = None) -> LatencySummary:
         """Latency statistics for completions inside the window."""
         records = self._in_window(start, end)
-        if not records:
-            return LatencySummary.empty()
-        latencies = sorted(r.latency for r in records)
-        return LatencySummary(
-            count=len(latencies),
-            mean=sum(latencies) / len(latencies),
-            p50=_percentile(latencies, 0.50),
-            p95=_percentile(latencies, 0.95),
-            p99=_percentile(latencies, 0.99),
-            maximum=latencies[-1],
-        )
+        return LatencySummary.of([r.latency for r in records])
 
     def timeline(
         self, bin_width: float, start: float = 0.0, end: Optional[float] = None
@@ -252,5 +275,29 @@ class MetricsCollector:
             bin_end = bin_start + bin_width
             count = len(self._in_window(bin_start, bin_end))
             bins.append((bin_start, count / bin_width))
+            bin_start = bin_end
+        return bins
+
+    def latency_timeline(
+        self, bin_width: float, start: float = 0.0, end: Optional[float] = None
+    ) -> List[Tuple[float, LatencySummary]]:
+        """Percentile series per time bin: ``(bin_start, LatencySummary)``.
+
+        The open-loop SLO machinery reads this to judge tail latency over
+        time instead of over the whole run: a surge that blows p99 for two
+        bins and recovers looks very different from one that never recovers,
+        and only a binned series can tell them apart.  Completions land in
+        the bin of their ``completed_at``.
+        """
+        if bin_width <= 0:
+            raise ValueError(f"bin width must be positive: {bin_width}")
+        if end is None:
+            end = max((r.completed_at for r in self._records), default=start)
+        bins: List[Tuple[float, LatencySummary]] = []
+        bin_start = start
+        while bin_start < end:
+            bin_end = bin_start + bin_width
+            records = self._in_window(bin_start, bin_end)
+            bins.append((bin_start, LatencySummary.of([r.latency for r in records])))
             bin_start = bin_end
         return bins

@@ -150,3 +150,17 @@ class TestMainEntry:
 
 if __name__ == "__main__":
     raise SystemExit(pytest.main([__file__, "-v"]))
+
+
+class TestGatedFlag:
+    def test_ungated_rows_are_excluded_from_the_gate(self, tmp_path, capsys):
+        # The open-loop row regresses badly, but it is marked gated: false
+        # (reported-only), so the gate only sees the sim row and passes.
+        current = _document({"lion": 100.0})
+        current["cases"].append(
+            {"name": "openloop-surge-2x", "events_per_second": 1.0, "gated": False}
+        )
+        baseline = _document({"lion": 100.0, "openloop-surge-2x": 1000.0})
+        baseline["cases"][-1]["gated"] = False
+        assert _run(tmp_path, current, baseline) == 0
+        assert "excluded from the gate" in capsys.readouterr().out

@@ -31,6 +31,7 @@ REQUIRED_CASE_KEYS = {
     "sim_duration", "completed_requests", "events_processed", "wall_seconds",
     "events_per_second", "sim_seconds_per_wall_second",
     "throughput_requests_per_second", "peak_heap_bytes", "deterministic",
+    "gated",
 }
 
 

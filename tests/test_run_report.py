@@ -1,0 +1,151 @@
+"""Every result type speaks the RunReport protocol."""
+
+import pytest
+
+from repro.analysis import format_run_report
+from repro.cluster.builders import build_seemore
+from repro.cluster.runner import (
+    OpenLoopRunResult,
+    RunReport,
+    RunResult,
+    ShardedRunResult,
+    run_deployment,
+)
+from repro.runtime.proc import ProcResult
+from repro.workload.metrics import LatencySummary
+
+
+def _latency():
+    return LatencySummary.of([0.01, 0.02, 0.03])
+
+
+def _run_result(**overrides):
+    kwargs = dict(
+        protocol="seemore-lion",
+        clients=2,
+        duration=1.0,
+        completed=100,
+        throughput=100.0,
+        latency=_latency(),
+        client_timeouts=0,
+        safety_violations=0,
+    )
+    kwargs.update(overrides)
+    return RunResult(**kwargs)
+
+
+def _sharded_result():
+    return ShardedRunResult(
+        aggregate=_run_result(protocol="seemore-sharded"),
+        per_shard=(),
+        transactions={"started": 5, "committed": 4, "aborted": 1},
+        atomicity_violations=0,
+    )
+
+
+def _open_loop_result():
+    return OpenLoopRunResult(
+        protocol="seemore-lion",
+        duration=1.0,
+        offered=500,
+        completed=300,
+        dropped=100,
+        shed=100,
+        busy_rejects=250,
+        throughput=300.0,
+        latency=_latency(),
+        safety_violations=0,
+    )
+
+
+def _proc_result():
+    return ProcResult(
+        met=True,
+        wall_seconds=1.5,
+        harvests={"client": {"completed": 42}},
+        stats={"w0": {"nodes": {"r0": {"busy_time": 0.5}}}},
+        deaths=[],
+        exitcodes={"w0": 0},
+        errors=[],
+    )
+
+
+ALL_REPORTS = {
+    "run": _run_result,
+    "sharded": _sharded_result,
+    "openloop": _open_loop_result,
+    "proc": _proc_result,
+}
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("kind", sorted(ALL_REPORTS))
+    def test_isinstance_of_run_report(self, kind):
+        assert isinstance(ALL_REPORTS[kind](), RunReport)
+
+    @pytest.mark.parametrize("kind", sorted(ALL_REPORTS))
+    def test_report_row_is_flat(self, kind):
+        row = ALL_REPORTS[kind]().report_row()
+        assert isinstance(row, dict) and row
+        assert all(
+            value is None or isinstance(value, (str, int, float, bool))
+            for value in row.values()
+        )
+
+    @pytest.mark.parametrize("kind", sorted(ALL_REPORTS))
+    def test_node_stats_is_dict(self, kind):
+        assert isinstance(ALL_REPORTS[kind]().node_stats(), dict)
+
+    def test_committed_aliases(self):
+        assert _run_result().committed == 100
+        assert _sharded_result().committed == 100
+        assert _open_loop_result().committed == 300
+        assert _proc_result().committed == 42
+
+    def test_violation_counts(self):
+        assert _run_result(safety_violations=2).violation_count == 2
+        assert _proc_result().violation_count == 0
+        sharded = ShardedRunResult(
+            aggregate=_run_result(safety_violations=1),
+            per_shard=(),
+            transactions={},
+            atomicity_violations=2,
+        )
+        assert sharded.violation_count == 3
+
+    def test_open_loop_slo_violation_counts(self):
+        from repro.workload.slo import SloEvaluation, SloSpec
+
+        spec = SloSpec(bound=0.05)
+        bad = SloEvaluation(spec=spec, bins=4, violating_bins=2, worst=0.2)
+        result = _open_loop_result()
+        assert result.violation_count == 0
+        import dataclasses
+
+        assert dataclasses.replace(result, slo=bad).violation_count == 1
+
+
+class TestFormatRunReport:
+    def test_formats_mixed_reports(self):
+        text = format_run_report([_run_result(), _proc_result()])
+        assert "protocol" in text
+        assert "proc" in text
+
+    def test_flags_violations(self):
+        text = format_run_report([_run_result(safety_violations=3)])
+        assert "VIOLATIONS" in text
+
+    def test_empty(self):
+        assert "(no results)" in format_run_report([])
+
+
+class TestLiveRunPopulatesReport:
+    @pytest.mark.integration
+    def test_run_deployment_fills_run_report_fields(self):
+        deployment = build_seemore(num_clients=2, seed=3)
+        result = run_deployment(deployment, duration=0.3, warmup=0.1)
+        assert isinstance(result, RunReport)
+        assert result.metrics_collector is deployment.metrics
+        stats = result.node_stats()
+        assert stats, "node summaries should be captured"
+        assert any("busy_rejects_sent" in summary for summary in stats.values())

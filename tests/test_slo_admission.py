@@ -1,0 +1,219 @@
+"""Latency SLOs, admission control, and the open-loop surge scenarios."""
+
+import pytest
+
+from repro.core.admission import AdmissionPolicy
+from repro.scenarios.openloop import (
+    OPEN_LOOP_SCENARIOS,
+    SURGE_ADMISSION_OFF,
+    SURGE_ADMISSION_ON,
+    run_open_loop_scenario,
+)
+from repro.workload.metrics import MetricsCollector
+from repro.workload.slo import SlaViolation, SloSpec, evaluate_slo
+
+pytestmark = pytest.mark.openloop
+
+
+class TestAdmissionPolicy:
+    def test_sheds_at_watermark(self):
+        policy = AdmissionPolicy(max_outstanding=10)
+        assert not policy.should_shed(queued=4, in_flight=5)
+        assert policy.should_shed(queued=5, in_flight=5)
+        assert policy.should_shed(queued=100, in_flight=0)
+
+    def test_invalid_watermark_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_outstanding=0)
+
+
+def _collector_with(latencies_by_bin):
+    """A collector with one completion per (bin_start, latency) pair."""
+    collector = MetricsCollector()
+    timestamp = 0
+    for bin_start, latencies in latencies_by_bin:
+        for latency in latencies:
+            timestamp += 1
+            collector.record_completion(
+                client_id="c0",
+                timestamp=timestamp,
+                sent_at=bin_start,
+                completed_at=bin_start + latency,
+            )
+    return collector
+
+
+class TestSloSpec:
+    def test_unsupported_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            SloSpec(percentile=0.42)
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SloSpec(bound=0.0)
+
+    def test_field_name_maps_percentile(self):
+        assert SloSpec(percentile=0.999, bound=1.0).field_name == "p999"
+
+
+class TestEvaluateSlo:
+    def test_holds_when_under_bound(self):
+        collector = _collector_with([(0.0, [0.01] * 10), (0.25, [0.02] * 10)])
+        evaluation = evaluate_slo(SloSpec(bound=0.05), collector)
+        assert evaluation.holds
+        assert evaluation.bins == 2
+        assert evaluation.violating_bins == 0
+
+    def test_single_bad_bin_violates_strict_budget(self):
+        collector = _collector_with([(0.0, [0.01] * 10), (0.25, [0.2] * 10)])
+        evaluation = evaluate_slo(SloSpec(bound=0.05), collector)
+        assert not evaluation.holds
+        assert evaluation.violating_bins == 1
+        assert evaluation.first_violation_at == pytest.approx(0.25)
+        assert evaluation.worst == pytest.approx(0.2)
+
+    def test_violation_budget_tolerates_blip(self):
+        collector = _collector_with(
+            [(0.25 * i, [0.01] * 10) for i in range(9)] + [(0.25 * 9, [0.2] * 10)]
+        )
+        spec = SloSpec(bound=0.05, max_violation_fraction=0.2)
+        assert evaluate_slo(spec, collector).holds
+
+    def test_empty_collector_vacuously_holds(self):
+        evaluation = evaluate_slo(SloSpec(bound=0.05), MetricsCollector())
+        assert evaluation.holds
+        assert evaluation.bins == 0
+
+
+class _FakeSimulator:
+    def __init__(self, now):
+        self.now = now
+
+
+class _FakeDeployment:
+    def __init__(self, metrics, now):
+        self.metrics = metrics
+        self.simulator = _FakeSimulator(now)
+
+
+class TestSlaViolationChecker:
+    def test_fires_only_on_closed_bins(self):
+        collector = _collector_with([(0.0, [0.2] * 10)])
+        checker = SlaViolation(SloSpec(bound=0.05))
+        deployment = _FakeDeployment(collector, now=0.1)
+        checker.attach(deployment)
+        assert checker.check(deployment) == []  # bin [0, 0.25) still open
+        deployment.simulator.now = 0.3
+        assert checker.check(deployment)  # now closed, over bound
+
+    def test_finalize_judges_everything(self):
+        collector = _collector_with([(0.0, [0.2] * 10)])
+        checker = SlaViolation(SloSpec(bound=0.05))
+        deployment = _FakeDeployment(collector, now=0.1)
+        checker.attach(deployment)
+        assert checker.finalize(deployment)
+
+    def test_quiet_run_never_fires(self):
+        collector = _collector_with([(0.0, [0.01] * 10), (0.25, [0.01] * 10)])
+        checker = SlaViolation(SloSpec(bound=0.05))
+        deployment = _FakeDeployment(collector, now=1.0)
+        checker.attach(deployment)
+        assert checker.check(deployment) == []
+        assert checker.finalize(deployment) == []
+
+
+class TestSurgeScenarios:
+    """The headline gate: 1M modeled users surging past capacity.
+
+    With admission control on, the primary sheds the excess with signed
+    Busy rejects and the served-latency SLO holds; with it off, the same
+    surge bloats the queue and the SLA checker fires.  Both runs model
+    1M+ users through a bounded connection pool.
+    """
+
+    def test_admission_on_holds_slo(self):
+        assert SURGE_ADMISSION_ON.num_users >= 1_000_000
+        outcome = run_open_loop_scenario(SURGE_ADMISSION_ON)
+        result = outcome.result
+        assert result.slo_holds, result.slo.describe()
+        assert not outcome.checker_fired
+        # The excess was genuinely shed, not silently absorbed.
+        assert result.shed > 0
+        assert result.busy_rejects > 0
+        assert result.completed > 0
+        assert result.safety_violations == 0
+
+    def test_admission_off_fires_checker(self):
+        assert SURGE_ADMISSION_OFF.num_users >= 1_000_000
+        outcome = run_open_loop_scenario(SURGE_ADMISSION_OFF)
+        result = outcome.result
+        assert result.slo_holds is False
+        assert outcome.checker_fired
+        assert result.busy_rejects == 0  # no admission control, no rejects
+        assert result.completed > 0
+        assert result.safety_violations == 0
+
+    def test_library_is_consistent(self):
+        assert set(OPEN_LOOP_SCENARIOS) == {
+            "surge-admission-on",
+            "surge-admission-off",
+        }
+        for name, scenario in OPEN_LOOP_SCENARIOS.items():
+            assert scenario.name == name
+
+
+class TestOpenLoopEndToEnd:
+    def test_counters_conserve_and_requests_complete(self):
+        from repro.cluster.builders import build_seemore
+        from repro.cluster.runner import run_open_loop
+        from repro.workload.openloop import ClientPopulation, PoissonArrivals
+
+        deployment = build_seemore(num_clients=0, seed=5)
+        population = ClientPopulation(
+            num_users=10_000, arrivals=PoissonArrivals(rate=300.0, seed=5), seed=5
+        )
+        driver = deployment.client_pool.spawn_open_loop(
+            population, connections=8, max_backlog=100, window=2
+        )
+        result = run_open_loop(deployment, driver, duration=1.0, warmup=0.2)
+        assert result.completed > 100
+        assert result.safety_violations == 0
+        # Every offered arrival is accounted for: completed, dropped at the
+        # backlog, shed after Busy rejects, or still in flight / queued.
+        accounted = result.completed + result.dropped + result.shed
+        assert accounted <= result.offered
+        in_pipeline = driver.backlog_depth + driver.active_requests
+        assert result.offered - accounted <= in_pipeline + 8 * 2
+        # Latency is stamped from arrival, so it includes real queueing and
+        # is strictly positive.
+        assert result.latency.p50 > 0.0
+
+    def test_million_user_live_run_memory_is_o_active(self):
+        """The full pipeline (population -> driver -> cluster) at 1.5M users.
+
+        The deployment itself costs a few MB; per-user state at 1.5M users
+        would add tens more.  The bound separates the two by a wide margin.
+        """
+        import tracemalloc
+
+        from repro.cluster.builders import build_seemore
+        from repro.cluster.runner import run_open_loop
+        from repro.workload.openloop import ClientPopulation, PoissonArrivals
+
+        tracemalloc.start()
+        try:
+            deployment = build_seemore(num_clients=0, seed=6)
+            population = ClientPopulation(
+                num_users=1_500_000,
+                arrivals=PoissonArrivals(rate=400.0, seed=6),
+                seed=6,
+            )
+            driver = deployment.client_pool.spawn_open_loop(
+                population, connections=8, max_backlog=100, window=2
+            )
+            result = run_open_loop(deployment, driver, duration=0.5, warmup=0.1)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert result.completed > 0
+        assert peak < 24 * 1024 * 1024, f"peak {peak} bytes is not O(active)"

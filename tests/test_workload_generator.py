@@ -105,3 +105,83 @@ class TestShardedWorkload:
         first = sharded_kv_workload(seed=8, cross_shard_fraction=0.5).operation_factory(2)
         second = sharded_kv_workload(seed=8, cross_shard_fraction=0.5).operation_factory(2)
         assert [repr(first(t)) for t in range(100)] == [repr(second(t)) for t in range(100)]
+
+
+class TestWorkloadSpec:
+    def test_build_from_string_is_micro(self):
+        from repro.workload.generator import Workload
+
+        workload = Workload.build("0/4")
+        assert isinstance(workload, Workload)
+        assert workload.name == "0/4"
+        assert workload.reply_payload_bytes == 4 * 1024
+
+    def test_build_kv(self):
+        from repro.workload.generator import Workload, WorkloadSpec
+
+        workload = Workload.build(
+            WorkloadSpec(kind="kv", key_space=50, read_fraction=1.0, seed=2)
+        )
+        assert isinstance(workload, KeyValueWorkload)
+
+    def test_build_sharded_kv(self):
+        from repro.workload.generator import Workload, WorkloadSpec
+
+        workload = Workload.build(
+            WorkloadSpec(kind="sharded-kv", cross_shard_fraction=0.25, seed=2)
+        )
+        assert isinstance(workload, ShardedKeyValueWorkload)
+
+    def test_invalid_kind_rejected(self):
+        from repro.workload.generator import WorkloadSpec
+
+        with pytest.raises(ValueError):
+            WorkloadSpec(kind="nope")
+
+    def test_invalid_read_fraction_rejected(self):
+        from repro.workload.generator import WorkloadSpec
+
+        with pytest.raises(ValueError):
+            WorkloadSpec(kind="kv", read_fraction=1.5)
+
+
+class TestDeprecatedFactoryShims:
+    """The legacy factories still work, as one-line deprecating shims."""
+
+    def test_microbenchmark_warns_and_matches_build(self):
+        from repro.workload.generator import Workload, microbenchmark
+
+        with pytest.warns(DeprecationWarning):
+            legacy = microbenchmark("4/0")
+        built = Workload.build("4/0")
+        assert legacy.name == built.name
+        assert legacy.request_payload_bytes == built.request_payload_bytes
+        assert legacy.reply_payload_bytes == built.reply_payload_bytes
+
+    def test_kv_workload_warns_and_matches_build(self):
+        from repro.workload.generator import Workload, WorkloadSpec, kv_workload
+
+        with pytest.warns(DeprecationWarning):
+            legacy = kv_workload(key_space=40, value_size=32, read_fraction=0.5, seed=9)
+        built = Workload.build(
+            WorkloadSpec(kind="kv", key_space=40, value_size=32, read_fraction=0.5, seed=9)
+        )
+        assert type(legacy) is type(built)
+        legacy_ops = [legacy.operation_factory(client_seed=1)(t) for t in range(20)]
+        built_ops = [built.operation_factory(client_seed=1)(t) for t in range(20)]
+        assert legacy_ops == built_ops
+
+    def test_sharded_kv_workload_warns_and_matches_build(self):
+        from repro.workload.generator import (
+            Workload,
+            WorkloadSpec,
+            sharded_kv_workload,
+        )
+
+        with pytest.warns(DeprecationWarning):
+            legacy = sharded_kv_workload(cross_shard_fraction=0.3, seed=4)
+        built = Workload.build(
+            WorkloadSpec(kind="sharded-kv", cross_shard_fraction=0.3, seed=4)
+        )
+        assert type(legacy) is type(built)
+        assert legacy.name == built.name

@@ -90,7 +90,9 @@ class TestMetricsCollector:
         assert summary.count == 4
         assert summary.mean == pytest.approx(0.025)
         assert summary.maximum == pytest.approx(0.04)
-        assert summary.p50 in (0.02, 0.03)
+        # Interpolated percentile: the median of an even-sized sample falls
+        # between the two middle order statistics.
+        assert summary.p50 == pytest.approx(0.025)
 
     def test_latency_empty(self):
         summary = MetricsCollector().latency()
@@ -127,3 +129,67 @@ class TestMetricsCollector:
         metrics.record_completion("c1", 1, 0.0, 0.1)
         metrics.record_completion("c0", 2, 0.1, 0.2)
         assert metrics.completions_by_client() == {"c0": 2, "c1": 1}
+
+
+class TestPercentileEdges:
+    """Pin the interpolated percentile estimator at its edges."""
+
+    def test_empty_is_zero(self):
+        from repro.workload.metrics import _percentile
+
+        assert _percentile([], 0.5) == 0.0
+
+    def test_single_sample_is_that_sample(self):
+        from repro.workload.metrics import _percentile
+
+        for fraction in (0.0, 0.5, 0.99, 1.0):
+            assert _percentile([0.7], fraction) == pytest.approx(0.7)
+
+    def test_two_samples_interpolate(self):
+        from repro.workload.metrics import _percentile
+
+        assert _percentile([1.0, 2.0], 0.5) == pytest.approx(1.5)
+
+    def test_p999_near_maximum(self):
+        from repro.workload.metrics import LatencySummary, _percentile
+
+        values = [float(i) for i in range(1, 1001)]
+        assert _percentile(values, 1.0) == pytest.approx(1000.0)
+        assert 999.0 <= _percentile(values, 0.999) <= 1000.0
+        summary = LatencySummary.of(values)
+        assert 999.0 <= summary.p999 <= 1000.0
+        assert summary.p999 <= summary.maximum
+
+    def test_out_of_range_fraction_rejected(self):
+        from repro.workload.metrics import _percentile
+
+        with pytest.raises(ValueError):
+            _percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            _percentile([1.0], -0.1)
+
+    def test_batch_summary_p50_interpolates(self):
+        from repro.workload.metrics import BatchSizeSummary
+
+        summary = BatchSizeSummary.of([1, 2, 3, 10])
+        assert summary.p50 == pytest.approx(2.5)
+
+
+class TestLatencyTimeline:
+    def test_latency_timeline_bins_percentiles(self):
+        metrics = MetricsCollector()
+        # Bin [0, 0.5): fast completions; bin [0.5, 1.0): slow ones.
+        for i in range(10):
+            metrics.record_completion("c0", i, sent_at=0.1, completed_at=0.11)
+        for i in range(10, 20):
+            metrics.record_completion("c0", i, sent_at=0.6, completed_at=0.9)
+        timeline = metrics.latency_timeline(bin_width=0.5, start=0.0, end=1.0)
+        assert len(timeline) == 2
+        (t0, fast), (t1, slow) = timeline
+        assert (t0, t1) == (0.0, 0.5)
+        assert fast.p50 == pytest.approx(0.01)
+        assert slow.p50 == pytest.approx(0.3)
+
+    def test_latency_timeline_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().latency_timeline(bin_width=0.0)

@@ -1,0 +1,191 @@
+"""The open-loop workload engine: arrivals, population, and memory bounds."""
+
+import random
+import tracemalloc
+
+import pytest
+
+from repro.workload import Workload
+from repro.workload.openloop import (
+    BurstyArrivals,
+    ClientPopulation,
+    DiurnalArrivals,
+    PoissonArrivals,
+    _ZipfSampler,
+    workload_operation_source,
+)
+
+pytestmark = pytest.mark.openloop
+
+
+def _arrival_times(process, count):
+    times = []
+    t = 0.0
+    for _ in range(count):
+        t = process.next_after(t)
+        times.append(t)
+    return times
+
+
+class TestPoissonArrivals:
+    def test_same_seed_same_stream(self):
+        first = _arrival_times(PoissonArrivals(rate=100.0, seed=5), 200)
+        second = _arrival_times(PoissonArrivals(rate=100.0, seed=5), 200)
+        assert first == second
+
+    def test_different_seed_different_stream(self):
+        first = _arrival_times(PoissonArrivals(rate=100.0, seed=5), 50)
+        second = _arrival_times(PoissonArrivals(rate=100.0, seed=6), 50)
+        assert first != second
+
+    def test_interarrival_mean_matches_rate(self):
+        rate = 200.0
+        times = _arrival_times(PoissonArrivals(rate=rate, seed=11), 5000)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        # 5000 exponential samples: the sample mean is within a few percent
+        # of 1/rate with overwhelming probability.
+        assert mean == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_strictly_increasing(self):
+        times = _arrival_times(PoissonArrivals(rate=50.0, seed=2), 500)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0)
+
+
+class TestBurstyArrivals:
+    def test_rate_tracks_phase(self):
+        process = BurstyArrivals(
+            base_rate=10.0, burst_rate=100.0, on_duration=1.0, off_duration=1.0
+        )
+        assert process.rate_at(0.5) == 100.0  # burst first
+        assert process.rate_at(1.5) == 10.0
+        assert process.rate_at(2.5) == 100.0  # periodic
+
+    def test_bursts_are_denser(self):
+        process = BurstyArrivals(
+            base_rate=20.0, burst_rate=400.0, on_duration=1.0, off_duration=1.0, seed=3
+        )
+        times = _arrival_times(process, 2000)
+        in_burst = sum(1 for t in times if (t % 2.0) < 1.0)
+        off = len(times) - in_burst
+        assert in_burst > 5 * off
+
+    def test_deterministic(self):
+        kwargs = dict(
+            base_rate=5.0, burst_rate=50.0, on_duration=0.5, off_duration=1.5, seed=9
+        )
+        assert _arrival_times(BurstyArrivals(**kwargs), 300) == _arrival_times(
+            BurstyArrivals(**kwargs), 300
+        )
+
+
+class TestDiurnalArrivals:
+    def test_integrates_to_daily_volume(self):
+        daily = 20_000
+        process = DiurnalArrivals(daily_volume=daily, day_length=50.0, seed=4)
+        count = 0
+        t = 0.0
+        while True:
+            t = process.next_after(t)
+            if t >= 50.0:
+                break
+            count += 1
+        # One simulated day of a Poisson process with total intensity
+        # `daily`: the count concentrates tightly around the mean.
+        assert count == pytest.approx(daily, rel=0.05)
+
+    def test_peak_rate_bounds_instantaneous_rate(self):
+        process = DiurnalArrivals(daily_volume=1000, day_length=10.0, amplitude=0.8)
+        peak = process.peak_rate()
+        for step in range(100):
+            assert process.rate_at(step * 0.1) <= peak + 1e-9
+
+    def test_deterministic(self):
+        first = _arrival_times(DiurnalArrivals(daily_volume=5000, day_length=20.0, seed=8), 400)
+        second = _arrival_times(DiurnalArrivals(daily_volume=5000, day_length=20.0, seed=8), 400)
+        assert first == second
+
+
+class TestZipfSampler:
+    def test_skew_toward_low_ranks(self):
+        sampler = _ZipfSampler(1_000_000, theta=0.99)
+        rng = random.Random(17)
+        counts = {}
+        for _ in range(20_000):
+            rank = sampler.sample(rng)
+            assert 0 <= rank < 1_000_000
+            counts[rank] = counts.get(rank, 0) + 1
+        assert counts.get(0, 0) > counts.get(100, 0)
+        # Rank 0 of a theta=0.99 zipfian over 1M items draws several
+        # percent of all samples.
+        assert counts[0] > 200
+
+    def test_deterministic_given_rng_seed(self):
+        sampler = _ZipfSampler(10_000, theta=0.9)
+        first = [sampler.sample(random.Random(3)) for _ in range(1)]
+        second = [sampler.sample(random.Random(3)) for _ in range(1)]
+        assert first == second
+
+
+class TestClientPopulation:
+    def test_events_monotone_and_deterministic(self):
+        def draw(seed):
+            population = ClientPopulation(
+                num_users=1_000_000,
+                arrivals=PoissonArrivals(rate=500.0, seed=seed),
+                seed=seed,
+            )
+            return [population.next_event() for _ in range(500)]
+
+        events = draw(21)
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+        assert events == draw(21)
+        users = {user for _, user in events}
+        assert len(users) > 50  # many distinct users, zipf-skewed
+        assert all(0 <= user < 1_000_000 for _, user in events)
+
+    def test_million_users_memory_is_o_active(self):
+        """The population must not materialize per-user state.
+
+        A naive per-user table at 1M users costs tens of MB; the arrival
+        process + zipf sampler representation is O(1) in the user count
+        (a few exact zeta terms), so even a generous bound separates the
+        two designs by orders of magnitude.
+        """
+        tracemalloc.start()
+        try:
+            population = ClientPopulation(
+                num_users=2_000_000,
+                arrivals=PoissonArrivals(rate=1000.0, seed=1),
+                seed=1,
+            )
+            for _ in range(5000):
+                population.next_event()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak < 4 * 1024 * 1024, f"peak {peak} bytes is not O(active)"
+
+    def test_uniform_distribution_supported(self):
+        population = ClientPopulation(
+            num_users=100,
+            arrivals=PoissonArrivals(rate=10.0, seed=2),
+            user_distribution="uniform",
+        )
+        users = {population.next_event()[1] for _ in range(500)}
+        assert len(users) > 50
+
+
+class TestOperationSource:
+    def test_per_user_factories_and_lru(self):
+        workload = Workload.build("0/0")
+        source = workload_operation_source(workload, cache_size=2)
+        assert source(0) is not None
+        assert source(1) is not None
+        assert source(2) is not None  # evicts user 0
+        assert source(0) is not None  # rebuilt, still works
